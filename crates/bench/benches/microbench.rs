@@ -1,0 +1,158 @@
+//! Criterion microbenchmarks of OREO's hot paths: Morton encoding, Qd-tree
+//! construction, metadata-based cost evaluation, D-UMTS steps, Algorithm 5
+//! admission distances, and the on-disk codec.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use oreo_core::{Dumts, DumtsConfig, TransitionPolicy};
+use oreo_layout::{build_exact_model, morton_encode, QdTreeBuilder, ZOrderLayout};
+use oreo_query::QueryBuilder;
+use oreo_sim::offline_optimum;
+use oreo_storage::cost_vector_distance;
+use oreo_workload::{tpch, StreamConfig};
+use std::hint::black_box;
+
+fn bench_morton(c: &mut Criterion) {
+    c.bench_function("morton_encode_3d_8bit", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(97);
+            black_box(morton_encode(
+                &[i & 0xff, (i >> 8) & 0xff, (i >> 3) & 0xff],
+                8,
+            ))
+        })
+    });
+}
+
+fn bench_qdtree_build(c: &mut Criterion) {
+    let table = tpch::tpch_table(4_000, 1);
+    let templates = tpch::tpch_templates(table.schema());
+    let stream = oreo_workload::generate_stream(
+        &templates,
+        StreamConfig {
+            total_queries: 200,
+            segments: 2,
+            seed: 3,
+            ..Default::default()
+        },
+    );
+    c.bench_function("qdtree_build_4k_sample_200q_k32", |b| {
+        b.iter(|| black_box(QdTreeBuilder::new(32).build(&table, &stream.queries)))
+    });
+}
+
+fn bench_cost_eval(c: &mut Criterion) {
+    let table = tpch::tpch_table(20_000, 1);
+    let templates = tpch::tpch_templates(table.schema());
+    let stream = oreo_workload::generate_stream(
+        &templates,
+        StreamConfig {
+            total_queries: 100,
+            segments: 2,
+            seed: 3,
+            ..Default::default()
+        },
+    );
+    let tree = QdTreeBuilder::new(64).build(&table, &stream.queries);
+    let model = build_exact_model(&tree, 0, &table);
+    let q = &stream.queries[0];
+    c.bench_function("layout_cost_eval_k64", |b| b.iter(|| black_box(model.cost(q))));
+    let sample = &stream.queries[..64.min(stream.queries.len())];
+    c.bench_function("cost_vector_64q_k64", |b| {
+        b.iter(|| black_box(model.cost_vector(sample)))
+    });
+}
+
+fn bench_zorder_route(c: &mut Criterion) {
+    let table = tpch::tpch_table(20_000, 1);
+    let shipdate = table.schema().col("l_shipdate").unwrap();
+    let qty = table.schema().col("l_quantity").unwrap();
+    let layout = ZOrderLayout::from_sample(&table, &[shipdate, qty], 8, 64);
+    c.bench_function("zorder_assign_20k_rows", |b| {
+        b.iter(|| black_box(oreo_layout::LayoutSpec::assign(&layout, &table)))
+    });
+}
+
+fn bench_dumts_step(c: &mut Criterion) {
+    c.bench_function("dumts_observe_query_24_states", |b| {
+        let states: Vec<u64> = (0..24).collect();
+        b.iter_batched(
+            || {
+                Dumts::new(
+                    &states,
+                    DumtsConfig {
+                        alpha: 80.0,
+                        transition: TransitionPolicy::default_biased(),
+                        stay_on_reset: true,
+                        mid_phase_admission: true,
+                        seed: 1,
+                    },
+                )
+            },
+            |mut d| {
+                for i in 0..100u64 {
+                    d.observe_query(|s| ((s * 31 + i) % 97) as f64 / 97.0);
+                }
+                black_box(d.switches())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_admission_distance(c: &mut Criterion) {
+    let a: Vec<f64> = (0..64).map(|i| (i % 7) as f64 / 7.0).collect();
+    let bvec: Vec<f64> = (0..64).map(|i| (i % 5) as f64 / 5.0).collect();
+    c.bench_function("admission_l1_distance_64", |b| {
+        b.iter(|| black_box(cost_vector_distance(&a, &bvec)))
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let table = tpch::tpch_table(10_000, 1);
+    c.bench_function("encode_partition_10k_rows", |b| {
+        b.iter(|| black_box(oreo_storage::format::encode_partition(&table)))
+    });
+    let bytes = oreo_storage::format::encode_partition(&table);
+    let schema = table.schema().clone();
+    c.bench_function("decode_partition_10k_rows", |b| {
+        b.iter(|| black_box(oreo_storage::format::decode_partition(&schema, &bytes).unwrap()))
+    });
+}
+
+fn bench_offline_dp(c: &mut Criterion) {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let costs: Vec<Vec<f64>> = (0..2_000)
+        .map(|_| (0..20).map(|_| rng.random::<f64>()).collect())
+        .collect();
+    c.bench_function("offline_dp_2000q_20_states", |b| {
+        b.iter(|| black_box(offline_optimum(&costs, 80.0).total_cost))
+    });
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let table = tpch::tpch_table(50_000, 1);
+    let q = QueryBuilder::new(table.schema())
+        .between("l_shipdate", 1000, 1365)
+        .lt("l_quantity", 24)
+        .build();
+    c.bench_function("row_predicate_eval_50k_rows", |b| {
+        b.iter(|| black_box(table.selectivity(&q.predicate)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_morton,
+        bench_qdtree_build,
+        bench_cost_eval,
+        bench_zorder_route,
+        bench_dumts_step,
+        bench_admission_distance,
+        bench_codec,
+        bench_offline_dp,
+        bench_queries
+);
+criterion_main!(benches);

@@ -1,0 +1,170 @@
+//! Shared harness plumbing: scales, configs, and run helpers used by every
+//! experiment binary.
+
+use oreo_core::OreoConfig;
+use oreo_sim::{run_policy, PolicySetup, ReorgPolicy, RunResult, Technique};
+use oreo_workload::{DatasetBundle, QueryStream, StreamConfig};
+
+/// Experiment scale, toggled by `--quick` on every binary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced pass for smoke runs and CI: 8 000 queries, 10 segments.
+    Quick,
+    /// The paper's setup: 30 000 queries, 20 segments.
+    Full,
+}
+
+impl Scale {
+    /// Parse from CLI args (`--quick` selects [`Scale::Quick`]; default is
+    /// the paper-scale run).
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+
+    pub fn total_queries(self) -> usize {
+        match self {
+            Scale::Quick => 8_000,
+            Scale::Full => 30_000,
+        }
+    }
+
+    pub fn segments(self) -> usize {
+        match self {
+            Scale::Quick => 10,
+            Scale::Full => 20,
+        }
+    }
+
+    /// Dataset rows (our laptop-scale substitute for SF100/SF10).
+    pub fn rows(self) -> usize {
+        match self {
+            Scale::Quick => 20_000,
+            Scale::Full => 30_000,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full (paper-scale)",
+        }
+    }
+}
+
+/// The defaults every harness starts from (§VI-A3: α=80, ε=0.08, γ=1,
+/// window = 200 recent queries; partition count scaled to our substrate).
+pub fn default_config(seed: u64) -> OreoConfig {
+    OreoConfig {
+        alpha: 80.0,
+        epsilon: 0.08,
+        gamma: 1.0,
+        window: 200,
+        generation_interval: 200,
+        partitions: 64,
+        data_sample_rows: 6_000,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// The default drifting stream for a bundle at a scale.
+pub fn make_stream(bundle: &DatasetBundle, scale: Scale, seed: u64) -> QueryStream {
+    bundle.stream(StreamConfig {
+        total_queries: scale.total_queries(),
+        segments: scale.segments(),
+        seed,
+        ..Default::default()
+    })
+}
+
+/// Run one policy over a stream with no trajectory sampling.
+pub fn run(policy: &mut dyn ReorgPolicy, stream: &QueryStream) -> RunResult {
+    run_policy(policy, &stream.queries, 0)
+}
+
+/// Assemble the four Fig. 3 policies and run them over `stream`.
+/// Returns results in order: Static, OREO, Greedy, Regret.
+pub fn run_fig3_policies(setup: &PolicySetup, stream: &QueryStream) -> Vec<RunResult> {
+    let mut static_p = setup.static_policy(&stream.queries);
+    let mut oreo = setup.oreo();
+    let mut greedy = setup.greedy();
+    let mut regret = setup.regret();
+    vec![
+        run(&mut static_p, stream),
+        run(&mut oreo, stream),
+        run(&mut greedy, stream),
+        run(&mut regret, stream),
+    ]
+}
+
+/// All (dataset, technique) cells of Fig. 3.
+pub fn fig3_grid(scale: Scale, seed: u64) -> Vec<(DatasetBundle, Technique)> {
+    let mut out = Vec::new();
+    for bundle in oreo_workload::all_bundles(scale.rows(), seed) {
+        for technique in [Technique::QdTree, Technique::ZOrder] {
+            out.push((bundle.clone(), technique));
+        }
+    }
+    out
+}
+
+/// Print the standard harness banner.
+pub fn banner(what: &str, scale: Scale) {
+    println!("== {what} ==");
+    println!(
+        "scale: {} ({} queries, {} segments, {} rows/table)",
+        scale.label(),
+        scale.total_queries(),
+        scale.segments(),
+        scale.rows()
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oreo_workload::tpch_bundle;
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Quick.total_queries() < Scale::Full.total_queries());
+        assert!(Scale::Quick.segments() <= Scale::Full.segments());
+        assert_eq!(Scale::Full.total_queries(), 30_000, "paper scale");
+        assert_eq!(Scale::Full.segments(), 20, "paper scale");
+    }
+
+    #[test]
+    fn default_config_matches_paper_defaults() {
+        let c = default_config(1);
+        assert_eq!(c.alpha, 80.0);
+        assert_eq!(c.epsilon, 0.08);
+        assert_eq!(c.gamma, 1.0);
+        assert_eq!(c.window, 200);
+    }
+
+    #[test]
+    fn fig3_grid_covers_all_cells() {
+        let grid = fig3_grid(Scale::Quick, 1);
+        assert_eq!(grid.len(), 6, "3 datasets × 2 techniques");
+        let qd = grid
+            .iter()
+            .filter(|(_, t)| *t == oreo_sim::Technique::QdTree)
+            .count();
+        assert_eq!(qd, 3);
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let bundle = tpch_bundle(1_000, 1);
+        let a = make_stream(&bundle, Scale::Quick, 7);
+        let b = make_stream(&bundle, Scale::Quick, 7);
+        assert_eq!(a.queries.len(), Scale::Quick.total_queries());
+        assert_eq!(a.segments, b.segments);
+        assert_eq!(a.queries[100], b.queries[100]);
+    }
+}

@@ -1,0 +1,19 @@
+//! # oreo-bench
+//!
+//! Benchmark harnesses reproducing **every table and figure** of the
+//! paper's evaluation (§VI), plus Criterion microbenchmarks of the hot
+//! paths. One binary per experiment:
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `fig3_end_to_end`  | Fig. 3 — end-to-end query + reorg time, 4 methods × 2 techniques × 3 datasets |
+//! | `fig4_optimal_gap` | Fig. 4 — cumulative cost vs MTS-Optimal / Offline-Optimal / Static |
+//! | `fig5_alpha_sweep` | Fig. 5 — effect of the reorganization cost α |
+//! | `fig6_epsilon`     | Fig. 6 — effect of the admission threshold ε |
+//! | `table1_alpha`     | Table I — physically measured α on the disk substrate |
+//! | `table2_ablations` | Table II — γ, SW/RS/SW+RS, and reorganization delay Δ |
+//!
+//! Run with `--quick` for a reduced-scale pass (fewer queries); the default
+//! reproduces the paper's 30 000-query streams.
+
+pub mod common;

@@ -1,0 +1,168 @@
+//! Two-state MTS with **asymmetric** movement costs (the Appendix C
+//! direction; cf. Bruno & Chaudhuri's 3-competitive online physical-design
+//! tuning, which the paper discusses in §VII-3).
+//!
+//! Index tuning is the motivating example: dropping an index is nearly
+//! free, building one is expensive — movement costs are not uniform. For
+//! two states a deterministic *retaliation* (work-function) algorithm is
+//! 3-competitive: accumulate the service-cost difference between the
+//! current and the other state, and move exactly when the accumulated
+//! regret pays for the transition.
+
+/// Deterministic 3-competitive solver for 2-state MTS with asymmetric
+/// transition costs.
+#[derive(Clone, Debug)]
+pub struct TwoStateAsymmetric {
+    /// Cost of moving 0 → 1.
+    pub cost_01: f64,
+    /// Cost of moving 1 → 0.
+    pub cost_10: f64,
+    current: usize,
+    /// Accumulated (cost(current) − cost(other)) since the last move,
+    /// floored at 0 (regret cannot be banked below zero).
+    regret: f64,
+    moves: u64,
+}
+
+impl TwoStateAsymmetric {
+    /// Start in `initial` (0 or 1) with the given transition costs.
+    ///
+    /// # Panics
+    /// Panics on a state other than 0/1 or non-positive move costs.
+    pub fn new(initial: usize, cost_01: f64, cost_10: f64) -> Self {
+        assert!(initial < 2, "two states only");
+        assert!(cost_01 > 0.0 && cost_10 > 0.0, "move costs must be positive");
+        Self {
+            cost_01,
+            cost_10,
+            current: initial,
+            regret: 0.0,
+            moves: 0,
+        }
+    }
+
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    fn move_cost_from_current(&self) -> f64 {
+        if self.current == 0 {
+            self.cost_01
+        } else {
+            self.cost_10
+        }
+    }
+
+    /// Observe one task with service costs `(c0, c1)`; returns the cost
+    /// incurred this step (service in the post-move state, plus the move
+    /// cost if a move happened).
+    pub fn observe(&mut self, c0: f64, c1: f64) -> f64 {
+        let (cur, other) = if self.current == 0 { (c0, c1) } else { (c1, c0) };
+        self.regret = (self.regret + (cur - other)).max(0.0);
+        if self.regret >= self.move_cost_from_current() {
+            let paid = self.move_cost_from_current();
+            self.current ^= 1;
+            self.moves += 1;
+            self.regret = 0.0;
+            // task is serviced after the move
+            let service = if self.current == 0 { c0 } else { c1 };
+            return paid + service;
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Exact 2-state offline optimum by DP.
+    fn opt(costs: &[(f64, f64)], cost_01: f64, cost_10: f64) -> f64 {
+        let mut d0 = 0.0f64;
+        let mut d1 = 0.0f64;
+        for &(c0, c1) in costs {
+            let n0 = d0.min(d1 + cost_10) + c0;
+            let n1 = d1.min(d0 + cost_01) + c1;
+            d0 = n0;
+            d1 = n1;
+        }
+        d0.min(d1)
+    }
+
+    fn run(costs: &[(f64, f64)], cost_01: f64, cost_10: f64) -> f64 {
+        let mut a = TwoStateAsymmetric::new(0, cost_01, cost_10);
+        costs.iter().map(|&(c0, c1)| a.observe(c0, c1)).sum()
+    }
+
+    #[test]
+    fn stays_put_when_current_is_best() {
+        let costs = vec![(0.0, 1.0); 100];
+        let mut a = TwoStateAsymmetric::new(0, 5.0, 1.0);
+        let total: f64 = costs.iter().map(|&(c0, c1)| a.observe(c0, c1)).sum();
+        assert_eq!(total, 0.0);
+        assert_eq!(a.moves(), 0);
+    }
+
+    #[test]
+    fn moves_once_regret_pays_for_transition() {
+        // state 0 costs 1/query, state 1 free; move 0→1 costs 5
+        let mut a = TwoStateAsymmetric::new(0, 5.0, 1.0);
+        let mut moved_at = None;
+        for t in 0..20 {
+            let cost = a.observe(1.0, 0.0);
+            if a.current() == 1 && moved_at.is_none() {
+                moved_at = Some(t);
+                assert!((cost - 5.0).abs() < 1e-12, "move + free service");
+            }
+        }
+        assert_eq!(moved_at, Some(4), "moves after regret reaches 5");
+        assert_eq!(a.moves(), 1);
+    }
+
+    #[test]
+    fn asymmetry_respected_in_both_directions() {
+        // cheap to drop (1→0 costs 1), expensive to build (0→1 costs 10)
+        let mut a = TwoStateAsymmetric::new(1, 10.0, 1.0);
+        a.observe(0.0, 1.0); // regret 1 ≥ cost_10 → drops immediately
+        assert_eq!(a.current(), 0);
+        // now needs 10 accumulated regret to go back
+        for _ in 0..9 {
+            a.observe(1.0, 0.0);
+        }
+        assert_eq!(a.current(), 0, "not yet");
+        a.observe(1.0, 0.0);
+        assert_eq!(a.current(), 1, "rebuilt after 10 units of regret");
+    }
+
+    #[test]
+    fn three_competitive_on_random_streams() {
+        for seed in 0..30 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cost_01 = 1.0 + 9.0 * rng.random::<f64>();
+            let cost_10 = 1.0 + 9.0 * rng.random::<f64>();
+            // block-structured adversarial-ish stream
+            let mut costs = Vec::new();
+            for block in 0..20 {
+                let cheap = block % 2;
+                for _ in 0..rng.random_range(20..120) {
+                    let c = rng.random::<f64>();
+                    costs.push(if cheap == 0 { (0.1 * c, 0.5 + 0.5 * c) } else { (0.5 + 0.5 * c, 0.1 * c) });
+                }
+            }
+            let alg = run(&costs, cost_01, cost_10);
+            let best = opt(&costs, cost_01, cost_10);
+            let slack = cost_01 + cost_10;
+            assert!(
+                alg <= 3.0 * best + slack,
+                "seed {seed}: alg {alg:.1} > 3·OPT + slack = {:.1}",
+                3.0 * best + slack
+            );
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Framework-level configuration. Defaults reproduce the paper's §VI-A3
+//! experimental setup.
+
+use crate::layout_manager::{CandidateSource, ManagerConfig};
+use crate::predictor::TransitionPolicy;
+use serde::{Deserialize, Serialize};
+
+/// All OREO knobs in one place.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OreoConfig {
+    /// Relative reorganization cost α (default 80 — the paper's measured
+    /// default; Table I measures 60–100× on our substrate too).
+    pub alpha: f64,
+    /// Admission distance threshold ε (default 0.08).
+    pub epsilon: f64,
+    /// Transition-bias exponent γ (default 1; 0 = uniform).
+    pub gamma: f64,
+    /// Sliding-window length (default 200 queries).
+    pub window: usize,
+    /// Candidate generation period in queries (default = window).
+    pub generation_interval: u64,
+    /// Target partition count per layout.
+    pub partitions: usize,
+    /// Rows in the data sample used for layout generation (the paper uses
+    /// 0.1–1% of the table).
+    pub data_sample_rows: usize,
+    /// R-TBS admission-sample capacity.
+    pub rtbs_capacity: usize,
+    /// R-TBS decay λ.
+    pub rtbs_lambda: f64,
+    /// Workload-sample source for candidate generation (SW/RS/Both).
+    pub candidate_source: CandidateSourceConfig,
+    /// Optional cap on the dynamic state-space size.
+    pub max_states: Option<usize>,
+    /// Stay in the current state on phase reset (§IV-A optimization).
+    pub stay_on_reset: bool,
+    /// §IV-C: admit states added mid-phase into the current phase with a
+    /// median-initialized counter (instead of deferring them to the next
+    /// phase), so freshly generated layouts are immediately switchable-to.
+    pub mid_phase_admission: bool,
+    /// §IV-C: use a sample-based predictor `p(s, S_A)` for jump draws —
+    /// transition scores are the fraction of data each state skips on the
+    /// manager's R-TBS query sample, refreshed every generation round.
+    /// When `false`, jumps use last-phase weights only.
+    pub sample_predictor: bool,
+    /// Reorganization delay Δ in queries: the physical layout switch takes
+    /// effect this many queries after the decision (§VI-D5).
+    pub reorg_delay: u64,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+/// Serializable mirror of [`CandidateSource`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CandidateSourceConfig {
+    SlidingWindow,
+    Reservoir,
+    Both,
+}
+
+impl From<CandidateSourceConfig> for CandidateSource {
+    fn from(c: CandidateSourceConfig) -> Self {
+        match c {
+            CandidateSourceConfig::SlidingWindow => CandidateSource::SlidingWindow,
+            CandidateSourceConfig::Reservoir => CandidateSource::Reservoir,
+            CandidateSourceConfig::Both => CandidateSource::Both,
+        }
+    }
+}
+
+impl Default for OreoConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 80.0,
+            epsilon: 0.08,
+            gamma: 1.0,
+            window: 200,
+            generation_interval: 200,
+            partitions: 32,
+            data_sample_rows: 2000,
+            rtbs_capacity: 64,
+            rtbs_lambda: 0.005,
+            candidate_source: CandidateSourceConfig::SlidingWindow,
+            max_states: None,
+            stay_on_reset: true,
+            mid_phase_admission: true,
+            sample_predictor: true,
+            reorg_delay: 0,
+            seed: 0,
+        }
+    }
+}
+
+impl OreoConfig {
+    /// The transition policy implied by γ.
+    pub fn transition_policy(&self) -> TransitionPolicy {
+        if self.gamma == 0.0 {
+            TransitionPolicy::Uniform
+        } else {
+            TransitionPolicy::SkippedWeighted { gamma: self.gamma }
+        }
+    }
+
+    /// Derive the layout-manager slice of the configuration.
+    pub fn manager_config(&self) -> ManagerConfig {
+        ManagerConfig {
+            epsilon: self.epsilon,
+            window: self.window,
+            generation_interval: self.generation_interval,
+            reservoir_capacity: self.window,
+            rtbs_capacity: self.rtbs_capacity,
+            rtbs_lambda: self.rtbs_lambda,
+            source: self.candidate_source.into(),
+            max_states: self.max_states,
+            // decorrelate manager sampling from reorganizer transitions
+            seed: self.seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1),
+        }
+    }
+
+    /// Builder-style setters for the common sweep parameters.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    pub fn with_gamma(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_delay(mut self, delay: u64) -> Self {
+        self.reorg_delay = delay;
+        self
+    }
+
+    pub fn with_partitions(mut self, k: usize) -> Self {
+        self.partitions = k;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = OreoConfig::default();
+        assert_eq!(c.alpha, 80.0);
+        assert_eq!(c.epsilon, 0.08);
+        assert_eq!(c.gamma, 1.0);
+        assert_eq!(c.window, 200);
+        assert_eq!(c.reorg_delay, 0);
+        assert_eq!(c.candidate_source, CandidateSourceConfig::SlidingWindow);
+    }
+
+    #[test]
+    fn gamma_zero_is_uniform_policy() {
+        let c = OreoConfig::default().with_gamma(0.0);
+        assert_eq!(c.transition_policy(), TransitionPolicy::Uniform);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = OreoConfig::default()
+            .with_alpha(10.0)
+            .with_epsilon(0.2)
+            .with_seed(9)
+            .with_delay(40)
+            .with_partitions(16);
+        assert_eq!(c.alpha, 10.0);
+        assert_eq!(c.epsilon, 0.2);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.reorg_delay, 40);
+        assert_eq!(c.partitions, 16);
+    }
+
+    #[test]
+    fn manager_seed_decorrelated() {
+        let c = OreoConfig::default().with_seed(5);
+        assert_ne!(c.manager_config().seed, 5);
+    }
+}

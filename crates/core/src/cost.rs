@@ -1,0 +1,96 @@
+//! Cost accounting: the ledger every policy reports into, so that
+//! harnesses compare identical quantities — §III-A's objective of total
+//! query cost plus total reorganization cost.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated costs over a (partial) query stream, in *logical* units:
+/// query cost = fraction of the table read (a unit-interval value per
+/// query), and each reorganization costs α.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostLedger {
+    /// Σ service costs.
+    pub query_cost: f64,
+    /// Σ movement costs (switches × α).
+    pub reorg_cost: f64,
+    /// Number of layout switches.
+    pub switches: u64,
+    /// Number of queries accounted.
+    pub queries: u64,
+}
+
+impl CostLedger {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one serviced query.
+    pub fn add_query(&mut self, cost: f64) {
+        debug_assert!((0.0..=1.0 + 1e-9).contains(&cost), "query cost {cost}");
+        self.query_cost += cost;
+        self.queries += 1;
+    }
+
+    /// Record one reorganization of cost `alpha`.
+    pub fn add_reorg(&mut self, alpha: f64) {
+        self.reorg_cost += alpha;
+        self.switches += 1;
+    }
+
+    /// Total objective: query + reorganization cost.
+    pub fn total(&self) -> f64 {
+        self.query_cost + self.reorg_cost
+    }
+
+    /// Mean query cost per query.
+    pub fn mean_query_cost(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.query_cost / self.queries as f64
+        }
+    }
+
+    /// Merge another ledger into this one.
+    pub fn merge(&mut self, other: &CostLedger) {
+        self.query_cost += other.query_cost;
+        self.reorg_cost += other.reorg_cost;
+        self.switches += other.switches;
+        self.queries += other.queries;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_totals() {
+        let mut l = CostLedger::new();
+        l.add_query(0.5);
+        l.add_query(0.25);
+        l.add_reorg(80.0);
+        assert_eq!(l.queries, 2);
+        assert_eq!(l.switches, 1);
+        assert!((l.total() - 80.75).abs() < 1e-12);
+        assert!((l.mean_query_cost() - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ledger_mean_is_zero() {
+        assert_eq!(CostLedger::new().mean_query_cost(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = CostLedger::new();
+        a.add_query(1.0);
+        let mut b = CostLedger::new();
+        b.add_query(0.5);
+        b.add_reorg(10.0);
+        a.merge(&b);
+        assert_eq!(a.queries, 2);
+        assert_eq!(a.switches, 1);
+        assert!((a.total() - 11.5).abs() < 1e-12);
+    }
+}

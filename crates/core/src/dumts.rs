@@ -1,0 +1,572 @@
+//! D-UMTS: the dynamic uniform metrical task system solver (Algorithm 4).
+//!
+//! This is the paper's core algorithmic contribution. It extends the classic
+//! Borodin–Linial–Saks counter algorithm (Algorithms 1–3, [`crate::mts`])
+//! with *state update queries* that add and remove states mid-stream while
+//! preserving a tight competitive ratio of `2·H(|S_max|)` (Theorem IV.1):
+//!
+//! * every state carries a counter accumulating its service costs; a counter
+//!   is **full** at `α` (the uniform switching cost);
+//! * when the current state's counter fills, the system jumps to a random
+//!   not-full ("active") state — uniformly, or biased by a predictor
+//!   (§IV-C, [`TransitionPolicy`]);
+//! * when all counters are full the **phase** ends: counters reset and all
+//!   states (including additions deferred mid-phase) become active again;
+//! * additions mid-phase are deferred to the next phase; removals mid-phase
+//!   set the victim's counter to `α` (and force a jump if it was current).
+//!
+//! The paper's stay-in-place optimization (§IV-A) is on by default: a new
+//! phase keeps the current state instead of paying for a random move; this
+//! does not change the asymptotic ratio but measurably cuts reorganizations.
+
+use crate::predictor::{median_or, TransitionPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Identifier of a system state (for OREO: a data layout id).
+pub type StateId = u64;
+
+/// Reorganizer tuning knobs.
+#[derive(Clone, Debug)]
+pub struct DumtsConfig {
+    /// Relative cost of switching states (the paper's α; ≥ 1).
+    pub alpha: f64,
+    /// Jump distribution when the current counter fills.
+    pub transition: TransitionPolicy,
+    /// Keep the current state when a phase resets (§IV-A optimization)
+    /// instead of the classic random re-draw.
+    pub stay_on_reset: bool,
+    /// §IV-C counter initialization for states added mid-phase: when `true`,
+    /// a new state joins the *current* phase with its counter set to the
+    /// median of the costs incurred so far by existing states (so a
+    /// freshly-generated layout is immediately switchable-to). When `false`,
+    /// additions are deferred to the next phase (Algorithm 4 verbatim).
+    pub mid_phase_admission: bool,
+    /// RNG seed (the adversary must not see these bits — §III-A).
+    pub seed: u64,
+}
+
+impl Default for DumtsConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 80.0,
+            transition: TransitionPolicy::default_biased(),
+            stay_on_reset: true,
+            mid_phase_admission: false,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct StateEntry {
+    /// Accumulated service cost this phase (full at α).
+    counter: f64,
+    /// In the active set `S_A` (counter not full, participating this phase)?
+    active: bool,
+    /// Added mid-phase; joins `S_A` at the next reset.
+    deferred: bool,
+    /// Service cost accumulated over the *whole* current phase (for the
+    /// predictor weight = average fraction skipped).
+    phase_cost_sum: f64,
+    phase_cost_n: u64,
+    /// Predictor weight from the last completed phase (avg skipped ∈ [0,1]).
+    last_phase_weight: f64,
+}
+
+/// What a step did, so callers can account costs.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StepOutcome {
+    /// `Some(new_state)` when the system moved (a reorganization: cost α).
+    pub switched_to: Option<StateId>,
+    /// A phase ended and counters were reset during this step.
+    pub phase_reset: bool,
+}
+
+/// The Algorithm 4 engine.
+#[derive(Clone, Debug)]
+pub struct Dumts {
+    config: DumtsConfig,
+    /// Deterministic iteration (BTreeMap) keeps runs reproducible.
+    states: BTreeMap<StateId, StateEntry>,
+    current: StateId,
+    rng: StdRng,
+    phases: u64,
+    switches: u64,
+    queries: u64,
+    /// Largest |S| ever (the `|S_max|` of Theorem IV.1).
+    max_states: usize,
+    /// Externally supplied predictor scores (§IV-C's `p(s, S_A)`), e.g.
+    /// skipped fractions measured on a recent query sample. When present
+    /// they replace the last-phase weights in jump draws.
+    external_weights: Option<BTreeMap<StateId, f64>>,
+}
+
+impl Dumts {
+    /// Start with a non-empty initial state set; the initial state is drawn
+    /// uniformly (Algorithm 1 line 2) unless `stay_on_reset` callers prefer
+    /// to pin it via [`Dumts::with_initial_state`].
+    pub fn new(initial_states: &[StateId], config: DumtsConfig) -> Self {
+        assert!(!initial_states.is_empty(), "need at least one state");
+        assert!(config.alpha >= 1.0, "alpha must be >= 1");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut states = BTreeMap::new();
+        for &s in initial_states {
+            states.insert(
+                s,
+                StateEntry {
+                    counter: 0.0,
+                    active: true,
+                    deferred: false,
+                    phase_cost_sum: 0.0,
+                    phase_cost_n: 0,
+                    last_phase_weight: 0.0,
+                },
+            );
+        }
+        let ids: Vec<StateId> = states.keys().copied().collect();
+        let current = ids[rand::Rng::random_range(&mut rng, 0..ids.len())];
+        let max_states = states.len();
+        Self {
+            config,
+            states,
+            current,
+            rng,
+            phases: 1,
+            switches: 0,
+            queries: 0,
+            max_states,
+            external_weights: None,
+        }
+    }
+
+    /// Pin the starting state (used when the system boots on a known default
+    /// layout rather than a random one).
+    pub fn with_initial_state(mut self, s: StateId) -> Self {
+        assert!(self.states.contains_key(&s), "unknown initial state");
+        self.current = s;
+        self
+    }
+
+    pub fn current(&self) -> StateId {
+        self.current
+    }
+
+    pub fn alpha(&self) -> f64 {
+        self.config.alpha
+    }
+
+    /// All states currently in `S`.
+    pub fn states(&self) -> Vec<StateId> {
+        self.states.keys().copied().collect()
+    }
+
+    /// States in the active set `S_A`.
+    pub fn active_states(&self) -> Vec<StateId> {
+        self.states
+            .iter()
+            .filter(|(_, e)| e.active)
+            .map(|(&s, _)| s)
+            .collect()
+    }
+
+    /// Counter of a state, if present.
+    pub fn counter(&self, s: StateId) -> Option<f64> {
+        self.states.get(&s).map(|e| e.counter)
+    }
+
+    /// Completed + current phase count.
+    pub fn phases(&self) -> u64 {
+        self.phases
+    }
+
+    /// Number of state switches so far (each costs α).
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Queries observed.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Largest state-set size seen (|S_max| in Theorem IV.1).
+    pub fn max_states_seen(&self) -> usize {
+        self.max_states
+    }
+
+    /// Add a state (Algorithm 4 lines 12–13). By default mid-phase
+    /// additions are deferred: the state joins the active set at the next
+    /// reset. With [`DumtsConfig::mid_phase_admission`] the state instead
+    /// joins the current phase with its counter initialized to the median of
+    /// the active counters (§IV-C). Its predictor weight starts at the
+    /// median of current weights either way.
+    pub fn add_state(&mut self, s: StateId) {
+        if self.states.contains_key(&s) {
+            return;
+        }
+        let weights: Vec<f64> = self
+            .states
+            .values()
+            .map(|e| e.last_phase_weight)
+            .collect();
+        let seed_weight = median_or(&weights, 0.0);
+        let entry = if self.config.mid_phase_admission {
+            let active_counters: Vec<f64> = self
+                .states
+                .values()
+                .filter(|e| e.active)
+                .map(|e| e.counter)
+                .collect();
+            let counter = median_or(&active_counters, 0.0);
+            StateEntry {
+                counter,
+                active: counter < self.config.alpha,
+                deferred: false,
+                phase_cost_sum: 0.0,
+                phase_cost_n: 0,
+                last_phase_weight: seed_weight,
+            }
+        } else {
+            StateEntry {
+                counter: self.config.alpha, // not usable this phase
+                active: false,
+                deferred: true,
+                phase_cost_sum: 0.0,
+                phase_cost_n: 0,
+                last_phase_weight: seed_weight,
+            }
+        };
+        self.states.insert(s, entry);
+        self.max_states = self.max_states.max(self.states.len());
+    }
+
+    /// Install (or clear) external predictor scores for jump draws — the
+    /// user-supplied `p(s, S_A)` of §IV-C. Scores should live in `[0, 1]`
+    /// (e.g. fraction of data skipped on a recent query sample); missing
+    /// states fall back to their last-phase weight.
+    pub fn set_external_weights(&mut self, weights: Option<BTreeMap<StateId, f64>>) {
+        self.external_weights = weights;
+    }
+
+    /// Remove a state (Algorithm 4 lines 5–11). Returns the outcome: the
+    /// removal may force a phase reset and/or a jump (cost α) when the
+    /// current state is deleted.
+    ///
+    /// # Panics
+    /// Panics when removing the last remaining state — the system must
+    /// always have somewhere to be.
+    pub fn remove_state(&mut self, s: StateId) -> StepOutcome {
+        let mut outcome = StepOutcome::default();
+        if self.states.remove(&s).is_none() {
+            return outcome;
+        }
+        assert!(
+            !self.states.is_empty(),
+            "cannot remove the last remaining state"
+        );
+        if self.no_active_states() {
+            self.reset_states();
+            outcome.phase_reset = true;
+        }
+        if s == self.current {
+            // forced move: uniform over active states (the victim has no
+            // meaningful predictor standing here)
+            let active = self.active_states();
+            let idx = rand::Rng::random_range(&mut self.rng, 0..active.len());
+            self.current = active[idx];
+            self.switches += 1;
+            outcome.switched_to = Some(self.current);
+        }
+        outcome
+    }
+
+    /// Process one service query (Algorithm 3 within Algorithm 4 line 15).
+    /// `cost(s)` must return `c(s, q) ∈ [0, 1]` for any state in `S`.
+    pub fn observe_query(&mut self, cost: impl Fn(StateId) -> f64) -> StepOutcome {
+        self.queries += 1;
+        let alpha = self.config.alpha;
+
+        // Update counters of active states; track phase costs of all states
+        // (the predictor's weight covers the whole phase).
+        for (&s, entry) in self.states.iter_mut() {
+            let c = cost(s).clamp(0.0, 1.0);
+            entry.phase_cost_sum += c;
+            entry.phase_cost_n += 1;
+            if entry.active {
+                entry.counter += c;
+                if entry.counter >= alpha {
+                    entry.active = false;
+                }
+            }
+        }
+
+        let mut outcome = StepOutcome::default();
+        let current_active = self
+            .states
+            .get(&self.current)
+            .is_some_and(|e| e.active);
+        if current_active {
+            return outcome;
+        }
+
+        if self.no_active_states() {
+            // Phase over: reset counters, admit deferred states.
+            self.reset_states();
+            outcome.phase_reset = true;
+            if !self.config.stay_on_reset || !self.states.contains_key(&self.current) {
+                let next = self.draw_next_state();
+                if next != self.current {
+                    self.current = next;
+                    self.switches += 1;
+                    outcome.switched_to = Some(next);
+                }
+            }
+            return outcome;
+        }
+
+        // Jump to an active state via the transition distribution.
+        let next = self.draw_next_state();
+        debug_assert_ne!(next, self.current, "current is inactive here");
+        self.current = next;
+        self.switches += 1;
+        outcome.switched_to = Some(next);
+        outcome
+    }
+
+    fn no_active_states(&self) -> bool {
+        !self.states.values().any(|e| e.active)
+    }
+
+    /// Reset: start a new phase with all states active, counters at 0
+    /// (Algorithm 2), sealing last-phase predictor weights.
+    fn reset_states(&mut self) {
+        for entry in self.states.values_mut() {
+            if entry.phase_cost_n > 0 {
+                let avg_cost = entry.phase_cost_sum / entry.phase_cost_n as f64;
+                entry.last_phase_weight = (1.0 - avg_cost).clamp(0.0, 1.0);
+            }
+            entry.counter = 0.0;
+            entry.active = true;
+            entry.deferred = false;
+            entry.phase_cost_sum = 0.0;
+            entry.phase_cost_n = 0;
+        }
+        self.phases += 1;
+    }
+
+    /// Draw the next state among active states per the transition policy.
+    fn draw_next_state(&mut self) -> StateId {
+        let candidates: Vec<StateId> = self.active_states();
+        assert!(!candidates.is_empty(), "no active state to jump to");
+        let weights: Vec<f64> = candidates
+            .iter()
+            .map(|s| {
+                self.external_weights
+                    .as_ref()
+                    .and_then(|m| m.get(s).copied())
+                    .unwrap_or(self.states[s].last_phase_weight)
+            })
+            .collect();
+        let idx = self.config.transition.sample(&weights, &mut self.rng);
+        candidates[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_config(alpha: f64, seed: u64) -> DumtsConfig {
+        DumtsConfig {
+            alpha,
+            transition: TransitionPolicy::Uniform,
+            stay_on_reset: true,
+            mid_phase_admission: false,
+            seed,
+        }
+    }
+
+    #[test]
+    fn stays_put_while_counter_below_alpha() {
+        let mut d = Dumts::new(&[1, 2], uniform_config(5.0, 0)).with_initial_state(1);
+        for _ in 0..4 {
+            let o = d.observe_query(|s| if s == 1 { 1.0 } else { 0.0 });
+            assert_eq!(o.switched_to, None);
+        }
+        assert_eq!(d.current(), 1);
+        // 5th unit fills the counter → must switch to state 2
+        let o = d.observe_query(|s| if s == 1 { 1.0 } else { 0.0 });
+        assert_eq!(o.switched_to, Some(2));
+        assert_eq!(d.current(), 2);
+        assert_eq!(d.switches(), 1);
+    }
+
+    #[test]
+    fn phase_resets_when_all_counters_full() {
+        let mut d = Dumts::new(&[1, 2], uniform_config(3.0, 1)).with_initial_state(1);
+        // both states cost 1 per query → both counters fill on query 3
+        let mut resets = 0;
+        for _ in 0..3 {
+            let o = d.observe_query(|_| 1.0);
+            if o.phase_reset {
+                resets += 1;
+            }
+        }
+        assert_eq!(resets, 1);
+        assert_eq!(d.phases(), 2);
+        // stay-on-reset: no switch happened
+        assert_eq!(d.switches(), 0);
+        assert_eq!(d.current(), 1);
+        // counters are back to zero and everyone is active
+        assert_eq!(d.counter(1), Some(0.0));
+        assert_eq!(d.active_states(), vec![1, 2]);
+    }
+
+    #[test]
+    fn classic_reset_draws_random_state() {
+        let mut cfg = uniform_config(2.0, 7);
+        cfg.stay_on_reset = false;
+        let mut d = Dumts::new(&[1, 2, 3], cfg).with_initial_state(1);
+        let mut saw_switch_on_reset = false;
+        for _ in 0..100 {
+            let o = d.observe_query(|_| 1.0);
+            if o.phase_reset && o.switched_to.is_some() {
+                saw_switch_on_reset = true;
+            }
+        }
+        assert!(saw_switch_on_reset, "classic variant should move on reset");
+    }
+
+    #[test]
+    fn added_state_deferred_to_next_phase() {
+        let mut d = Dumts::new(&[1, 2], uniform_config(4.0, 2)).with_initial_state(1);
+        d.observe_query(|_| 1.0);
+        d.add_state(3);
+        // not active mid-phase
+        assert_eq!(d.active_states(), vec![1, 2]);
+        assert_eq!(d.states(), vec![1, 2, 3]);
+        // finish the phase (counters at 1 → need 3 more)
+        for _ in 0..3 {
+            d.observe_query(|_| 1.0);
+        }
+        assert_eq!(d.phases(), 2);
+        assert_eq!(d.active_states(), vec![1, 2, 3]);
+        assert_eq!(d.max_states_seen(), 3);
+    }
+
+    #[test]
+    fn removing_noncurrent_state_is_quiet() {
+        let mut d = Dumts::new(&[1, 2, 3], uniform_config(10.0, 3)).with_initial_state(1);
+        let o = d.remove_state(2);
+        assert_eq!(o, StepOutcome::default());
+        assert_eq!(d.states(), vec![1, 3]);
+        assert_eq!(d.current(), 1);
+    }
+
+    #[test]
+    fn removing_current_state_forces_jump() {
+        let mut d = Dumts::new(&[1, 2, 3], uniform_config(10.0, 4)).with_initial_state(2);
+        let o = d.remove_state(2);
+        let new = o.switched_to.expect("must jump");
+        assert_ne!(new, 2);
+        assert_eq!(d.current(), new);
+        assert_eq!(d.switches(), 1);
+    }
+
+    #[test]
+    fn removal_that_empties_active_set_resets_phase() {
+        let mut d = Dumts::new(&[1, 2], uniform_config(2.0, 5)).with_initial_state(1);
+        // fill state 2's counter only
+        d.observe_query(|s| if s == 2 { 1.0 } else { 0.0 });
+        d.observe_query(|s| if s == 2 { 1.0 } else { 0.0 });
+        assert_eq!(d.active_states(), vec![1]);
+        // removing state 1 (current) leaves no active state → reset, then jump
+        let o = d.remove_state(1);
+        assert!(o.phase_reset);
+        assert_eq!(o.switched_to, Some(2));
+        assert_eq!(d.current(), 2);
+        assert_eq!(d.active_states(), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "last remaining state")]
+    fn cannot_remove_last_state() {
+        let mut d = Dumts::new(&[1], uniform_config(5.0, 6));
+        d.remove_state(1);
+    }
+
+    #[test]
+    fn add_existing_state_is_noop() {
+        let mut d = Dumts::new(&[1, 2], uniform_config(5.0, 7));
+        d.observe_query(|_| 0.5);
+        let c = d.counter(1).unwrap();
+        d.add_state(1);
+        assert_eq!(d.counter(1), Some(c));
+        assert_eq!(d.states().len(), 2);
+    }
+
+    #[test]
+    fn costs_are_clamped_to_unit_interval() {
+        let mut d = Dumts::new(&[1, 2], uniform_config(3.0, 8)).with_initial_state(1);
+        // a buggy cost fn returning 100 must not blow past α in one step
+        // beyond saturation semantics (counter fills, state deactivates)
+        d.observe_query(|_| 100.0);
+        assert!(d.counter(1).unwrap() <= 3.0 + 1.0);
+        assert_eq!(d.phases(), 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut d = Dumts::new(&[1, 2, 3, 4], uniform_config(4.0, seed));
+            let mut trace = Vec::new();
+            for i in 0..200u64 {
+                let o = d.observe_query(|s| ((s + i) % 3) as f64 / 2.0);
+                trace.push((d.current(), o.switched_to, o.phase_reset));
+            }
+            trace
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12), "different seeds should diverge");
+    }
+
+    /// The counter interpretation from the Theorem IV.1 proof: at any time,
+    /// every *inactive* state accumulated at least α during this phase, and
+    /// active counters are below α.
+    #[test]
+    fn counter_invariant_holds_under_random_stream() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut d = Dumts::new(&[1, 2, 3, 4, 5], uniform_config(6.0, 100));
+        for step in 0..2000 {
+            // occasional dynamic updates
+            if step % 97 == 0 {
+                d.add_state(100 + step as StateId);
+            }
+            if step % 131 == 0 {
+                let victims: Vec<StateId> = d
+                    .states()
+                    .into_iter()
+                    .filter(|&s| s >= 100 && s != d.current())
+                    .collect();
+                if let Some(&v) = victims.first() {
+                    d.remove_state(v);
+                }
+            }
+            let costs: Vec<f64> = (0..200).map(|_| rng.random::<f64>()).collect();
+            d.observe_query(|s| costs[(s % 200) as usize]);
+            for s in d.states() {
+                let e = d.counter(s).unwrap();
+                let active = d.active_states().contains(&s);
+                if active {
+                    assert!(e < 6.0, "active counter >= alpha");
+                }
+            }
+            // the current state is always a member of S
+            assert!(d.states().contains(&d.current()));
+        }
+        assert!(d.max_states_seen() >= 5);
+    }
+}

@@ -1,0 +1,457 @@
+//! The LAYOUT MANAGER: producer of the dynamic state space (§V).
+//!
+//! Responsibilities:
+//!
+//! 1. **Candidate generation** (§V-A): every `generation_interval` queries,
+//!    call the pluggable [`LayoutGenerator`] on a small *data* sample and a
+//!    *workload* sample — by default the sliding window of recent queries
+//!    (the configuration the paper found best), optionally a uniform
+//!    reservoir or both (the §VI-D4 ablation).
+//! 2. **Admission** (Algorithm 5): evaluate the candidate's cost vector on
+//!    an R-TBS time-biased query sample and admit only if its normalized L1
+//!    distance to *every* existing state exceeds ε — keeping the state space
+//!    compact, which directly tightens the `2H(|S_max|)` competitive ratio.
+//! 3. **Pruning** (§V-B): optionally cap the state-space size, evicting the
+//!    member of the closest pair (never a protected state, e.g. the one the
+//!    system currently lives in).
+
+use oreo_layout::{build_model, LayoutGenerator, SharedSpec};
+use oreo_query::Query;
+use oreo_sampling::{Reservoir, SlidingWindow, TimeBiasedReservoir};
+use oreo_storage::{cost_vector_distance, LayoutId, LayoutModel, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Which workload sample feeds `generate_layout` (§VI-D4 ablation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CandidateSource {
+    /// Sliding window only (paper default, best overall).
+    SlidingWindow,
+    /// Uniform reservoir only.
+    Reservoir,
+    /// One candidate from each per generation round.
+    Both,
+}
+
+/// Layout-manager configuration (defaults = the paper's §VI-A3 setup).
+#[derive(Clone, Debug)]
+pub struct ManagerConfig {
+    /// Admission distance threshold ε (default 0.08).
+    pub epsilon: f64,
+    /// Sliding-window length (default 200 queries).
+    pub window: usize,
+    /// Generate candidates every this many queries (default = window).
+    pub generation_interval: u64,
+    /// Capacity of the uniform reservoir (ablation source).
+    pub reservoir_capacity: usize,
+    /// Capacity of the R-TBS admission sample.
+    pub rtbs_capacity: usize,
+    /// R-TBS decay rate λ.
+    pub rtbs_lambda: f64,
+    /// Workload sample source for candidate generation.
+    pub source: CandidateSource,
+    /// Hard cap on the state-space size (`None` = unbounded; admission's ε
+    /// test already keeps it compact in practice).
+    pub max_states: Option<usize>,
+    /// RNG seed (sampling + generator randomness).
+    pub seed: u64,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.08,
+            window: 200,
+            generation_interval: 200,
+            reservoir_capacity: 200,
+            rtbs_capacity: 64,
+            rtbs_lambda: 0.005,
+            source: CandidateSource::SlidingWindow,
+            max_states: None,
+            seed: 0,
+        }
+    }
+}
+
+/// A state owned by the manager: the routing spec plus its estimated
+/// (sample-scaled) metadata model.
+#[derive(Clone)]
+pub struct ManagedLayout {
+    pub id: LayoutId,
+    pub spec: SharedSpec,
+    pub model: LayoutModel,
+}
+
+impl std::fmt::Debug for ManagedLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ManagedLayout")
+            .field("id", &self.id)
+            .field("name", &self.model.name())
+            .finish()
+    }
+}
+
+/// State-space change notifications for the consumer (the REORGANIZER).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ManagerEvent {
+    Added(LayoutId),
+    Removed(LayoutId),
+}
+
+/// Bookkeeping counters (Fig. 6 reports state-space size; the docs report
+/// admission rates).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ManagerStats {
+    pub generated: u64,
+    pub admitted: u64,
+    pub rejected: u64,
+    pub pruned: u64,
+    pub peak_states: usize,
+}
+
+/// The LAYOUT MANAGER.
+pub struct LayoutManager {
+    config: ManagerConfig,
+    generator: Arc<dyn LayoutGenerator>,
+    /// Small data sample used for `generate_layout` and candidate costing.
+    data_sample: Table,
+    /// Row count of the full table (for scaling sample metadata).
+    full_rows: f64,
+    /// Target partition count handed to the generator.
+    k: usize,
+    window: SlidingWindow<Query>,
+    reservoir: Reservoir<Query>,
+    rtbs: TimeBiasedReservoir<Query>,
+    states: BTreeMap<LayoutId, ManagedLayout>,
+    next_id: LayoutId,
+    queries_seen: u64,
+    rng: StdRng,
+    stats: ManagerStats,
+}
+
+impl LayoutManager {
+    /// Create a manager seeded with one initial (default) layout spec.
+    /// Returns the manager and the initial state's id.
+    pub fn new(
+        data_sample: Table,
+        full_rows: f64,
+        generator: Arc<dyn LayoutGenerator>,
+        k: usize,
+        initial_spec: SharedSpec,
+        config: ManagerConfig,
+    ) -> (Self, LayoutId) {
+        assert!(k >= 1);
+        assert!(config.epsilon >= 0.0 && config.epsilon <= 1.0);
+        let mut this = Self {
+            window: SlidingWindow::new(config.window),
+            reservoir: Reservoir::new(config.reservoir_capacity),
+            rtbs: TimeBiasedReservoir::new(config.rtbs_capacity, config.rtbs_lambda),
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            generator,
+            data_sample,
+            full_rows,
+            k,
+            states: BTreeMap::new(),
+            next_id: 0,
+            queries_seen: 0,
+            stats: ManagerStats::default(),
+        };
+        let id = this.install(initial_spec);
+        (this, id)
+    }
+
+    fn install(&mut self, spec: SharedSpec) -> LayoutId {
+        let id = self.next_id;
+        self.next_id += 1;
+        let model = build_model(spec.as_ref(), id, &self.data_sample, self.full_rows);
+        self.states.insert(id, ManagedLayout { id, spec, model });
+        self.stats.peak_states = self.stats.peak_states.max(self.states.len());
+        id
+    }
+
+    /// Current state space (id → managed layout).
+    pub fn states(&self) -> &BTreeMap<LayoutId, ManagedLayout> {
+        &self.states
+    }
+
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    pub fn stats(&self) -> ManagerStats {
+        self.stats
+    }
+
+    pub fn config(&self) -> &ManagerConfig {
+        &self.config
+    }
+
+    /// A state's managed entry.
+    pub fn state(&self, id: LayoutId) -> Option<&ManagedLayout> {
+        self.states.get(&id)
+    }
+
+    /// Observe one query: update samples; on generation boundaries, produce
+    /// candidates and run admission. Returns state-space change events.
+    pub fn observe(&mut self, query: &Query) -> Vec<ManagerEvent> {
+        self.queries_seen += 1;
+        self.window.push(query.clone());
+        self.reservoir.push(query.clone(), &mut self.rng);
+        self.rtbs.push(query.clone(), &mut self.rng);
+
+        let mut events = Vec::new();
+        if !self.queries_seen.is_multiple_of(self.config.generation_interval) {
+            return events;
+        }
+
+        let mut workloads: Vec<Vec<Query>> = Vec::new();
+        match self.config.source {
+            CandidateSource::SlidingWindow => workloads.push(self.window.to_vec()),
+            CandidateSource::Reservoir => workloads.push(self.reservoir.to_vec()),
+            CandidateSource::Both => {
+                workloads.push(self.window.to_vec());
+                workloads.push(self.reservoir.to_vec());
+            }
+        }
+
+        for workload in workloads {
+            if workload.is_empty() {
+                continue;
+            }
+            let spec = self
+                .generator
+                .generate(&self.data_sample, &workload, self.k, &mut self.rng);
+            self.stats.generated += 1;
+            if let Some(id) = self.try_admit(spec) {
+                events.push(ManagerEvent::Added(id));
+            }
+        }
+        events
+    }
+
+    /// Algorithm 5: admit `spec` iff its cost vector over the R-TBS sample
+    /// is at least ε away (normalized L1) from every existing state's.
+    fn try_admit(&mut self, spec: SharedSpec) -> Option<LayoutId> {
+        let sample = self.rtbs.to_vec();
+        let candidate_model = build_model(
+            spec.as_ref(),
+            u64::MAX, // provisional id; reassigned on install
+            &self.data_sample,
+            self.full_rows,
+        );
+        let c = candidate_model.cost_vector(&sample);
+        let min_dist = self
+            .states
+            .values()
+            .map(|s| cost_vector_distance(&c, &s.model.cost_vector(&sample)))
+            .fold(f64::INFINITY, f64::min);
+        if min_dist > self.config.epsilon {
+            self.stats.admitted += 1;
+            Some(self.install(spec))
+        } else {
+            self.stats.rejected += 1;
+            None
+        }
+    }
+
+    /// Enforce `max_states` by evicting members of the closest pairs
+    /// (never a protected id). Returns removal events to forward to the
+    /// REORGANIZER.
+    pub fn prune(&mut self, protected: &[LayoutId]) -> Vec<ManagerEvent> {
+        let mut events = Vec::new();
+        let Some(cap) = self.config.max_states else {
+            return events;
+        };
+        while self.states.len() > cap {
+            let sample = self.rtbs.to_vec();
+            let ids: Vec<LayoutId> = self.states.keys().copied().collect();
+            let vectors: BTreeMap<LayoutId, Vec<f64>> = ids
+                .iter()
+                .map(|&id| (id, self.states[&id].model.cost_vector(&sample)))
+                .collect();
+            // find the globally closest pair, evict its evictable member
+            let mut best: Option<(f64, LayoutId)> = None;
+            for (i, &a) in ids.iter().enumerate() {
+                for &b in &ids[i + 1..] {
+                    let d = cost_vector_distance(&vectors[&a], &vectors[&b]);
+                    // prefer evicting the newer (larger id) member; fall back
+                    // to the older if the newer is protected
+                    let victim = if !protected.contains(&b) {
+                        Some(b)
+                    } else if !protected.contains(&a) {
+                        Some(a)
+                    } else {
+                        None
+                    };
+                    if let Some(v) = victim {
+                        if best.is_none_or(|(bd, _)| d < bd) {
+                            best = Some((d, v));
+                        }
+                    }
+                }
+            }
+            let Some((_, victim)) = best else {
+                break; // everything is protected
+            };
+            self.states.remove(&victim);
+            self.stats.pruned += 1;
+            events.push(ManagerEvent::Removed(victim));
+        }
+        events
+    }
+
+    /// The R-TBS query sample (diagnostics and tests).
+    pub fn admission_sample(&self) -> Vec<Query> {
+        self.rtbs.to_vec()
+    }
+
+    /// The sliding window contents (used by the Greedy/Regret baselines so
+    /// all online policies share identical candidate inputs).
+    pub fn window_queries(&self) -> Vec<Query> {
+        self.window.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oreo_layout::{QdTreeGenerator, RangeGenerator, RangeLayout};
+    use oreo_query::{ColumnType, QueryBuilder, Scalar, Schema};
+    use oreo_storage::TableBuilder;
+
+    fn table(n: i64) -> Table {
+        let s = Arc::new(Schema::from_pairs([
+            ("ts", ColumnType::Timestamp),
+            ("a", ColumnType::Int),
+            ("b", ColumnType::Int),
+        ]));
+        let mut b = TableBuilder::new(Arc::clone(&s));
+        for i in 0..n {
+            b.push_row(&[
+                Scalar::Int(i),
+                Scalar::Int((i * 7) % 1000),
+                Scalar::Int((i * 13) % 1000),
+            ]);
+        }
+        b.finish()
+    }
+
+    fn manager(epsilon: f64, max_states: Option<usize>) -> (LayoutManager, LayoutId, Table) {
+        let t = table(2000);
+        let initial = Arc::new(RangeLayout::from_sample(&t, 0, 8));
+        let cfg = ManagerConfig {
+            epsilon,
+            window: 50,
+            generation_interval: 50,
+            max_states,
+            ..Default::default()
+        };
+        let (m, id) = LayoutManager::new(
+            t.clone(),
+            2000.0,
+            Arc::new(QdTreeGenerator::new()),
+            8,
+            initial,
+            cfg,
+        );
+        (m, id, t)
+    }
+
+    fn a_query(t: &Table, lo: i64) -> Query {
+        QueryBuilder::new(t.schema()).between("a", lo, lo + 200).build()
+    }
+
+    #[test]
+    fn generates_on_interval_and_admits_useful_layouts() {
+        let (mut m, initial, t) = manager(0.05, None);
+        let mut added = Vec::new();
+        for i in 0..100 {
+            for e in m.observe(&a_query(&t, i % 10)) {
+                if let ManagerEvent::Added(id) = e {
+                    added.push(id);
+                }
+            }
+        }
+        // two generation rounds; a qd-tree on `a` is very different from the
+        // initial range-on-ts layout, so the first candidate is admitted
+        assert!(!added.is_empty(), "no layout admitted");
+        assert!(m.num_states() >= 2);
+        assert_ne!(added[0], initial);
+        assert!(m.stats().generated >= 2);
+    }
+
+    #[test]
+    fn duplicate_layouts_are_rejected() {
+        let (mut m, _, t) = manager(0.05, None);
+        // constant workload → generated qd-trees are identical; only the
+        // first can be admitted
+        for i in 0..500 {
+            let _ = m.observe(&a_query(&t, 100).with_seq(i));
+        }
+        assert!(
+            m.num_states() <= 3,
+            "state space exploded: {}",
+            m.num_states()
+        );
+        assert!(m.stats().rejected > 0, "expected rejections");
+    }
+
+    #[test]
+    fn epsilon_one_admits_nothing() {
+        let (mut m, _, t) = manager(1.0, None);
+        for i in 0..300 {
+            let _ = m.observe(&a_query(&t, i % 7));
+        }
+        assert_eq!(m.num_states(), 1, "ε=1 must reject everything");
+        assert_eq!(m.stats().admitted, 0);
+    }
+
+    #[test]
+    fn prune_respects_protected_states() {
+        let (mut m, initial, t) = manager(0.0, Some(1));
+        // drift the workload to force several admissions
+        for i in 0..400i64 {
+            let q = QueryBuilder::new(t.schema())
+                .between(if i % 100 < 50 { "a" } else { "b" }, (i * 3) % 500, (i * 3) % 500 + 150)
+                .build();
+            let _ = m.observe(&q);
+        }
+        let before = m.num_states();
+        let events = m.prune(&[initial]);
+        assert!(m.num_states() <= before);
+        assert_eq!(m.num_states(), 1, "cap of 1 must be enforced");
+        assert!(m.state(initial).is_some(), "protected state survived");
+        for e in events {
+            assert_ne!(e, ManagerEvent::Removed(initial));
+        }
+    }
+
+    #[test]
+    fn generation_uses_configured_source() {
+        let t = table(1000);
+        let initial = Arc::new(RangeLayout::from_sample(&t, 0, 4));
+        let cfg = ManagerConfig {
+            epsilon: 0.0,
+            window: 20,
+            generation_interval: 20,
+            source: CandidateSource::Both,
+            ..Default::default()
+        };
+        let (mut m, _) = LayoutManager::new(
+            t.clone(),
+            1000.0,
+            Arc::new(RangeGenerator::new(1)),
+            4,
+            initial,
+            cfg,
+        );
+        for i in 0..20 {
+            let _ = m.observe(&a_query(&t, i));
+        }
+        // Both → two candidates per round
+        assert_eq!(m.stats().generated, 2);
+    }
+}

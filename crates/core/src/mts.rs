@@ -1,0 +1,189 @@
+//! The classic Borodin–Linial–Saks algorithm for *uniform* metrical task
+//! systems over a **fixed** state space (Algorithms 1–3 of the paper;
+//! original result: Borodin, Linial & Saks, JACM 1992, competitive ratio
+//! `O(log |S|)` — tight `2·H(|S|)` for this counter algorithm).
+//!
+//! D-UMTS (Algorithm 4, [`crate::dumts::Dumts`]) is a strict generalization:
+//! with no add/remove events its behavior *is* the classic algorithm. This
+//! module provides the textbook fixed-space interface on top of the same
+//! engine, so there is exactly one implementation of the counter mechanics
+//! to test and trust.
+
+use crate::dumts::{Dumts, DumtsConfig, StateId, StepOutcome};
+use crate::predictor::TransitionPolicy;
+
+/// Fixed-state-space BLS solver.
+#[derive(Clone, Debug)]
+pub struct Bls {
+    inner: Dumts,
+}
+
+impl Bls {
+    /// The textbook algorithm: uniform transitions, random move at each
+    /// phase start (no stay-in-place optimization).
+    pub fn classic(states: &[StateId], alpha: f64, seed: u64) -> Self {
+        Self {
+            inner: Dumts::new(
+                states,
+                DumtsConfig {
+                    alpha,
+                    transition: TransitionPolicy::Uniform,
+                    stay_on_reset: false,
+                    mid_phase_admission: false,
+                    seed,
+                },
+            ),
+        }
+    }
+
+    /// The paper's practical variant: stay in place on phase reset (§IV-A),
+    /// optionally biased transitions (§IV-C).
+    pub fn with_config(states: &[StateId], config: DumtsConfig) -> Self {
+        Self {
+            inner: Dumts::new(states, config),
+        }
+    }
+
+    /// Pin the initial state.
+    pub fn with_initial_state(mut self, s: StateId) -> Self {
+        self.inner = self.inner.with_initial_state(s);
+        self
+    }
+
+    pub fn current(&self) -> StateId {
+        self.inner.current()
+    }
+
+    pub fn alpha(&self) -> f64 {
+        self.inner.alpha()
+    }
+
+    pub fn phases(&self) -> u64 {
+        self.inner.phases()
+    }
+
+    pub fn switches(&self) -> u64 {
+        self.inner.switches()
+    }
+
+    /// Process one task; `cost(s)` is the service cost of the task in state
+    /// `s` (∈ [0, 1]).
+    pub fn observe_query(&mut self, cost: impl Fn(StateId) -> f64) -> StepOutcome {
+        self.inner.observe_query(cost)
+    }
+
+    /// Access the underlying engine (diagnostics).
+    pub fn engine(&self) -> &Dumts {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Theorem IV.1's per-phase argument: against any *oblivious* input
+    /// (costs fixed before seeing the algorithm's random choices), the
+    /// expected algorithm cost per phase is at most `2·α·H(n)`.
+    ///
+    /// The adversary here pre-commits a harsh random stream; the algorithm's
+    /// measured per-phase cost (service + α per move), averaged over seeds,
+    /// must respect the bound.
+    #[test]
+    fn oblivious_stream_phase_cost_bound() {
+        let n = 8usize;
+        let alpha = 10.0;
+        let states: Vec<StateId> = (0..n as u64).collect();
+        // Pre-commit the cost stream: per query, every state gets a cost
+        // in [0.5, 1.0] — high pressure, but independent of our state.
+        let mut adv = StdRng::seed_from_u64(7777);
+        let stream: Vec<Vec<f64>> = (0..8_000)
+            .map(|_| (0..n).map(|_| 0.5 + 0.5 * adv.random::<f64>()).collect())
+            .collect();
+
+        let trials = 30;
+        let mut total_cost = 0.0;
+        let mut total_phases = 0u64;
+        for seed in 0..trials {
+            let mut bls = Bls::classic(&states, alpha, seed);
+            let mut cost = 0.0;
+            for q in &stream {
+                let o = bls.observe_query(|s| q[s as usize]);
+                cost += q[bls.current() as usize];
+                if o.switched_to.is_some() {
+                    cost += alpha;
+                }
+            }
+            total_cost += cost;
+            total_phases += bls.phases();
+        }
+        let avg_cost_per_phase = total_cost / total_phases as f64;
+        let h_n: f64 = (1..=n).map(|i| 1.0 / i as f64).sum();
+        let bound = 2.0 * alpha * h_n;
+        assert!(
+            avg_cost_per_phase <= bound,
+            "avg per-phase cost {avg_cost_per_phase:.1} exceeds 2αH(n) = {bound:.1}"
+        );
+    }
+
+    /// With i.i.d. random costs the algorithm should switch rarely relative
+    /// to the query count (each phase lasts ≥ α queries by construction:
+    /// counters grow at most 1 per query).
+    #[test]
+    fn phases_last_at_least_alpha_queries() {
+        let alpha = 25.0;
+        let states: Vec<StateId> = (0..5).collect();
+        let mut bls = Bls::classic(&states, alpha, 3);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut queries_in_phase = 0u64;
+        for _ in 0..5000 {
+            let costs: Vec<f64> = (0..5).map(|_| rng.random::<f64>()).collect();
+            let o = bls.observe_query(|s| costs[s as usize]);
+            queries_in_phase += 1;
+            if o.phase_reset {
+                assert!(
+                    queries_in_phase as f64 >= alpha,
+                    "phase ended after only {queries_in_phase} queries"
+                );
+                queries_in_phase = 0;
+            }
+        }
+    }
+
+    /// Classic vs stay-in-place: the optimization must not increase the
+    /// number of switches (it strictly removes the per-phase initial jump).
+    #[test]
+    fn stay_in_place_reduces_switches() {
+        let states: Vec<StateId> = (0..6).collect();
+        let alpha = 8.0;
+        let mut classic_switches = 0u64;
+        let mut stay_switches = 0u64;
+        for seed in 0..20 {
+            let mut classic = Bls::classic(&states, alpha, seed);
+            let mut stay = Bls::with_config(
+                &states,
+                DumtsConfig {
+                    alpha,
+                    transition: TransitionPolicy::Uniform,
+                    stay_on_reset: true,
+                    mid_phase_admission: false,
+                    seed,
+                },
+            );
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            for _ in 0..4000 {
+                let costs: Vec<f64> = (0..6).map(|_| rng.random::<f64>()).collect();
+                classic.observe_query(|s| costs[s as usize]);
+                stay.observe_query(|s| costs[s as usize]);
+            }
+            classic_switches += classic.switches();
+            stay_switches += stay.switches();
+        }
+        assert!(
+            stay_switches < classic_switches,
+            "stay {stay_switches} vs classic {classic_switches}"
+        );
+    }
+}

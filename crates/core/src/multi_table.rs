@@ -1,0 +1,201 @@
+//! Multi-table deployments (§VIII, first future-work item):
+//!
+//! > "each table can maintain its own instance of OREO and make decisions
+//! > based on a subset of query predicates relevant to the table."
+//!
+//! [`MultiTableOreo`] is exactly that coordinator: one [`Oreo`] instance
+//! per table, queries routed by table name, costs aggregated across
+//! instances. Join-induced predicates (Appendix B's multi-table layouts)
+//! can be modeled by issuing the induced single-table predicates to each
+//! touched table as separate [`TableQuery`]s.
+
+use crate::config::OreoConfig;
+use crate::cost::CostLedger;
+use crate::oreo::{Oreo, StepReport};
+use oreo_layout::{LayoutGenerator, SharedSpec};
+use oreo_query::Query;
+use oreo_storage::Table;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A query addressed to one table of a multi-table deployment.
+#[derive(Clone, Debug)]
+pub struct TableQuery {
+    pub table: String,
+    pub query: Query,
+}
+
+impl TableQuery {
+    pub fn new(table: impl Into<String>, query: Query) -> Self {
+        Self {
+            table: table.into(),
+            query,
+        }
+    }
+}
+
+/// Per-table OREO instances behind one observe() entry point.
+pub struct MultiTableOreo {
+    instances: BTreeMap<String, Oreo>,
+}
+
+impl MultiTableOreo {
+    pub fn new() -> Self {
+        Self {
+            instances: BTreeMap::new(),
+        }
+    }
+
+    /// Register a table with its initial layout, candidate generator and
+    /// configuration. Replaces any previous registration of the same name.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        table: Arc<Table>,
+        initial_spec: SharedSpec,
+        generator: Arc<dyn LayoutGenerator>,
+        config: OreoConfig,
+    ) {
+        self.instances
+            .insert(name.into(), Oreo::new(table, initial_spec, generator, config));
+    }
+
+    pub fn tables(&self) -> impl Iterator<Item = &str> {
+        self.instances.keys().map(String::as_str)
+    }
+
+    pub fn instance(&self, table: &str) -> Option<&Oreo> {
+        self.instances.get(table)
+    }
+
+    /// Route one query to its table's instance.
+    ///
+    /// # Panics
+    /// Panics on an unregistered table — queries against unknown tables are
+    /// a wiring error, not a runtime condition.
+    pub fn observe(&mut self, tq: &TableQuery) -> StepReport {
+        let instance = self
+            .instances
+            .get_mut(&tq.table)
+            .unwrap_or_else(|| panic!("unregistered table {:?}", tq.table));
+        instance.observe(&tq.query)
+    }
+
+    /// Aggregate ledger across all tables (the bill the user pays).
+    pub fn total_ledger(&self) -> CostLedger {
+        let mut total = CostLedger::new();
+        for oreo in self.instances.values() {
+            total.merge(oreo.ledger());
+        }
+        total
+    }
+
+    /// Per-table ledgers for reporting.
+    pub fn ledgers(&self) -> BTreeMap<String, CostLedger> {
+        self.instances
+            .iter()
+            .map(|(name, oreo)| (name.clone(), *oreo.ledger()))
+            .collect()
+    }
+}
+
+impl Default for MultiTableOreo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oreo_layout::{QdTreeGenerator, RangeLayout};
+    use oreo_query::{ColumnType, QueryBuilder, Scalar, Schema};
+    use oreo_storage::TableBuilder;
+
+    fn table(kind: u8, n: i64) -> Arc<Table> {
+        let schema = Arc::new(Schema::from_pairs([
+            ("ts", ColumnType::Timestamp),
+            ("v", ColumnType::Int),
+        ]));
+        let mut b = TableBuilder::new(Arc::clone(&schema));
+        for i in 0..n {
+            b.push_row(&[
+                Scalar::Int(i),
+                Scalar::Int((i * (7 + kind as i64)) % 500),
+            ]);
+        }
+        Arc::new(b.finish())
+    }
+
+    fn registered(m: &mut MultiTableOreo, name: &str, kind: u8) -> Arc<Table> {
+        let t = table(kind, 2_000);
+        let config = OreoConfig {
+            alpha: 10.0,
+            window: 50,
+            generation_interval: 50,
+            partitions: 8,
+            data_sample_rows: 500,
+            seed: kind as u64,
+            ..Default::default()
+        };
+        let initial = Arc::new(RangeLayout::from_sample(&t, 0, 8));
+        m.register(
+            name,
+            Arc::clone(&t),
+            initial,
+            Arc::new(QdTreeGenerator::new()),
+            config,
+        );
+        t
+    }
+
+    #[test]
+    fn per_table_instances_evolve_independently() {
+        let mut m = MultiTableOreo::new();
+        let orders = registered(&mut m, "orders", 0);
+        let events = registered(&mut m, "events", 1);
+        assert_eq!(m.tables().collect::<Vec<_>>(), vec!["events", "orders"]);
+
+        // orders gets a drifting v-workload; events gets only ts scans
+        for i in 0..400i64 {
+            let q = QueryBuilder::new(orders.schema())
+                .between("v", (i * 11) % 400, (i * 11) % 400 + 60)
+                .build();
+            m.observe(&TableQuery::new("orders", q));
+            let q = QueryBuilder::new(events.schema())
+                .between("ts", (i * 3) % 1500, (i * 3) % 1500 + 100)
+                .build();
+            m.observe(&TableQuery::new("events", q));
+        }
+
+        let ledgers = m.ledgers();
+        assert_eq!(ledgers["orders"].queries, 400);
+        assert_eq!(ledgers["events"].queries, 400);
+        // events' default time layout already fits its workload → no need
+        // to reorganize; orders should have adapted
+        assert!(
+            ledgers["events"].switches == 0,
+            "time-sorted table should stay put"
+        );
+        assert!(
+            ledgers["orders"].mean_query_cost() < 1.0,
+            "orders never improved"
+        );
+
+        let total = m.total_ledger();
+        assert_eq!(total.queries, 800);
+        assert!(
+            (total.total()
+                - (ledgers["orders"].total() + ledgers["events"].total()))
+            .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered table")]
+    fn unknown_table_is_a_wiring_error() {
+        let mut m = MultiTableOreo::new();
+        m.observe(&TableQuery::new("nope", Query::full_scan()));
+    }
+}

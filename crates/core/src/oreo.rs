@@ -1,0 +1,491 @@
+//! The assembled OREO framework (Fig. 1): LAYOUT MANAGER (producer of the
+//! dynamic state space) + REORGANIZER (D-UMTS consumer), wired to a table.
+//!
+//! Per query, the framework:
+//!
+//! 1. lets the manager update its samples and possibly admit new candidate
+//!    layouts (forwarded to the reorganizer as state-add events);
+//! 2. steps the reorganizer with the *estimated* (metadata-only) costs of
+//!    all states — a switch decision charges α immediately;
+//! 3. applies the reorganization delay Δ: the *physical* layout changes only
+//!    Δ queries after the decision (queries keep running on the old layout
+//!    while background reorganization is in flight, §III-B/§VI-D5);
+//! 4. charges the query's service cost against the physical layout's
+//!    *exact* (fully materialized) metadata — decisions use estimates, the
+//!    bill uses ground truth.
+
+use crate::config::OreoConfig;
+use crate::cost::CostLedger;
+use crate::dumts::{Dumts, DumtsConfig};
+use crate::layout_manager::{LayoutManager, ManagerEvent};
+use oreo_layout::{build_exact_model, LayoutGenerator, SharedSpec};
+use oreo_query::Query;
+use oreo_storage::{LayoutId, LayoutModel, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// What happened while observing one query.
+#[derive(Clone, Debug, Default)]
+pub struct StepReport {
+    /// Stream position of the observed query.
+    pub seq: u64,
+    /// Service cost charged (fraction of table read on the physical layout).
+    pub service_cost: f64,
+    /// `Some(target)` when the reorganizer decided to switch this step
+    /// (α was charged now; the physical switch lands after Δ queries).
+    pub reorg_decision: Option<LayoutId>,
+    /// The D-UMTS phase ended this step.
+    pub phase_reset: bool,
+    /// Layouts admitted to the state space this step.
+    pub admitted: Vec<LayoutId>,
+    /// Layouts pruned from the state space this step.
+    pub removed: Vec<LayoutId>,
+    /// Layout queries physically run on (after delay handling).
+    pub physical: LayoutId,
+    /// The reorganizer's logical current state.
+    pub logical: LayoutId,
+}
+
+/// The OREO framework instance for one table.
+pub struct Oreo {
+    config: OreoConfig,
+    table: Arc<Table>,
+    manager: LayoutManager,
+    reorganizer: Dumts,
+    /// Estimated (sample-scaled) models per live state — the costing surface
+    /// for D-UMTS counters. Kept in sync with the manager's state space.
+    estimated: HashMap<LayoutId, LayoutModel>,
+    /// Routing specs per live state (needed to materialize on switch).
+    specs: HashMap<LayoutId, SharedSpec>,
+    /// Exact models, materialized lazily the first time a layout becomes
+    /// physical. Retained even for pruned states (cheap: metadata only).
+    exact: HashMap<LayoutId, LayoutModel>,
+    /// Layout the queries are physically served on.
+    physical: LayoutId,
+    /// Pending switches: (effective sequence number, target layout).
+    pending: VecDeque<(u64, LayoutId)>,
+    ledger: CostLedger,
+    seq: u64,
+}
+
+impl Oreo {
+    /// Build a framework over `table`, starting from `initial_spec` (the
+    /// default layout, e.g. range-partitioning by arrival time) and using
+    /// `generator` for on-the-fly candidates.
+    pub fn new(
+        table: Arc<Table>,
+        initial_spec: SharedSpec,
+        generator: Arc<dyn LayoutGenerator>,
+        config: OreoConfig,
+    ) -> Self {
+        let mut sample_rng = StdRng::seed_from_u64(config.seed ^ 0xD5A7);
+        let data_sample = table.sample(&mut sample_rng, config.data_sample_rows);
+        let (manager, initial_id) = LayoutManager::new(
+            data_sample,
+            table.num_rows() as f64,
+            generator,
+            config.partitions,
+            Arc::clone(&initial_spec),
+            config.manager_config(),
+        );
+
+        let reorganizer = Dumts::new(
+            &[initial_id],
+            DumtsConfig {
+                alpha: config.alpha,
+                transition: config.transition_policy(),
+                stay_on_reset: config.stay_on_reset,
+                mid_phase_admission: config.mid_phase_admission,
+                seed: config.seed,
+            },
+        )
+        .with_initial_state(initial_id);
+
+        let mut estimated = HashMap::new();
+        let mut specs = HashMap::new();
+        let entry = manager.state(initial_id).expect("initial state installed");
+        estimated.insert(initial_id, entry.model.clone());
+        specs.insert(initial_id, Arc::clone(&entry.spec));
+
+        let mut exact = HashMap::new();
+        exact.insert(
+            initial_id,
+            build_exact_model(initial_spec.as_ref(), initial_id, &table),
+        );
+
+        Self {
+            config,
+            table,
+            manager,
+            reorganizer,
+            estimated,
+            specs,
+            exact,
+            physical: initial_id,
+            pending: VecDeque::new(),
+            ledger: CostLedger::new(),
+            seq: 0,
+        }
+    }
+
+    /// Observe (and "run") one query, advancing the whole framework.
+    pub fn observe(&mut self, query: &Query) -> StepReport {
+        let seq = self.seq;
+        self.seq += 1;
+        let mut report = StepReport {
+            seq,
+            ..Default::default()
+        };
+
+        // 1. Layout manager: samples + candidate generation + admission.
+        for event in self.manager.observe(query) {
+            match event {
+                ManagerEvent::Added(id) => {
+                    let entry = self.manager.state(id).expect("just added");
+                    self.estimated.insert(id, entry.model.clone());
+                    self.specs.insert(id, Arc::clone(&entry.spec));
+                    self.reorganizer.add_state(id);
+                    report.admitted.push(id);
+                }
+                ManagerEvent::Removed(_) => unreachable!("observe never removes"),
+            }
+        }
+
+        // 1b. Refresh the sample-based predictor (§IV-C) on generation
+        // boundaries: transition scores = skipped fraction on the manager's
+        // admission sample.
+        if self.config.sample_predictor
+            && (!report.admitted.is_empty()
+                || (seq + 1).is_multiple_of(self.config.generation_interval))
+        {
+            let sample = self.manager.admission_sample();
+            if !sample.is_empty() {
+                let weights = self
+                    .estimated
+                    .iter()
+                    .map(|(&id, m)| (id, (1.0 - m.mean_cost(&sample)).clamp(0.0, 1.0)))
+                    .collect();
+                self.reorganizer.set_external_weights(Some(weights));
+            }
+        }
+
+        // 2. Reorganizer step with estimated costs.
+        let estimated = &self.estimated;
+        let outcome = self
+            .reorganizer
+            .observe_query(|s| estimated.get(&s).map_or(1.0, |m| m.cost(query)));
+        report.phase_reset = outcome.phase_reset;
+        if let Some(target) = outcome.switched_to {
+            // The decision pays α now; the physical swap lands after Δ.
+            self.ledger.add_reorg(self.config.alpha);
+            self.pending
+                .push_back((seq + self.config.reorg_delay, target));
+            report.reorg_decision = Some(target);
+        }
+
+        // 3. Apply any switch whose background reorganization completed.
+        while let Some(&(effective, target)) = self.pending.front() {
+            if effective > seq {
+                break;
+            }
+            self.pending.pop_front();
+            self.physical = target;
+        }
+
+        // 4. Charge the service cost on the physical layout's exact model.
+        let service = self.exact_model(self.physical).cost(query);
+        self.ledger.add_query(service);
+        report.service_cost = service;
+
+        // 5. Optional pruning, protecting the states the system depends on.
+        let mut protected = vec![self.reorganizer.current(), self.physical];
+        protected.extend(self.pending.iter().map(|&(_, t)| t));
+        for event in self.manager.prune(&protected) {
+            if let ManagerEvent::Removed(id) = event {
+                self.estimated.remove(&id);
+                self.specs.remove(&id);
+                let o = self.reorganizer.remove_state(id);
+                debug_assert!(
+                    o.switched_to.is_none(),
+                    "pruning never evicts the current state"
+                );
+                report.removed.push(id);
+            }
+        }
+
+        report.physical = self.physical;
+        report.logical = self.reorganizer.current();
+        report
+    }
+
+    /// Materialize (or fetch) the exact metadata model of a layout.
+    fn exact_model(&mut self, id: LayoutId) -> &LayoutModel {
+        if !self.exact.contains_key(&id) {
+            let spec = self.specs.get(&id).expect("physical layout has a spec");
+            let model = build_exact_model(spec.as_ref(), id, &self.table);
+            self.exact.insert(id, model);
+        }
+        &self.exact[&id]
+    }
+
+    /// Accumulated costs.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// The layout queries are physically served on.
+    pub fn physical_layout(&self) -> LayoutId {
+        self.physical
+    }
+
+    /// The reorganizer's logical state.
+    pub fn logical_layout(&self) -> LayoutId {
+        self.reorganizer.current()
+    }
+
+    /// Current dynamic state-space size.
+    pub fn num_states(&self) -> usize {
+        self.manager.num_states()
+    }
+
+    /// Largest state space seen (|S_max| of the competitive bound).
+    pub fn max_states_seen(&self) -> usize {
+        self.reorganizer.max_states_seen()
+    }
+
+    /// D-UMTS phase count.
+    pub fn phases(&self) -> u64 {
+        self.reorganizer.phases()
+    }
+
+    /// Switches decided so far.
+    pub fn switches(&self) -> u64 {
+        self.reorganizer.switches()
+    }
+
+    /// Layout-manager statistics (admissions, rejections, …).
+    pub fn manager_stats(&self) -> crate::layout_manager::ManagerStats {
+        self.manager.stats()
+    }
+
+    /// Human-readable name of a layout, when still known.
+    pub fn layout_name(&self, id: LayoutId) -> Option<String> {
+        self.estimated
+            .get(&id)
+            .map(|m| m.name().to_string())
+            .or_else(|| self.exact.get(&id).map(|m| m.name().to_string()))
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &OreoConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oreo_layout::{QdTreeGenerator, RangeLayout};
+    use oreo_query::{ColumnType, QueryBuilder, Scalar, Schema};
+    use oreo_storage::TableBuilder;
+
+    fn table(n: i64) -> Arc<Table> {
+        let s = Arc::new(Schema::from_pairs([
+            ("ts", ColumnType::Timestamp),
+            ("a", ColumnType::Int),
+            ("b", ColumnType::Int),
+        ]));
+        let mut b = TableBuilder::new(Arc::clone(&s));
+        for i in 0..n {
+            b.push_row(&[
+                Scalar::Int(i),
+                Scalar::Int((i * 7) % 1000),
+                Scalar::Int((i * 13) % 1000),
+            ]);
+        }
+        Arc::new(b.finish())
+    }
+
+    fn framework(table: &Arc<Table>, config: OreoConfig) -> Oreo {
+        let initial = Arc::new(RangeLayout::from_sample(table, 0, config.partitions));
+        Oreo::new(
+            Arc::clone(table),
+            initial,
+            Arc::new(QdTreeGenerator::new()),
+            config,
+        )
+    }
+
+    fn drifting_queries(t: &Arc<Table>, n: usize) -> Vec<Query> {
+        // phase 1: queries on `a`; phase 2: queries on `b`
+        (0..n)
+            .map(|i| {
+                let col = if i < n / 2 { "a" } else { "b" };
+                let lo = ((i * 37) % 900) as i64;
+                QueryBuilder::new(t.schema())
+                    .between(col, lo, lo + 60)
+                    .build()
+                    .with_seq(i as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn adapts_to_drifting_workload() {
+        let t = table(4000);
+        let config = OreoConfig {
+            alpha: 5.0,
+            window: 50,
+            generation_interval: 50,
+            data_sample_rows: 1000,
+            partitions: 16,
+            ..Default::default()
+        };
+        let mut oreo = framework(&t, config);
+        let queries = drifting_queries(&t, 600);
+        let mut admitted = 0;
+        for q in &queries {
+            let r = oreo.observe(q);
+            admitted += r.admitted.len();
+        }
+        assert!(admitted >= 1, "no candidate layouts admitted");
+        assert!(oreo.switches() >= 1, "never reorganized");
+        let l = oreo.ledger();
+        assert_eq!(l.queries, 600);
+        assert!(l.query_cost > 0.0);
+        assert!(l.reorg_cost > 0.0);
+        // adapting must beat paying full scans throughout
+        assert!(l.query_cost < 600.0 * 0.9);
+    }
+
+    #[test]
+    fn ledger_reorg_cost_is_switches_times_alpha() {
+        let t = table(2000);
+        let config = OreoConfig {
+            alpha: 4.0,
+            window: 40,
+            generation_interval: 40,
+            partitions: 8,
+            data_sample_rows: 500,
+            ..Default::default()
+        };
+        let mut oreo = framework(&t, config);
+        for q in drifting_queries(&t, 400) {
+            oreo.observe(&q);
+        }
+        let l = *oreo.ledger();
+        assert!((l.reorg_cost - l.switches as f64 * 4.0).abs() < 1e-9);
+        assert_eq!(l.switches, oreo.switches());
+    }
+
+    #[test]
+    fn delay_defers_physical_switch() {
+        let t = table(2000);
+        let config = OreoConfig {
+            alpha: 3.0,
+            window: 30,
+            generation_interval: 30,
+            partitions: 8,
+            data_sample_rows: 500,
+            reorg_delay: 25,
+            ..Default::default()
+        };
+        let mut oreo = framework(&t, config);
+        let queries = drifting_queries(&t, 500);
+        let mut decision_seq = None;
+        let mut physical_change_seq = None;
+        let mut last_physical = oreo.physical_layout();
+        for q in &queries {
+            let r = oreo.observe(q);
+            if decision_seq.is_none() && r.reorg_decision.is_some() {
+                decision_seq = Some(r.seq);
+            }
+            if physical_change_seq.is_none() && r.physical != last_physical {
+                physical_change_seq = Some(r.seq);
+            }
+            last_physical = r.physical;
+        }
+        let (d, p) = (
+            decision_seq.expect("a switch decision"),
+            physical_change_seq.expect("a physical switch"),
+        );
+        assert_eq!(p, d + 25, "physical switch must land Δ after the decision");
+    }
+
+    #[test]
+    fn delayed_costs_are_at_least_immediate_costs() {
+        let t = table(2000);
+        let base = OreoConfig {
+            alpha: 5.0,
+            window: 40,
+            generation_interval: 40,
+            partitions: 8,
+            data_sample_rows: 500,
+            ..Default::default()
+        };
+        let queries = drifting_queries(&t, 600);
+        let run = |delay: u64| {
+            let mut oreo = framework(&t, base.clone().with_delay(delay));
+            for q in &queries {
+                oreo.observe(q);
+            }
+            *oreo.ledger()
+        };
+        let immediate = run(0);
+        let delayed = run(40);
+        // same decisions (same seeds), same reorg cost; delay only hurts
+        // query cost (§VI-D5)
+        assert_eq!(immediate.switches, delayed.switches);
+        assert!(
+            delayed.query_cost >= immediate.query_cost - 1e-9,
+            "delayed {} < immediate {}",
+            delayed.query_cost,
+            immediate.query_cost
+        );
+    }
+
+    #[test]
+    fn max_states_cap_is_enforced() {
+        let t = table(2000);
+        let config = OreoConfig {
+            alpha: 5.0,
+            window: 30,
+            generation_interval: 30,
+            partitions: 8,
+            data_sample_rows: 500,
+            epsilon: 0.0,
+            max_states: Some(3),
+            ..Default::default()
+        };
+        let mut oreo = framework(&t, config);
+        for q in drifting_queries(&t, 500) {
+            oreo.observe(&q);
+            assert!(oreo.num_states() <= 3, "cap violated: {}", oreo.num_states());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let t = table(1500);
+        let config = OreoConfig {
+            alpha: 6.0,
+            window: 30,
+            generation_interval: 30,
+            partitions: 8,
+            data_sample_rows: 400,
+            seed: 42,
+            ..Default::default()
+        };
+        let queries = drifting_queries(&t, 300);
+        let run = || {
+            let mut oreo = framework(&t, config.clone());
+            for q in &queries {
+                oreo.observe(q);
+            }
+            (*oreo.ledger(), oreo.switches(), oreo.num_states())
+        };
+        assert_eq!(run(), run());
+    }
+}

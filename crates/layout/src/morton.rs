@@ -1,0 +1,103 @@
+//! Morton (Z-order) codes: bit interleaving of multi-dimensional bucket
+//! coordinates, the space-filling curve behind Z-ordering [Morton 1966].
+
+/// Interleave `coords` (each using the low `bits` bits) into one Morton
+/// code. Dimension 0 occupies the least-significant position of each bit
+/// group.
+///
+/// # Panics
+/// Panics when `bits * coords.len() > 64` or a coordinate overflows `bits`.
+pub fn morton_encode(coords: &[u32], bits: u32) -> u64 {
+    let ndims = coords.len() as u32;
+    assert!(ndims > 0, "need at least one dimension");
+    assert!(
+        bits * ndims <= 64,
+        "{bits} bits × {ndims} dims exceeds u64"
+    );
+    for &c in coords {
+        assert!(
+            bits == 32 || u64::from(c) < (1u64 << bits),
+            "coordinate {c} does not fit in {bits} bits"
+        );
+    }
+    let mut out: u64 = 0;
+    for b in 0..bits {
+        for (d, &c) in coords.iter().enumerate() {
+            let bit = (u64::from(c) >> b) & 1;
+            out |= bit << (b * ndims + d as u32);
+        }
+    }
+    out
+}
+
+/// Inverse of [`morton_encode`].
+pub fn morton_decode(code: u64, ndims: usize, bits: u32) -> Vec<u32> {
+    assert!(ndims > 0);
+    assert!(bits as usize * ndims <= 64);
+    let mut coords = vec![0u32; ndims];
+    for b in 0..bits {
+        for (d, coord) in coords.iter_mut().enumerate() {
+            let bit = (code >> (b * ndims as u32 + d as u32)) & 1;
+            *coord |= (bit as u32) << b;
+        }
+    }
+    coords
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values_2d() {
+        // classic 2-D morton: (x=1, y=0) -> 0b01, (x=0, y=1) -> 0b10,
+        // (x=1, y=1) -> 0b11, (x=3, y=1) -> x bits at even, y at odd
+        assert_eq!(morton_encode(&[1, 0], 2), 0b01);
+        assert_eq!(morton_encode(&[0, 1], 2), 0b10);
+        assert_eq!(morton_encode(&[1, 1], 2), 0b11);
+        assert_eq!(morton_encode(&[3, 1], 2), 0b0111);
+    }
+
+    #[test]
+    fn round_trip_3d() {
+        for (x, y, z) in [(0u32, 0, 0), (1, 2, 3), (7, 0, 5), (6, 6, 6)] {
+            let code = morton_encode(&[x, y, z], 3);
+            assert_eq!(morton_decode(code, 3, 3), vec![x, y, z]);
+        }
+    }
+
+    #[test]
+    fn monotone_along_each_axis() {
+        // fixing other coordinates, the code grows with one coordinate
+        for fixed in 0u32..8 {
+            let mut prev = None;
+            for x in 0..8 {
+                let code = morton_encode(&[x, fixed], 3);
+                if let Some(p) = prev {
+                    assert!(code > p, "x={x} fixed={fixed}");
+                }
+                prev = Some(code);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u64")]
+    fn too_many_bits_rejected() {
+        morton_encode(&[0, 0, 0], 22);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn overflowing_coordinate_rejected() {
+        morton_encode(&[8, 0], 3);
+    }
+
+    #[test]
+    fn locality_small_boxes_have_close_codes() {
+        // points in the same 2x2 cell share all but the lowest 2 bits
+        let a = morton_encode(&[4, 4], 4);
+        let b = morton_encode(&[5, 5], 4);
+        assert_eq!(a >> 2, b >> 2);
+    }
+}

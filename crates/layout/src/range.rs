@@ -1,0 +1,195 @@
+//! Range (sort-based) partitioning: the "default layout, such as
+//! partitioning by time" the system starts from before any workload has
+//! been observed (§IV-A).
+
+use crate::spec::{LayoutGenerator, LayoutSpec, SharedSpec};
+use oreo_query::{ColId, Query, Scalar};
+use oreo_storage::Table;
+use rand::rngs::StdRng;
+use std::sync::Arc;
+
+/// Sorts records by one column and splits them into `k` contiguous ranges.
+/// The boundaries are the (k-1) sample quantiles of the sort column; a row
+/// routes to the number of boundaries strictly below its value.
+#[derive(Clone, Debug)]
+pub struct RangeLayout {
+    col: ColId,
+    /// Ascending boundary values; `len == k - 1`.
+    boundaries: Vec<Scalar>,
+    name: String,
+}
+
+impl RangeLayout {
+    /// Build from a data sample: boundaries are the equi-depth quantiles of
+    /// `col` within `sample`.
+    pub fn from_sample(sample: &Table, col: ColId, k: usize) -> Self {
+        assert!(k >= 1, "need at least one partition");
+        let mut values: Vec<Scalar> =
+            (0..sample.num_rows()).map(|r| sample.scalar(r, col)).collect();
+        values.sort();
+        let boundaries = equi_depth_boundaries(&values, k);
+        let name = format!(
+            "range({})",
+            sample.schema().column(col).name
+        );
+        Self {
+            col,
+            boundaries,
+            name,
+        }
+    }
+
+    pub fn col(&self) -> ColId {
+        self.col
+    }
+
+    pub fn boundaries(&self) -> &[Scalar] {
+        &self.boundaries
+    }
+}
+
+/// `k-1` equi-depth boundaries from sorted values (may repeat when the data
+/// is skewed; routing still works, some partitions just stay empty).
+pub(crate) fn equi_depth_boundaries(sorted: &[Scalar], k: usize) -> Vec<Scalar> {
+    let mut out = Vec::with_capacity(k.saturating_sub(1));
+    if sorted.is_empty() {
+        return out;
+    }
+    for i in 1..k {
+        let idx = (i * sorted.len()) / k;
+        out.push(sorted[idx.min(sorted.len() - 1)].clone());
+    }
+    out
+}
+
+/// Number of boundaries strictly ≤ `v` — i.e. `partition_point` over the
+/// ascending boundary list. Shared by range and Z-order routing.
+pub(crate) fn bucket_of(boundaries: &[Scalar], v: &Scalar) -> u32 {
+    boundaries.partition_point(|b| b <= v) as u32
+}
+
+impl LayoutSpec for RangeLayout {
+    fn k(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    fn route(&self, table: &Table, row: usize) -> u32 {
+        let v = table.scalar(row, self.col);
+        bucket_of(&self.boundaries, &v)
+    }
+
+    fn describe(&self) -> String {
+        self.name.clone()
+    }
+}
+
+/// Generator wrapper: always ranges on a fixed column (e.g. arrival time).
+#[derive(Clone, Debug)]
+pub struct RangeGenerator {
+    col: ColId,
+}
+
+impl RangeGenerator {
+    pub fn new(col: ColId) -> Self {
+        Self { col }
+    }
+}
+
+impl LayoutGenerator for RangeGenerator {
+    fn name(&self) -> &str {
+        "range"
+    }
+
+    fn generate(
+        &self,
+        sample: &Table,
+        _workload: &[Query],
+        k: usize,
+        _rng: &mut StdRng,
+    ) -> SharedSpec {
+        Arc::new(RangeLayout::from_sample(sample, self.col, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oreo_query::{ColumnType, QueryBuilder, Schema};
+    use oreo_storage::TableBuilder;
+
+    fn table(n: i64) -> Table {
+        let s = Arc::new(Schema::from_pairs([
+            ("ts", ColumnType::Timestamp),
+            ("v", ColumnType::Int),
+        ]));
+        let mut b = TableBuilder::new(Arc::clone(&s));
+        for i in 0..n {
+            b.push_row(&[Scalar::Int(i), Scalar::Int(i * 7 % n)]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn uniform_data_splits_evenly() {
+        let t = table(100);
+        let layout = RangeLayout::from_sample(&t, 0, 4);
+        assert_eq!(layout.k(), 4);
+        let assignment = layout.assign(&t);
+        let mut counts = [0usize; 4];
+        for &b in &assignment {
+            counts[b as usize] += 1;
+        }
+        assert_eq!(counts, [25, 25, 25, 25]);
+        // contiguity: assignment is monotone in ts
+        assert!(assignment.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn routing_is_deterministic_on_unseen_rows() {
+        let t = table(100);
+        let sample = {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+            t.sample(&mut rng, 20)
+        };
+        let layout = RangeLayout::from_sample(&sample, 0, 4);
+        // full-table routing stays monotone in ts even for unsampled rows
+        let a = layout.assign(&t);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(a.len(), 100);
+    }
+
+    #[test]
+    fn single_partition_routes_everything_to_zero() {
+        let t = table(10);
+        let layout = RangeLayout::from_sample(&t, 0, 1);
+        assert_eq!(layout.k(), 1);
+        assert!(layout.assign(&t).iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn skewed_data_degrades_gracefully() {
+        // all identical values: every boundary equals the value; all rows
+        // land in the last bucket, but routing never panics
+        let s = Arc::new(Schema::from_pairs([("v", ColumnType::Int)]));
+        let mut b = TableBuilder::new(Arc::clone(&s));
+        for _ in 0..50 {
+            b.push_row(&[Scalar::Int(42)]);
+        }
+        let t = b.finish();
+        let layout = RangeLayout::from_sample(&t, 0, 4);
+        let a = layout.assign(&t);
+        assert!(a.iter().all(|&bid| (bid as usize) < layout.k()));
+    }
+
+    #[test]
+    fn generated_layout_skips_for_range_queries() {
+        let t = table(1000);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let spec = RangeGenerator::new(0).generate(&t, &[], 10, &mut rng);
+        let model = crate::spec::build_exact_model(spec.as_ref(), 1, &t);
+        let q = QueryBuilder::new(t.schema()).between("ts", 0, 99).build();
+        assert!(model.cost(&q) <= 0.2, "cost {}", model.cost(&q));
+    }
+}

@@ -1,0 +1,270 @@
+//! Workload-aware Z-ordering (§VI-A1).
+//!
+//! Each chosen column is quantile-bucketed on a data sample, bucket indices
+//! are Morton-interleaved, and the code space is split into `k` equi-depth
+//! partitions. To make it workload-aware, the generator picks "the top three
+//! most queried columns in the sliding window, which can change over the
+//! course of the query stream".
+
+use crate::morton::morton_encode;
+use crate::range::{bucket_of, equi_depth_boundaries};
+use crate::spec::{LayoutGenerator, LayoutSpec, SharedSpec};
+use oreo_query::{ColId, Query, Scalar};
+use oreo_sampling::top_queried_columns;
+use oreo_storage::Table;
+use rand::rngs::StdRng;
+use std::sync::Arc;
+
+/// A Z-order layout: per-column quantile grids + Morton-code boundaries.
+#[derive(Clone, Debug)]
+pub struct ZOrderLayout {
+    cols: Vec<ColId>,
+    /// Per-column ascending bucket boundaries (length `buckets − 1`).
+    grids: Vec<Vec<Scalar>>,
+    /// Bits per dimension (`buckets == 1 << bits`).
+    bits: u32,
+    /// Ascending Morton-code partition boundaries (length `k − 1`).
+    code_boundaries: Vec<u64>,
+    name: String,
+}
+
+impl ZOrderLayout {
+    /// Build from a data sample over the given columns.
+    ///
+    /// `bits` bits per dimension (e.g. 8 → 256 buckets per column); the
+    /// sample's Morton codes are split equi-depth into `k` partitions.
+    pub fn from_sample(sample: &Table, cols: &[ColId], bits: u32, k: usize) -> Self {
+        assert!(!cols.is_empty(), "Z-order needs at least one column");
+        assert!(k >= 1);
+        assert!(bits * cols.len() as u32 <= 64, "morton overflow");
+
+        let mut grids = Vec::with_capacity(cols.len());
+        for &col in cols {
+            let mut values: Vec<Scalar> =
+                (0..sample.num_rows()).map(|r| sample.scalar(r, col)).collect();
+            values.sort();
+            grids.push(equi_depth_boundaries(&values, 1usize << bits));
+        }
+
+        let mut this = Self {
+            cols: cols.to_vec(),
+            grids,
+            bits,
+            code_boundaries: Vec::new(),
+            name: String::new(),
+        };
+
+        let mut codes: Vec<u64> = (0..sample.num_rows())
+            .map(|row| this.code_of(sample, row))
+            .collect();
+        codes.sort_unstable();
+        let mut bounds = Vec::with_capacity(k.saturating_sub(1));
+        if !codes.is_empty() {
+            for i in 1..k {
+                let idx = (i * codes.len()) / k;
+                bounds.push(codes[idx.min(codes.len() - 1)]);
+            }
+        } else {
+            // degenerate: no sample — split the code space uniformly
+            let max_code = 1u128 << (bits * cols.len() as u32);
+            for i in 1..k {
+                bounds.push(((max_code * i as u128) / k as u128) as u64);
+            }
+        }
+        this.code_boundaries = bounds;
+
+        let col_names: Vec<&str> = cols
+            .iter()
+            .map(|&c| sample.schema().column(c).name.as_str())
+            .collect();
+        this.name = format!("zorder({})", col_names.join(","));
+        this
+    }
+
+    /// Morton code of one row.
+    fn code_of(&self, table: &Table, row: usize) -> u64 {
+        let mut coords = Vec::with_capacity(self.cols.len());
+        for (dim, &col) in self.cols.iter().enumerate() {
+            let v = table.scalar(row, col);
+            coords.push(bucket_of(&self.grids[dim], &v));
+        }
+        morton_encode(&coords, self.bits)
+    }
+
+    pub fn cols(&self) -> &[ColId] {
+        &self.cols
+    }
+}
+
+impl LayoutSpec for ZOrderLayout {
+    fn k(&self) -> usize {
+        self.code_boundaries.len() + 1
+    }
+
+    fn route(&self, table: &Table, row: usize) -> u32 {
+        let code = self.code_of(table, row);
+        self.code_boundaries.partition_point(|&b| b <= code) as u32
+    }
+
+    fn describe(&self) -> String {
+        self.name.clone()
+    }
+}
+
+/// Workload-aware Z-order generator: columns = top-`num_cols` most queried
+/// in the workload sample, with `default_cols` as fallback/padding when the
+/// workload references fewer columns.
+#[derive(Clone, Debug)]
+pub struct ZOrderGenerator {
+    num_cols: usize,
+    bits: u32,
+    default_cols: Vec<ColId>,
+}
+
+impl ZOrderGenerator {
+    /// `num_cols` Z-order dimensions (the paper uses 3), `bits` bucket bits
+    /// per dimension, and fallback columns for cold starts.
+    pub fn new(num_cols: usize, bits: u32, default_cols: Vec<ColId>) -> Self {
+        assert!(num_cols >= 1);
+        assert!(!default_cols.is_empty(), "need fallback columns");
+        Self {
+            num_cols,
+            bits,
+            default_cols,
+        }
+    }
+
+    /// Paper defaults: 3 columns, 256 buckets each.
+    pub fn with_defaults(default_cols: Vec<ColId>) -> Self {
+        Self::new(3, 8, default_cols)
+    }
+
+    /// The columns that would be chosen for a given workload sample: the
+    /// top-`num_cols` most queried. When the workload constrains *fewer*
+    /// columns, only those are used — interleaving unqueried dimensions
+    /// would dilute the curve's resolution on the queried ones. Defaults
+    /// only apply on a cold start (empty workload).
+    pub fn choose_columns(&self, workload: &[Query]) -> Vec<ColId> {
+        let mut cols = top_queried_columns(workload, self.num_cols);
+        if cols.is_empty() {
+            cols = self.default_cols.clone();
+        }
+        cols.truncate(self.num_cols);
+        cols
+    }
+}
+
+impl LayoutGenerator for ZOrderGenerator {
+    fn name(&self) -> &str {
+        "zorder"
+    }
+
+    fn generate(
+        &self,
+        sample: &Table,
+        workload: &[Query],
+        k: usize,
+        _rng: &mut StdRng,
+    ) -> SharedSpec {
+        let cols = self.choose_columns(workload);
+        Arc::new(ZOrderLayout::from_sample(sample, &cols, self.bits, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::build_exact_model;
+    use oreo_query::{ColumnType, QueryBuilder, Schema};
+    use oreo_storage::TableBuilder;
+    use rand::SeedableRng;
+
+    fn table(n: i64) -> Table {
+        let s = Arc::new(Schema::from_pairs([
+            ("x", ColumnType::Int),
+            ("y", ColumnType::Int),
+            ("z", ColumnType::Int),
+        ]));
+        let mut b = TableBuilder::new(Arc::clone(&s));
+        // pseudo-random but deterministic grid data
+        for i in 0..n {
+            b.push_row(&[
+                Scalar::Int((i * 31) % 1000),
+                Scalar::Int((i * 17) % 1000),
+                Scalar::Int(i),
+            ]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn partitions_are_balanced() {
+        let t = table(2000);
+        let layout = ZOrderLayout::from_sample(&t, &[0, 1], 8, 8);
+        let a = layout.assign(&t);
+        let mut counts = vec![0usize; 8];
+        for &b in &a {
+            counts[b as usize] += 1;
+        }
+        for c in counts {
+            assert!((200..=300).contains(&c), "unbalanced: {c}");
+        }
+    }
+
+    #[test]
+    fn zorder_skips_on_both_columns() {
+        let t = table(2000);
+        let layout = ZOrderLayout::from_sample(&t, &[0, 1], 8, 16);
+        let model = build_exact_model(&layout, 1, &t);
+        // narrow box query on both columns touches few partitions
+        let q = QueryBuilder::new(t.schema())
+            .between("x", 0, 120)
+            .between("y", 0, 120)
+            .build();
+        assert!(
+            model.cost(&q) < 0.5,
+            "2-D box should skip most partitions, cost = {}",
+            model.cost(&q)
+        );
+        // single-column query also benefits (less)
+        let qx = QueryBuilder::new(t.schema()).between("x", 0, 120).build();
+        assert!(model.cost(&qx) < 1.0);
+    }
+
+    #[test]
+    fn generator_picks_top_queried_columns() {
+        let t = table(100);
+        let gen = ZOrderGenerator::new(2, 4, vec![2]);
+        let qs: Vec<Query> = (0..10)
+            .map(|i| {
+                QueryBuilder::new(t.schema())
+                    .between("y", i, i + 10)
+                    .between("z", 0, 50)
+                    .build()
+            })
+            .collect();
+        assert_eq!(gen.choose_columns(&qs), vec![1, 2]);
+        // empty workload → defaults padded
+        assert_eq!(gen.choose_columns(&[]), vec![2]);
+    }
+
+    #[test]
+    fn generated_spec_is_deterministic() {
+        let t = table(500);
+        let gen = ZOrderGenerator::with_defaults(vec![0, 1, 2]);
+        let mut rng1 = StdRng::seed_from_u64(9);
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let s1 = gen.generate(&t, &[], 8, &mut rng1);
+        let s2 = gen.generate(&t, &[], 8, &mut rng2);
+        assert_eq!(s1.assign(&t), s2.assign(&t));
+    }
+
+    #[test]
+    fn single_column_zorder_equals_range_ordering() {
+        let t = table(1000);
+        let layout = ZOrderLayout::from_sample(&t, &[2], 8, 4);
+        let a = layout.assign(&t);
+        // z == row index, so assignment must be monotone
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,111 @@
+//! # oreo-query
+//!
+//! Typed values, schemas, predicates and queries — the vocabulary shared by
+//! every other OREO crate.
+//!
+//! Layout optimization never needs a full SQL engine: the only query feature
+//! that determines whether a partition can be *skipped* is the conjunctive
+//! filter over individual columns (Fig. 2 of the paper). This crate models
+//! exactly that fragment, with two evaluation surfaces:
+//!
+//! * row-level evaluation (used by workload generators and the storage
+//!   engine's filtered scans), and
+//! * conservative pruning against partition metadata (min/max ranges and
+//!   distinct sets), which is how `eval_skipped` — the cost oracle of the
+//!   whole framework — is computed without touching data.
+
+pub mod predicate;
+pub mod query;
+pub mod schema;
+pub mod value;
+
+pub use predicate::{Atom, CompareOp, Predicate};
+pub use query::{Query, QueryBuilder, TemplateId};
+pub use schema::{ColId, ColumnDef, Schema};
+pub use value::{ColumnType, Scalar};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn scalar_int() -> impl Strategy<Value = Scalar> {
+        (-1000i64..1000).prop_map(Scalar::Int)
+    }
+
+    fn atom_int() -> impl Strategy<Value = Atom> {
+        prop_oneof![
+            (
+                scalar_int(),
+                prop_oneof![
+                    Just(CompareOp::Lt),
+                    Just(CompareOp::Le),
+                    Just(CompareOp::Gt),
+                    Just(CompareOp::Ge),
+                    Just(CompareOp::Eq),
+                ]
+            )
+                .prop_map(|(value, op)| Atom::Compare { col: 0, op, value }),
+            (scalar_int(), scalar_int()).prop_map(|(a, b)| {
+                let (low, high) = if a <= b { (a, b) } else { (b, a) };
+                Atom::Between { col: 0, low, high }
+            }),
+            proptest::collection::vec(scalar_int(), 1..6).prop_map(|mut set| {
+                set.sort();
+                set.dedup();
+                Atom::InSet { col: 0, set }
+            }),
+        ]
+    }
+
+    proptest! {
+        /// Soundness of range pruning: if `may_match_range` says "skip",
+        /// then no value inside the range satisfies the atom.
+        #[test]
+        fn range_pruning_is_sound(atom in atom_int(), a in -1000i64..1000, b in -1000i64..1000, probe in -1000i64..1000) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            if !atom.may_match_range(&Scalar::Int(lo), &Scalar::Int(hi)) {
+                // any probe inside [lo, hi] must fail the atom
+                let p = probe.clamp(lo, hi);
+                prop_assert!(!atom.matches(&Scalar::Int(p)),
+                    "pruned range [{lo},{hi}] but {p} matches {atom:?}");
+            }
+        }
+
+        /// Soundness of distinct-set pruning: a pruned set contains no
+        /// matching member.
+        #[test]
+        fn set_pruning_is_sound(atom in atom_int(), vals in proptest::collection::btree_set(-1000i64..1000, 0..20)) {
+            let distinct: BTreeSet<Scalar> = vals.iter().map(|v| Scalar::Int(*v)).collect();
+            if !atom.may_match_set(&distinct) {
+                for v in &distinct {
+                    prop_assert!(!atom.matches(v), "pruned set but {v} matches {atom:?}");
+                }
+            }
+        }
+
+        /// Completeness on singleton ranges: a partition whose min == max ==
+        /// v must be kept iff v matches.
+        #[test]
+        fn singleton_range_pruning_is_exact(atom in atom_int(), v in -1000i64..1000) {
+            let s = Scalar::Int(v);
+            prop_assert_eq!(atom.may_match_range(&s, &s), atom.matches(&s));
+        }
+
+        /// Scalar ordering is a total order (antisymmetric + transitive on a
+        /// sample of triples).
+        #[test]
+        fn scalar_order_total(a in scalar_int(), b in scalar_int(), c in scalar_int()) {
+            use std::cmp::Ordering;
+            match a.cmp(&b) {
+                Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+                Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+                Ordering::Equal => prop_assert_eq!(b.cmp(&a), Ordering::Equal),
+            }
+            if a <= b && b <= c {
+                prop_assert!(a <= c);
+            }
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Queries and the fluent builder used by workload generators and examples.
+
+use crate::predicate::{Atom, CompareOp, Predicate};
+use crate::schema::Schema;
+use crate::value::Scalar;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of the template a query was generated from. Workload drift is
+/// modeled as the stream switching templates; several evaluation harnesses
+/// (Fig. 4's vertical lines, the MTS-Optimal and Offline-Optimal baselines)
+/// need to know which template produced a query.
+pub type TemplateId = u32;
+
+/// A single query in the stream.
+///
+/// OREO never executes SQL; the only part of a query that matters to layout
+/// optimization is its conjunctive predicate (which partitions can be
+/// skipped) plus bookkeeping: arrival order and provenance.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Position in the stream (0-based).
+    pub seq: u64,
+    /// Template that generated this query, if any.
+    pub template: Option<TemplateId>,
+    /// The filter.
+    pub predicate: Predicate,
+}
+
+impl Query {
+    /// A query with just a predicate; `seq` assigned later by the stream.
+    pub fn new(predicate: Predicate) -> Self {
+        Self {
+            seq: 0,
+            template: None,
+            predicate,
+        }
+    }
+
+    /// Attach a sequence number.
+    pub fn with_seq(mut self, seq: u64) -> Self {
+        self.seq = seq;
+        self
+    }
+
+    /// Attach a template id.
+    pub fn with_template(mut self, t: TemplateId) -> Self {
+        self.template = Some(t);
+        self
+    }
+
+    /// A full-scan query (always-true predicate).
+    pub fn full_scan() -> Self {
+        Self::new(Predicate::always_true())
+    }
+}
+
+/// Fluent builder resolving column names against a [`Schema`].
+///
+/// ```
+/// use oreo_query::{QueryBuilder, Schema, ColumnType};
+/// let schema = Schema::from_pairs([
+///     ("ship_date", ColumnType::Timestamp),
+///     ("qty", ColumnType::Int),
+///     ("region", ColumnType::Str),
+/// ]);
+/// let q = QueryBuilder::new(&schema)
+///     .between("ship_date", 100, 200)
+///     .lt("qty", 24)
+///     .eq("region", "apac")
+///     .build();
+/// assert_eq!(q.predicate.len(), 3);
+/// ```
+pub struct QueryBuilder<'a> {
+    schema: &'a Schema,
+    atoms: Vec<Atom>,
+}
+
+impl<'a> QueryBuilder<'a> {
+    pub fn new(schema: &'a Schema) -> Self {
+        Self {
+            schema,
+            atoms: Vec::new(),
+        }
+    }
+
+    fn compare(mut self, col: &str, op: CompareOp, value: impl Into<Scalar>) -> Self {
+        let col = self.schema.col_or_panic(col);
+        let value = value.into();
+        debug_assert!(
+            value.compatible_with(self.schema.column_type(col)),
+            "literal {value} incompatible with column {}",
+            self.schema.column(col).name
+        );
+        self.atoms.push(Atom::Compare { col, op, value });
+        self
+    }
+
+    /// `col < value`
+    pub fn lt(self, col: &str, value: impl Into<Scalar>) -> Self {
+        self.compare(col, CompareOp::Lt, value)
+    }
+
+    /// `col <= value`
+    pub fn le(self, col: &str, value: impl Into<Scalar>) -> Self {
+        self.compare(col, CompareOp::Le, value)
+    }
+
+    /// `col > value`
+    pub fn gt(self, col: &str, value: impl Into<Scalar>) -> Self {
+        self.compare(col, CompareOp::Gt, value)
+    }
+
+    /// `col >= value`
+    pub fn ge(self, col: &str, value: impl Into<Scalar>) -> Self {
+        self.compare(col, CompareOp::Ge, value)
+    }
+
+    /// `col = value`
+    pub fn eq(self, col: &str, value: impl Into<Scalar>) -> Self {
+        self.compare(col, CompareOp::Eq, value)
+    }
+
+    /// `col BETWEEN low AND high` (inclusive).
+    pub fn between(
+        mut self,
+        col: &str,
+        low: impl Into<Scalar>,
+        high: impl Into<Scalar>,
+    ) -> Self {
+        let col = self.schema.col_or_panic(col);
+        let (low, high) = (low.into(), high.into());
+        debug_assert!(low <= high, "BETWEEN bounds inverted");
+        self.atoms.push(Atom::Between { col, low, high });
+        self
+    }
+
+    /// `col IN (values...)`
+    pub fn in_set<V: Into<Scalar>>(mut self, col: &str, values: impl IntoIterator<Item = V>) -> Self {
+        let col = self.schema.col_or_panic(col);
+        self.atoms.push(Atom::InSet {
+            col,
+            set: values.into_iter().map(Into::into).collect(),
+        });
+        self
+    }
+
+    /// Finish, producing a [`Query`].
+    pub fn build(self) -> Query {
+        Query::new(Predicate::new(self.atoms))
+    }
+
+    /// Finish, producing just the [`Predicate`].
+    pub fn build_predicate(self) -> Predicate {
+        Predicate::new(self.atoms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ColumnType;
+
+    fn schema() -> Schema {
+        Schema::from_pairs([
+            ("ts", ColumnType::Timestamp),
+            ("qty", ColumnType::Int),
+            ("region", ColumnType::Str),
+        ])
+    }
+
+    #[test]
+    fn builder_resolves_columns() {
+        let s = schema();
+        let q = QueryBuilder::new(&s)
+            .between("ts", 0, 10)
+            .ge("qty", 5)
+            .in_set("region", ["eu", "na"])
+            .build();
+        assert_eq!(q.predicate.columns(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown column")]
+    fn builder_rejects_unknown_column() {
+        let s = schema();
+        QueryBuilder::new(&s).eq("nope", 1).build();
+    }
+
+    #[test]
+    fn query_metadata_attaches() {
+        let q = Query::full_scan().with_seq(42).with_template(7);
+        assert_eq!(q.seq, 42);
+        assert_eq!(q.template, Some(7));
+        assert!(q.predicate.is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! Queried-column frequency statistics.
+//!
+//! Workload-aware Z-ordering picks "the top three most queried columns in
+//! the sliding window" (§VI-A1). This module ranks columns by how many
+//! queries in a sample reference them, with deterministic tie-breaking so
+//! layout generation stays reproducible.
+
+use oreo_query::{ColId, Query};
+use std::collections::HashMap;
+
+/// Count, per column, how many queries in `queries` reference it (a query
+/// referencing a column twice still counts once).
+pub fn column_frequencies(queries: &[Query]) -> HashMap<ColId, usize> {
+    let mut freq: HashMap<ColId, usize> = HashMap::new();
+    for q in queries {
+        for col in q.predicate.columns() {
+            *freq.entry(col).or_default() += 1;
+        }
+    }
+    freq
+}
+
+/// The `k` most frequently queried columns, most-queried first. Ties break
+/// toward the smaller column id so results are deterministic.
+pub fn top_queried_columns(queries: &[Query], k: usize) -> Vec<ColId> {
+    let freq = column_frequencies(queries);
+    let mut cols: Vec<(ColId, usize)> = freq.into_iter().collect();
+    cols.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    cols.into_iter().take(k).map(|(c, _)| c).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oreo_query::{ColumnType, QueryBuilder, Schema};
+
+    fn queries() -> (Schema, Vec<Query>) {
+        let s = Schema::from_pairs([
+            ("a", ColumnType::Int),
+            ("b", ColumnType::Int),
+            ("c", ColumnType::Int),
+        ]);
+        let qs = vec![
+            QueryBuilder::new(&s).lt("a", 1).lt("b", 1).build(),
+            QueryBuilder::new(&s).lt("a", 2).build(),
+            QueryBuilder::new(&s).lt("a", 3).lt("c", 3).build(),
+            QueryBuilder::new(&s).lt("b", 4).build(),
+        ];
+        (s, qs)
+    }
+
+    #[test]
+    fn frequencies_count_queries_not_atoms() {
+        let s = Schema::from_pairs([("a", ColumnType::Int)]);
+        let q = QueryBuilder::new(&s).ge("a", 0).lt("a", 10).build();
+        let freq = column_frequencies(&[q]);
+        assert_eq!(freq[&0], 1, "two atoms on one column count once");
+    }
+
+    #[test]
+    fn top_columns_ordered_by_frequency() {
+        let (_, qs) = queries();
+        // a: 3, b: 2, c: 1
+        assert_eq!(top_queried_columns(&qs, 2), vec![0, 1]);
+        assert_eq!(top_queried_columns(&qs, 10), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ties_break_by_column_id() {
+        let s = Schema::from_pairs([("a", ColumnType::Int), ("b", ColumnType::Int)]);
+        let qs = vec![
+            QueryBuilder::new(&s).lt("b", 1).build(),
+            QueryBuilder::new(&s).lt("a", 1).build(),
+        ];
+        assert_eq!(top_queried_columns(&qs, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_workload_yields_nothing() {
+        assert!(top_queried_columns(&[], 3).is_empty());
+    }
+}

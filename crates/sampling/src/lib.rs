@@ -1,0 +1,79 @@
+//! # oreo-sampling
+//!
+//! Query-stream sampling strategies used by the LAYOUT MANAGER:
+//!
+//! * [`SlidingWindow`] — the default candidate-generation source (§V-A found
+//!   layouts specialized to the recent window beat blended histories);
+//! * [`Reservoir`] — classic uniform reservoir sampling, kept for the
+//!   §VI-D4 ablation (SW vs RS vs SW+RS);
+//! * [`TimeBiasedReservoir`] — the R-TBS-style exponentially time-biased
+//!   sample that Algorithm 5 computes admission cost vectors on;
+//! * [`top_queried_columns`] — queried-column statistics feeding
+//!   workload-aware Z-ordering.
+
+pub mod colstats;
+pub mod reservoir;
+pub mod rtbs;
+pub mod sliding;
+
+pub use colstats::{column_frequencies, top_queried_columns};
+pub use reservoir::Reservoir;
+pub use rtbs::TimeBiasedReservoir;
+pub use sliding::SlidingWindow;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        /// The sliding window always holds the suffix of the stream.
+        #[test]
+        fn window_is_stream_suffix(cap in 1usize..20, n in 0usize..100) {
+            let mut w = SlidingWindow::new(cap);
+            for i in 0..n {
+                w.push(i);
+            }
+            let expected: Vec<usize> = (n.saturating_sub(cap)..n).collect();
+            prop_assert_eq!(w.to_vec(), expected);
+        }
+
+        /// Reservoir and time-biased reservoir never exceed capacity and
+        /// only ever contain offered items.
+        #[test]
+        fn samples_are_bounded_subsets(cap in 1usize..16, n in 0u64..500, seed in 0u64..50, lambda in 0.0f64..0.1) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut r = Reservoir::new(cap);
+            let mut t = TimeBiasedReservoir::new(cap, lambda);
+            for i in 0..n {
+                r.push(i, &mut rng);
+                t.push(i, &mut rng);
+            }
+            prop_assert!(r.len() <= cap);
+            prop_assert!(t.len() <= cap);
+            prop_assert!(r.items().iter().all(|&v| v < n));
+            prop_assert!(t.to_vec().iter().all(|&v| v < n));
+            // below capacity the sample is exhaustive
+            if (n as usize) <= cap {
+                prop_assert_eq!(r.len(), n as usize);
+                prop_assert_eq!(t.len(), n as usize);
+            }
+        }
+
+        /// Time-biased sample items are unique (arrival times never repeat).
+        #[test]
+        fn rtbs_no_duplicates(cap in 1usize..16, n in 0u64..300, seed in 0u64..20) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut t = TimeBiasedReservoir::new(cap, 0.01);
+            for i in 0..n {
+                t.push(i, &mut rng);
+            }
+            let mut times = t.sample_times();
+            times.sort_unstable();
+            times.dedup();
+            prop_assert_eq!(times.len(), t.len());
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Classic uniform reservoir sampling (Vitter's Algorithm R).
+//!
+//! Used by the §VI-D4 ablation (sliding window vs reservoir sampling for
+//! candidate layout generation) and as the baseline the time-biased variant
+//! is compared against.
+
+use rand::Rng;
+
+/// A fixed-size uniform sample over an unbounded stream.
+#[derive(Clone, Debug)]
+pub struct Reservoir<T> {
+    items: Vec<T>,
+    capacity: usize,
+    seen: u64,
+}
+
+impl<T> Reservoir<T> {
+    /// Create a reservoir holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Self {
+            items: Vec::with_capacity(capacity),
+            capacity,
+            seen: 0,
+        }
+    }
+
+    /// Offer an item to the sample. After `n` offers, every offered item is
+    /// retained with probability `capacity / n`.
+    pub fn push(&mut self, item: T, rng: &mut impl Rng) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+            return;
+        }
+        let j = rng.random_range(0..self.seen);
+        if (j as usize) < self.capacity {
+            self.items[j as usize] = item;
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of items offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The current sample (arbitrary order).
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Clone the sample out.
+    pub fn to_vec(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        self.items.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fills_before_sampling() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut r = Reservoir::new(5);
+        for i in 0..5 {
+            r.push(i, &mut rng);
+        }
+        let mut items = r.to_vec();
+        items.sort_unstable();
+        assert_eq!(items, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn size_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut r = Reservoir::new(10);
+        for i in 0..10_000 {
+            r.push(i, &mut rng);
+        }
+        assert_eq!(r.len(), 10);
+        assert_eq!(r.seen(), 10_000);
+    }
+
+    #[test]
+    fn sample_is_approximately_uniform() {
+        // Inclusion frequency of the first item over many independent runs
+        // should be ≈ capacity / n.
+        let n = 200u64;
+        let cap = 10usize;
+        let runs = 3000;
+        let mut hits = 0;
+        for seed in 0..runs {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut r = Reservoir::new(cap);
+            for i in 0..n {
+                r.push(i, &mut rng);
+            }
+            if r.items().contains(&0) {
+                hits += 1;
+            }
+        }
+        let freq = hits as f64 / runs as f64;
+        let expected = cap as f64 / n as f64; // 0.05
+        assert!(
+            (freq - expected).abs() < 0.02,
+            "freq {freq} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn mean_of_sample_tracks_stream_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut r = Reservoir::new(100);
+        for i in 0..100_000i64 {
+            r.push(i, &mut rng);
+        }
+        let mean: f64 = r.items().iter().map(|&v| v as f64).sum::<f64>() / r.len() as f64;
+        assert!(
+            (mean - 50_000.0).abs() < 15_000.0,
+            "uniform sample mean {mean} too far from 50k"
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Time-biased reservoir sampling.
+//!
+//! Algorithm 5 of the paper evaluates candidate layouts on "a reservoir-based
+//! time-biased sampling (R-TBS)" sample of the query stream (citing
+//! Hentschel, Haas & Tian, TODS 2019): recent queries are over-represented,
+//! but the sample never completely forgets the past and memory stays bounded.
+//!
+//! We implement the exponential-decay flavor via weighted reservoir sampling
+//! (Efraimidis–Spirakis A-Res): an item arriving at time `t` carries weight
+//! `exp(λ·t)`. Relative weights between items are then `exp(-λ·Δt)` — i.e.
+//! inclusion probability decays exponentially with age, the R-TBS guarantee
+//! — and, crucially, the *relative* weights never change as time advances,
+//! so a standard weighted reservoir maintains the invariant incrementally.
+//!
+//! Keys are kept in log space (`ln(u) · exp(-λ·t)`); for very old items the
+//! factor underflows toward 0⁻, which gracefully degrades to "newest items
+//! always win" rather than misbehaving.
+
+use rand::Rng;
+
+/// One sampled item plus bookkeeping.
+#[derive(Clone, Debug)]
+struct Entry<T> {
+    item: T,
+    /// A-Res key in log space; larger keys win (all keys are ≤ 0).
+    key: f64,
+    /// Arrival time, for diagnostics and tests.
+    time: u64,
+}
+
+/// Bounded sample with exponential bias toward recent items.
+#[derive(Clone, Debug)]
+pub struct TimeBiasedReservoir<T> {
+    entries: Vec<Entry<T>>,
+    capacity: usize,
+    /// Decay rate λ: an item's inclusion odds halve every `ln 2 / λ` steps.
+    lambda: f64,
+    now: u64,
+    seen: u64,
+}
+
+impl<T> TimeBiasedReservoir<T> {
+    /// Create a reservoir of `capacity` items with decay rate `lambda` per
+    /// time step (0 recovers uniform reservoir sampling in distribution).
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0`, `lambda < 0`, or `lambda` is not finite.
+    pub fn new(capacity: usize, lambda: f64) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        assert!(
+            lambda >= 0.0 && lambda.is_finite(),
+            "lambda must be finite and non-negative"
+        );
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            lambda,
+            now: 0,
+            seen: 0,
+        }
+    }
+
+    /// Offer an item arriving at the next time step.
+    pub fn push(&mut self, item: T, rng: &mut impl Rng) {
+        let t = self.now;
+        self.now += 1;
+        self.seen += 1;
+        // A-Res key: u^(1/w) with w = exp(λ t)  ⇒  log key = ln(u)·exp(-λ t).
+        // ln(u) < 0, so multiplying by a *smaller* positive factor (newer t
+        // ⇒ larger w ⇒ smaller exp(-λt)… careful: weight grows with t, so
+        // exponent 1/w shrinks and the key grows toward 1). In log space:
+        let u: f64 = loop {
+            let x = rng.random::<f64>();
+            if x > 0.0 {
+                break x;
+            }
+        };
+        let key = u.ln() * (-self.lambda * t as f64).exp();
+        let entry = Entry { item, key, time: t };
+
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+            return;
+        }
+        // Replace the minimum-key entry if the newcomer beats it.
+        let (min_idx, min_key) = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, e.key))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty reservoir");
+        if entry.key > min_key {
+            self.entries[min_idx] = entry;
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Items offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Borrow the sampled items (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.entries.iter().map(|e| &e.item)
+    }
+
+    /// Clone the sample out (arbitrary order).
+    pub fn to_vec(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        self.iter().cloned().collect()
+    }
+
+    /// Arrival times of the current sample (for tests/diagnostics).
+    pub fn sample_times(&self) -> Vec<u64> {
+        self.entries.iter().map(|e| e.time).collect()
+    }
+
+    /// Mean age (in steps) of the sampled items relative to now.
+    pub fn mean_age(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        let now = self.now as f64;
+        self.entries
+            .iter()
+            .map(|e| now - e.time as f64)
+            .sum::<f64>()
+            / self.entries.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bounded_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut r = TimeBiasedReservoir::new(16, 0.01);
+        for i in 0..5000 {
+            r.push(i, &mut rng);
+        }
+        assert_eq!(r.len(), 16);
+        assert_eq!(r.seen(), 5000);
+    }
+
+    #[test]
+    fn biases_toward_recent() {
+        // With decay, the sample's mean age must be far below the uniform
+        // expectation (≈ n/2).
+        let n = 10_000u64;
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut biased = TimeBiasedReservoir::new(50, 0.005);
+        for i in 0..n {
+            biased.push(i, &mut rng);
+        }
+        let uniform_expected_age = n as f64 / 2.0;
+        assert!(
+            biased.mean_age() < uniform_expected_age / 3.0,
+            "mean age {} not biased (uniform would be ~{})",
+            biased.mean_age(),
+            uniform_expected_age
+        );
+    }
+
+    #[test]
+    fn keeps_some_history() {
+        // Unlike a sliding window, old items survive with positive
+        // probability: with gentle decay over a short stream, at least one
+        // sampled item should predate the most recent window of 100.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut r = TimeBiasedReservoir::new(50, 0.001);
+        for i in 0..1000 {
+            r.push(i, &mut rng);
+        }
+        assert!(
+            r.sample_times().iter().any(|&t| t < 900),
+            "no memory of the past: {:?}",
+            r.sample_times()
+        );
+    }
+
+    #[test]
+    fn lambda_zero_is_roughly_uniform() {
+        let n = 2000u64;
+        let mut ages = 0.0;
+        let runs = 50;
+        for seed in 0..runs {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut r = TimeBiasedReservoir::new(20, 0.0);
+            for i in 0..n {
+                r.push(i, &mut rng);
+            }
+            ages += r.mean_age();
+        }
+        let mean_age = ages / runs as f64;
+        let expected = n as f64 / 2.0;
+        assert!(
+            (mean_age - expected).abs() < expected * 0.15,
+            "λ=0 mean age {mean_age}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn extreme_decay_keeps_only_newest() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut r = TimeBiasedReservoir::new(4, 5.0);
+        for i in 0..100u64 {
+            r.push(i, &mut rng);
+        }
+        let mut times = r.sample_times();
+        times.sort_unstable();
+        // strong decay ⇒ the sample is (almost surely) the most recent items
+        assert!(times[0] >= 90, "expected newest items, got {times:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn negative_lambda_rejected() {
+        TimeBiasedReservoir::<u32>::new(4, -0.1);
+    }
+}

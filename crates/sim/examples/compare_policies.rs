@@ -1,0 +1,60 @@
+//! Side-by-side policy comparison on one dataset/technique — the
+//! development diagnostic behind the Fig. 3/4 harnesses.
+//!
+//! ```text
+//! cargo run --release -p oreo-sim --example compare_policies \
+//!     [total_queries] [segments] [alpha] [partitions] [sample_rows] [jitter] [gamma] [epsilon]
+//! env: DS=tpch|tpcds|telemetry  TECH=qdtree|zorder
+//! ```
+
+use oreo_core::OreoConfig;
+use oreo_sim::*;
+use oreo_workload::{telemetry_bundle, tpcds_bundle, tpch_bundle, StreamConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let total: usize = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(6000);
+    let segments: usize = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(8);
+    let alpha: f64 = args.get(3).map(|s| s.parse().unwrap()).unwrap_or(80.0);
+    let k: usize = args.get(4).map(|s| s.parse().unwrap()).unwrap_or(32);
+    let sample: usize = args.get(5).map(|s| s.parse().unwrap()).unwrap_or(3_000);
+
+    let ds = std::env::var("DS").unwrap_or_else(|_| "tpch".into());
+    let bundle = match ds.as_str() {
+        "tpcds" => tpcds_bundle(30_000, 1),
+        "telemetry" => telemetry_bundle(30_000, 1),
+        _ => tpch_bundle(30_000, 1),
+    };
+    let jitter: f64 = args.get(6).map(|s| s.parse().unwrap()).unwrap_or(0.15);
+    let gamma: f64 = args.get(7).map(|s| s.parse().unwrap()).unwrap_or(1.0);
+    let epsilon: f64 = args.get(8).map(|s| s.parse().unwrap()).unwrap_or(0.08);
+    let stream = bundle.stream(StreamConfig { total_queries: total, segments, seed: 2, anchor_jitter: Some(jitter) });
+    let config = OreoConfig {
+        alpha, window: 200, generation_interval: 200,
+        partitions: k, data_sample_rows: sample, seed: 3, gamma, epsilon, ..Default::default()
+    };
+    let tech = if std::env::var("TECH").as_deref() == Ok("zorder") { Technique::ZOrder } else { Technique::QdTree };
+    let setup = PolicySetup::new(bundle.clone(), tech, config.clone());
+
+    let mut static_p = setup.static_policy(&stream.queries);
+    let rs = run_policy(&mut static_p, &stream.queries, 0);
+    let mut oreo = setup.oreo();
+    let ro = run_policy(&mut oreo, &stream.queries, 0);
+    let mut greedy = setup.greedy();
+    let rg = run_policy(&mut greedy, &stream.queries, 0);
+    let mut regret = setup.regret();
+    let rr = run_policy(&mut regret, &stream.queries, 0);
+
+    let layouts = setup.template_layouts(&stream);
+    let mut mts = setup.mts_optimal(&layouts);
+    let rm = run_policy(&mut mts, &stream.queries, 0);
+    let mut off = setup.offline_optimal(&layouts, &stream.segments);
+    let roff = run_policy(&mut off, &stream.queries, 0);
+
+    for r in [&rs, &ro, &rg, &rr, &rm, &roff] {
+        println!("{:16} total={:8.1} query={:8.1} reorg={:7.1} switches={}",
+            r.name, r.total(), r.ledger.query_cost, r.ledger.reorg_cost, r.switches);
+    }
+    let f = oreo.framework();
+    println!("OREO states={} stats={:?}", f.num_states(), f.manager_stats());
+}

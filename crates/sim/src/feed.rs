@@ -1,0 +1,137 @@
+//! Shared candidate-layout feed.
+//!
+//! §VI-A3: "The three online approaches (Greedy, Regret and OREO) utilize
+//! the same set of data layout candidates computed periodically based on a
+//! sliding window of recent queries, but use different reorganization
+//! strategies." This feed is that shared producer: every
+//! `generation_interval` queries it emits one candidate generated from the
+//! current window, with an estimated (sample-scaled) cost model attached.
+
+use oreo_layout::{build_model, LayoutGenerator, SharedSpec};
+use oreo_query::Query;
+use oreo_sampling::SlidingWindow;
+use oreo_storage::{LayoutModel, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// A freshly generated candidate layout.
+#[derive(Clone)]
+pub struct Candidate {
+    pub id: u64,
+    pub spec: SharedSpec,
+    /// Estimated model (metadata from the data sample, scaled to the table).
+    pub model: LayoutModel,
+}
+
+impl std::fmt::Debug for Candidate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Candidate({}: {})", self.id, self.model.name())
+    }
+}
+
+/// Periodic candidate generator over a sliding window.
+pub struct CandidateFeed {
+    window: SlidingWindow<Query>,
+    generator: Arc<dyn LayoutGenerator>,
+    data_sample: Table,
+    full_rows: f64,
+    k: usize,
+    interval: u64,
+    seen: u64,
+    next_id: u64,
+    rng: StdRng,
+}
+
+impl CandidateFeed {
+    pub fn new(
+        data_sample: Table,
+        full_rows: f64,
+        generator: Arc<dyn LayoutGenerator>,
+        k: usize,
+        window: usize,
+        interval: u64,
+        seed: u64,
+    ) -> Self {
+        Self {
+            window: SlidingWindow::new(window),
+            generator,
+            data_sample,
+            full_rows,
+            k,
+            interval,
+            seen: 0,
+            next_id: 1,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Push a query; on generation boundaries, return a new candidate.
+    pub fn observe(&mut self, query: &Query) -> Option<Candidate> {
+        self.window.push(query.clone());
+        self.seen += 1;
+        if !self.seen.is_multiple_of(self.interval) || self.window.is_empty() {
+            return None;
+        }
+        let workload = self.window.to_vec();
+        let spec = self
+            .generator
+            .generate(&self.data_sample, &workload, self.k, &mut self.rng);
+        let id = self.next_id;
+        self.next_id += 1;
+        let model = build_model(spec.as_ref(), id, &self.data_sample, self.full_rows);
+        Some(Candidate { id, spec, model })
+    }
+
+    /// Current window contents (used by Greedy's comparison).
+    pub fn window_queries(&self) -> Vec<Query> {
+        self.window.to_vec()
+    }
+
+    pub fn queries_seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oreo_layout::QdTreeGenerator;
+    use oreo_query::{ColumnType, QueryBuilder, Scalar, Schema};
+    use oreo_storage::TableBuilder;
+
+    fn table(n: i64) -> Table {
+        let s = Arc::new(Schema::from_pairs([("v", ColumnType::Int)]));
+        let mut b = TableBuilder::new(Arc::clone(&s));
+        for i in 0..n {
+            b.push_row(&[Scalar::Int(i)]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn emits_every_interval() {
+        let t = table(1000);
+        let mut feed = CandidateFeed::new(
+            t.clone(),
+            1000.0,
+            Arc::new(QdTreeGenerator::new()),
+            4,
+            20,
+            20,
+            7,
+        );
+        let mut emitted = 0;
+        for i in 0..100i64 {
+            let q = QueryBuilder::new(t.schema())
+                .between("v", (i * 10) % 800, (i * 10) % 800 + 100)
+                .build();
+            if let Some(c) = feed.observe(&q) {
+                emitted += 1;
+                assert!(c.model.num_partitions() >= 1);
+                assert_eq!(c.id, emitted);
+            }
+        }
+        assert_eq!(emitted, 5);
+    }
+}

@@ -1,0 +1,188 @@
+//! # oreo-sim
+//!
+//! The simulation harness that drives OREO and every baseline of the
+//! paper's evaluation over identical query streams:
+//!
+//! * [`policy`] — the [`ReorgPolicy`] interface + the stream runner;
+//! * [`feed`] — the shared candidate-layout feed (§VI-A3: all online
+//!   methods see the same candidates);
+//! * [`policies`] — Static, Greedy, Regret, OREO, MTS-Optimal and
+//!   Offline-Optimal implementations;
+//! * [`offline_dp`] — the *true* offline UMTS optimum by dynamic
+//!   programming, used to verify Theorem IV.1 empirically;
+//! * [`setup`] — one-stop assembly of comparable policy sets per dataset;
+//! * [`report`] — ASCII tables for the figure/table harnesses.
+
+pub mod feed;
+pub mod offline_dp;
+pub mod policies;
+pub mod policy;
+pub mod report;
+pub mod setup;
+
+pub use feed::{Candidate, CandidateFeed};
+pub use offline_dp::{offline_optimum, OfflineOptimum};
+pub use policies::{
+    GreedyPolicy, MtsOptimalPolicy, OfflineTemplatePolicy, OreoPolicy, RegretPolicy, SatPolicy,
+    StaticPolicy, TemplateLayouts,
+};
+pub use policy::{run_policy, ReorgPolicy, RunResult, StepCost};
+pub use report::{fmt_f, fmt_pct_change, AsciiTable};
+pub use setup::{default_spec, make_generator, PolicySetup, Technique};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oreo_core::{Bls, DumtsConfig, OreoConfig, TransitionPolicy};
+    use oreo_workload::{tpch_bundle, StreamConfig};
+
+    /// End-to-end sanity: on a drifting TPC-H-shaped stream, dynamic
+    /// reorganization (OREO) beats the static layout in total cost, Greedy
+    /// has the lowest query cost but pays the most reorganization, and
+    /// Regret reorganizes the least among the reactive methods.
+    #[test]
+    fn policy_ordering_matches_paper_narrative() {
+        let bundle = tpch_bundle(30_000, 1);
+        let stream = bundle.stream(StreamConfig {
+            total_queries: 6_000,
+            segments: 10,
+            seed: 2,
+            ..Default::default()
+        });
+        let config = OreoConfig {
+            alpha: 60.0,
+            partitions: 64,
+            data_sample_rows: 4_000,
+            seed: 3,
+            ..Default::default()
+        };
+        let setup = PolicySetup::new(bundle, Technique::QdTree, config);
+
+        let mut static_p = setup.static_policy(&stream.queries);
+        let mut greedy = setup.greedy();
+        let mut regret = setup.regret();
+        let mut oreo = setup.oreo();
+
+        let rs = run_policy(&mut static_p, &stream.queries, 0);
+        let rg = run_policy(&mut greedy, &stream.queries, 0);
+        let rr = run_policy(&mut regret, &stream.queries, 0);
+        let ro = run_policy(&mut oreo, &stream.queries, 0);
+
+        // dynamic reorganization beats static overall
+        assert!(
+            ro.total() < rs.total(),
+            "OREO {} !< Static {}",
+            ro.total(),
+            rs.total()
+        );
+        // Greedy reorganizes at least as much as anyone
+        assert!(rg.switches >= ro.switches);
+        assert!(rg.switches >= rr.switches);
+        // Greedy's query cost is the smallest among online methods
+        assert!(rg.ledger.query_cost <= ro.ledger.query_cost + 1e-9);
+        assert!(rg.ledger.query_cost <= rr.ledger.query_cost + 1e-9);
+    }
+
+    /// Theorem IV.1 empirically: the classic algorithm's expected cost is
+    /// within 2(1 + ln n)·OPT + O(α) of the DP optimum on oblivious random
+    /// streams.
+    #[test]
+    fn competitive_ratio_respected_against_dp_optimum() {
+        use rand::{Rng, SeedableRng};
+        let n = 6usize;
+        let alpha = 8.0;
+        let queries = 4_000usize;
+        let mut adv = rand::rngs::StdRng::seed_from_u64(31);
+        // oblivious adversarial-ish stream: block-correlated costs so that
+        // switching actually matters
+        let mut costs: Vec<Vec<f64>> = Vec::with_capacity(queries);
+        let mut cheap = 0usize;
+        for t in 0..queries {
+            if t % 200 == 0 {
+                cheap = adv.random_range(0..n);
+            }
+            costs.push(
+                (0..n)
+                    .map(|s| {
+                        if s == cheap {
+                            0.05 * adv.random::<f64>()
+                        } else {
+                            0.5 + 0.5 * adv.random::<f64>()
+                        }
+                    })
+                    .collect(),
+            );
+        }
+        let opt = offline_optimum(&costs, alpha);
+        assert!(opt.total_cost > 0.0);
+
+        let trials = 10;
+        let mut total = 0.0;
+        for seed in 0..trials {
+            let states: Vec<u64> = (0..n as u64).collect();
+            let mut bls = Bls::with_config(
+                &states,
+                DumtsConfig {
+                    alpha,
+                    transition: TransitionPolicy::Uniform,
+                    stay_on_reset: true,
+                    mid_phase_admission: false,
+                    seed,
+                },
+            );
+            let mut cost = 0.0;
+            for row in &costs {
+                let o = bls.observe_query(|s| row[s as usize]);
+                cost += row[bls.current() as usize];
+                if o.switched_to.is_some() {
+                    cost += alpha;
+                }
+            }
+            total += cost;
+        }
+        let mean = total / trials as f64;
+        let h_n: f64 = (1..=n).map(|i| 1.0 / i as f64).sum();
+        let bound = 2.0 * h_n * opt.total_cost + 4.0 * alpha; // additive slack
+        assert!(
+            mean <= bound,
+            "algorithm {mean:.1} exceeds 2H(n)·OPT bound {bound:.1} (OPT = {:.1})",
+            opt.total_cost
+        );
+        // and the algorithm is genuinely online: it must cost more than OPT
+        assert!(mean >= opt.total_cost - 1e-9);
+    }
+
+    /// MTS Optimal and Offline Optimal order correctly: offline knowledge
+    /// of switch points beats online switching over the same state space.
+    #[test]
+    fn offline_beats_online_over_same_states() {
+        let bundle = tpch_bundle(10_000, 4);
+        let stream = bundle.stream(StreamConfig {
+            total_queries: 2_000,
+            segments: 5,
+            seed: 5,
+            ..Default::default()
+        });
+        let config = OreoConfig {
+            alpha: 40.0,
+            partitions: 32,
+            data_sample_rows: 2_000,
+            seed: 6,
+            ..Default::default()
+        };
+        let setup = PolicySetup::new(bundle, Technique::QdTree, config);
+        let layouts = setup.template_layouts(&stream);
+        let mut mts = setup.mts_optimal(&layouts);
+        let mut offline = setup.offline_optimal(&layouts, &stream.segments);
+
+        let rm = run_policy(&mut mts, &stream.queries, 0);
+        let roff = run_policy(&mut offline, &stream.queries, 0);
+        assert!(
+            roff.ledger.query_cost <= rm.ledger.query_cost + 1e-9,
+            "offline query cost {} > online {}",
+            roff.ledger.query_cost,
+            rm.ledger.query_cost
+        );
+        assert_eq!(roff.switches as usize, stream.segments.len() - 1);
+    }
+}

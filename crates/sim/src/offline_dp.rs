@@ -1,0 +1,180 @@
+//! The true offline optimum for UMTS over a fixed state space, by dynamic
+//! programming.
+//!
+//! The competitive guarantees of Theorem IV.1 are stated against *any*
+//! offline algorithm that sees the whole task sequence and may switch
+//! states. This module computes that optimum exactly:
+//!
+//! `dp_t(s) = min( dp_{t-1}(s), min_{s'} dp_{t-1}(s') + α ) + c(s, q_t)`
+//!
+//! with `dp_0(s) = 0` (any free starting state, matching the algorithm's
+//! free initial draw). One `min` pass makes each step O(n). Used by the
+//! competitive-ratio property tests and as a diagnostic in the harnesses.
+
+/// Exact offline optimum and its switch count.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OfflineOptimum {
+    /// Minimum achievable total cost (service + α·switches).
+    pub total_cost: f64,
+    /// Switches used by one optimal schedule.
+    pub switches: u64,
+    /// The optimal schedule: state index per query.
+    pub schedule: Vec<usize>,
+}
+
+/// Compute the optimum for a cost matrix: `costs[t][s]` = cost of serving
+/// query `t` in state `s`. All `n` states exist throughout; switching costs
+/// `alpha`.
+///
+/// # Panics
+/// Panics when the matrix is empty or ragged.
+pub fn offline_optimum(costs: &[Vec<f64>], alpha: f64) -> OfflineOptimum {
+    assert!(!costs.is_empty(), "need at least one query");
+    let n = costs[0].len();
+    assert!(n > 0, "need at least one state");
+
+    let t_max = costs.len();
+    let mut dp = vec![0.0f64; n];
+    // parent[t][s] = state at t-1 from which dp_t(s) was reached
+    let mut parent: Vec<Vec<usize>> = Vec::with_capacity(t_max);
+
+    for row in costs {
+        assert_eq!(row.len(), n, "ragged cost matrix");
+        // best predecessor if we switch
+        let (best_idx, best_val) = dp
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, &v)| (i, v))
+            .expect("n > 0");
+        let mut parents = vec![0usize; n];
+        let mut next = vec![0.0f64; n];
+        for s in 0..n {
+            let stay = dp[s];
+            let jump = best_val + alpha;
+            if stay <= jump {
+                next[s] = stay + row[s];
+                parents[s] = s;
+            } else {
+                next[s] = jump + row[s];
+                parents[s] = best_idx;
+            }
+        }
+        dp = next;
+        parent.push(parents);
+    }
+
+    // Backtrack the schedule.
+    let (mut state, _) = dp
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .expect("n > 0");
+    let total_cost = dp[state];
+    let mut schedule = vec![0usize; t_max];
+    for t in (0..t_max).rev() {
+        schedule[t] = state;
+        state = parent[t][state];
+    }
+    let switches = schedule.windows(2).filter(|w| w[0] != w[1]).count() as u64;
+
+    OfflineOptimum {
+        total_cost,
+        switches,
+        schedule,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_state_sums_costs() {
+        let costs = vec![vec![0.5], vec![0.25], vec![1.0]];
+        let o = offline_optimum(&costs, 10.0);
+        assert!((o.total_cost - 1.75).abs() < 1e-12);
+        assert_eq!(o.switches, 0);
+        assert_eq!(o.schedule, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn high_alpha_prevents_switching() {
+        // state 0 cheap early, state 1 cheap late; α too big to bother
+        let mut costs = Vec::new();
+        for t in 0..10 {
+            costs.push(if t < 5 {
+                vec![0.0, 1.0]
+            } else {
+                vec![1.0, 0.0]
+            });
+        }
+        let o = offline_optimum(&costs, 100.0);
+        assert_eq!(o.switches, 0);
+        assert!((o.total_cost - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_alpha_switches_at_drift() {
+        let mut costs = Vec::new();
+        for t in 0..10 {
+            costs.push(if t < 5 {
+                vec![0.0, 1.0]
+            } else {
+                vec![1.0, 0.0]
+            });
+        }
+        let o = offline_optimum(&costs, 1.0);
+        assert_eq!(o.switches, 1);
+        assert!((o.total_cost - 1.0).abs() < 1e-12);
+        assert_eq!(o.schedule, vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn free_initial_state() {
+        // the first query decides the free starting state
+        let costs = vec![vec![1.0, 0.0]];
+        let o = offline_optimum(&costs, 5.0);
+        assert_eq!(o.total_cost, 0.0);
+        assert_eq!(o.schedule, vec![1]);
+    }
+
+    #[test]
+    fn optimum_is_lower_bound_of_any_fixed_state() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let costs: Vec<Vec<f64>> = (0..200)
+            .map(|_| (0..4).map(|_| rng.random::<f64>()).collect())
+            .collect();
+        let o = offline_optimum(&costs, 7.0);
+        for s in 0..4 {
+            let fixed: f64 = costs.iter().map(|row| row[s]).sum();
+            assert!(o.total_cost <= fixed + 1e-9);
+        }
+    }
+
+    #[test]
+    fn schedule_cost_matches_reported_cost() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let costs: Vec<Vec<f64>> = (0..100)
+            .map(|_| (0..3).map(|_| rng.random::<f64>()).collect())
+            .collect();
+        let alpha = 2.5;
+        let o = offline_optimum(&costs, alpha);
+        let mut replay = 0.0;
+        for (t, &s) in o.schedule.iter().enumerate() {
+            replay += costs[t][s];
+            if t > 0 && o.schedule[t - 1] != s {
+                replay += alpha;
+            }
+        }
+        assert!((replay - o.total_cost).abs() < 1e-9, "{replay} vs {}", o.total_cost);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_matrix_rejected() {
+        offline_optimum(&[vec![0.0, 1.0], vec![0.0]], 1.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! The Greedy baseline (§VI-A3): whenever a new candidate layout appears,
+//! compare its (estimated) query cost on the sliding window against the
+//! current layout's and switch if the candidate is better — ignoring the
+//! reorganization cost entirely.
+
+use crate::feed::CandidateFeed;
+use crate::policy::{ReorgPolicy, StepCost};
+use oreo_layout::build_exact_model;
+use oreo_query::Query;
+use oreo_storage::{LayoutModel, Table};
+use std::sync::Arc;
+
+/// Greedy reorganizer.
+pub struct GreedyPolicy {
+    feed: CandidateFeed,
+    table: Arc<Table>,
+    alpha: f64,
+    /// Estimated model of the current layout (decision surface).
+    current_estimate: LayoutModel,
+    /// Exact model of the current layout (billing surface).
+    current_exact: LayoutModel,
+    switches: u64,
+}
+
+impl GreedyPolicy {
+    pub fn new(
+        table: Arc<Table>,
+        feed: CandidateFeed,
+        initial_estimate: LayoutModel,
+        initial_exact: LayoutModel,
+        alpha: f64,
+    ) -> Self {
+        Self {
+            feed,
+            table,
+            alpha,
+            current_estimate: initial_estimate,
+            current_exact: initial_exact,
+            switches: 0,
+        }
+    }
+}
+
+impl ReorgPolicy for GreedyPolicy {
+    fn name(&self) -> String {
+        "Greedy".into()
+    }
+
+    fn observe(&mut self, query: &Query) -> StepCost {
+        let mut cost = StepCost::default();
+        if let Some(candidate) = self.feed.observe(query) {
+            let window = self.feed.window_queries();
+            let cand_cost = candidate.model.mean_cost(&window);
+            let cur_cost = self.current_estimate.mean_cost(&window);
+            if cand_cost < cur_cost {
+                // switch unconditionally on improvement — α be damned
+                self.switches += 1;
+                cost.reorg = self.alpha;
+                cost.switched = true;
+                self.current_exact =
+                    build_exact_model(candidate.spec.as_ref(), candidate.id, &self.table);
+                self.current_estimate = candidate.model;
+            }
+        }
+        cost.service = self.current_exact.cost(query);
+        cost
+    }
+
+    fn switches(&self) -> u64 {
+        self.switches
+    }
+}

@@ -1,0 +1,20 @@
+//! Reorganization strategies: OREO and every comparison method of §VI-A3
+//! and §VI-C.
+
+pub mod greedy;
+pub mod mts_optimal;
+pub mod offline_template;
+pub mod oreo_adapter;
+pub mod regret;
+pub mod sat;
+pub mod static_layout;
+pub mod templates;
+
+pub use greedy::GreedyPolicy;
+pub use mts_optimal::MtsOptimalPolicy;
+pub use offline_template::OfflineTemplatePolicy;
+pub use oreo_adapter::OreoPolicy;
+pub use regret::RegretPolicy;
+pub use sat::SatPolicy;
+pub use static_layout::StaticPolicy;
+pub use templates::{SegmentLayout, TemplateLayouts};

@@ -1,0 +1,54 @@
+//! [`ReorgPolicy`] adapter for the full OREO framework.
+
+use crate::policy::{ReorgPolicy, StepCost};
+use oreo_core::{Oreo, OreoConfig};
+use oreo_layout::{LayoutGenerator, SharedSpec};
+use oreo_query::Query;
+use oreo_storage::Table;
+use std::sync::Arc;
+
+/// OREO as a simulator policy.
+pub struct OreoPolicy {
+    inner: Oreo,
+}
+
+impl OreoPolicy {
+    pub fn new(
+        table: Arc<Table>,
+        initial_spec: SharedSpec,
+        generator: Arc<dyn LayoutGenerator>,
+        config: OreoConfig,
+    ) -> Self {
+        Self {
+            inner: Oreo::new(table, initial_spec, generator, config),
+        }
+    }
+
+    /// Access the wrapped framework (for state-space statistics).
+    pub fn framework(&self) -> &Oreo {
+        &self.inner
+    }
+}
+
+impl ReorgPolicy for OreoPolicy {
+    fn name(&self) -> String {
+        "OREO".into()
+    }
+
+    fn observe(&mut self, query: &Query) -> StepCost {
+        let report = self.inner.observe(query);
+        StepCost {
+            service: report.service_cost,
+            reorg: if report.reorg_decision.is_some() {
+                self.inner.config().alpha
+            } else {
+                0.0
+            },
+            switched: report.reorg_decision.is_some(),
+        }
+    }
+
+    fn switches(&self) -> u64 {
+        self.inner.switches()
+    }
+}

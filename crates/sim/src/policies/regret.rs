@@ -1,0 +1,131 @@
+//! The Regret baseline (§VI-A3), inspired by TASM's storage management:
+//! track the *cumulative* query-cost difference between the current layout
+//! and each alternative; when some alternative's accumulated saving exceeds
+//! the reorganization cost α, switch to it. New candidates retroactively
+//! replay the queries serviced on the current layout to initialize their
+//! saving counters.
+
+use crate::feed::{Candidate, CandidateFeed};
+use crate::policy::{ReorgPolicy, StepCost};
+use oreo_layout::build_exact_model;
+use oreo_query::Query;
+use oreo_storage::{LayoutModel, Table};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Cap on the replay history per current layout, bounding the retroactive
+/// evaluation cost of each new candidate. Long histories add nothing: a
+/// candidate whose savings need >4000 queries to reach α will accumulate
+/// them incrementally after admission anyway.
+const MAX_HISTORY: usize = 4_000;
+
+struct Alternative {
+    candidate: Candidate,
+    /// Σ (c(current, q) − c(alt, q)) since this layout became current.
+    saving: f64,
+}
+
+/// Regret-based reorganizer.
+pub struct RegretPolicy {
+    feed: CandidateFeed,
+    table: Arc<Table>,
+    alpha: f64,
+    current_estimate: LayoutModel,
+    current_exact: LayoutModel,
+    alternatives: Vec<Alternative>,
+    /// Queries serviced on the current layout (bounded replay buffer).
+    history: VecDeque<Query>,
+    switches: u64,
+    /// Cap on tracked alternatives (oldest evicted first).
+    max_alternatives: usize,
+}
+
+impl RegretPolicy {
+    pub fn new(
+        table: Arc<Table>,
+        feed: CandidateFeed,
+        initial_estimate: LayoutModel,
+        initial_exact: LayoutModel,
+        alpha: f64,
+    ) -> Self {
+        Self {
+            feed,
+            table,
+            alpha,
+            current_estimate: initial_estimate,
+            current_exact: initial_exact,
+            alternatives: Vec::new(),
+            history: VecDeque::new(),
+            switches: 0,
+            max_alternatives: 16,
+        }
+    }
+
+    fn admit_candidate(&mut self, candidate: Candidate) {
+        // Retroactive saving over the replay buffer (the paper: "using all
+        // queries that have been serviced on the current layout").
+        let saving: f64 = self
+            .history
+            .iter()
+            .map(|q| self.current_estimate.cost(q) - candidate.model.cost(q))
+            .sum();
+        self.alternatives.push(Alternative { candidate, saving });
+        if self.alternatives.len() > self.max_alternatives {
+            self.alternatives.remove(0);
+        }
+    }
+}
+
+impl ReorgPolicy for RegretPolicy {
+    fn name(&self) -> String {
+        "Regret".into()
+    }
+
+    fn observe(&mut self, query: &Query) -> StepCost {
+        let mut cost = StepCost::default();
+        if let Some(candidate) = self.feed.observe(query) {
+            self.admit_candidate(candidate);
+        }
+
+        // Update cumulative savings with this query.
+        let cur = self.current_estimate.cost(query);
+        for alt in &mut self.alternatives {
+            alt.saving += cur - alt.candidate.model.cost(query);
+        }
+        self.history.push_back(query.clone());
+        if self.history.len() > MAX_HISTORY {
+            self.history.pop_front();
+        }
+
+        // Switch when the best accumulated saving exceeds α.
+        let best = self
+            .alternatives
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.saving.total_cmp(&b.1.saving));
+        if let Some((idx, alt)) = best {
+            if alt.saving > self.alpha {
+                let chosen = self.alternatives.swap_remove(idx);
+                self.switches += 1;
+                cost.reorg = self.alpha;
+                cost.switched = true;
+                self.current_exact = build_exact_model(
+                    chosen.candidate.spec.as_ref(),
+                    chosen.candidate.id,
+                    &self.table,
+                );
+                self.current_estimate = chosen.candidate.model;
+                // savings were measured against the old current; restart
+                self.alternatives.clear();
+                self.history.clear();
+            }
+        }
+
+        cost.service = self.current_exact.cost(query);
+        cost
+    }
+
+    fn switches(&self) -> u64 {
+        self.switches
+    }
+}

@@ -1,0 +1,74 @@
+//! The Static baseline (§VI-A3): observes the entire query workload in
+//! advance, builds one layout optimized for all of it, and never switches.
+
+use crate::policy::{ReorgPolicy, StepCost};
+use oreo_layout::{build_exact_model, LayoutGenerator};
+use oreo_query::Query;
+use oreo_storage::{LayoutModel, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// A single precomputed layout for the whole stream.
+pub struct StaticPolicy {
+    model: LayoutModel,
+    switches: u64,
+}
+
+impl StaticPolicy {
+    /// Build the static layout from (a sample of) the full workload.
+    ///
+    /// `workload_sample_size` bounds the number of queries handed to the
+    /// generator — mirroring the paper's use of workload samples for layout
+    /// construction. The sample is an even stride over the stream, so every
+    /// template segment is represented proportionally.
+    pub fn build(
+        table: &Arc<Table>,
+        full_workload: &[Query],
+        generator: &Arc<dyn LayoutGenerator>,
+        k: usize,
+        data_sample_rows: usize,
+        workload_sample_size: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data_sample = table.sample(&mut rng, data_sample_rows);
+        let workload: Vec<Query> = if full_workload.len() <= workload_sample_size {
+            full_workload.to_vec()
+        } else {
+            let stride = full_workload.len() / workload_sample_size;
+            full_workload
+                .iter()
+                .step_by(stride.max(1))
+                .take(workload_sample_size)
+                .cloned()
+                .collect()
+        };
+        let spec = generator.generate(&data_sample, &workload, k, &mut rng);
+        let model = build_exact_model(spec.as_ref(), 0, table);
+        Self { model, switches: 0 }
+    }
+
+    /// The materialized layout's model (diagnostics).
+    pub fn model(&self) -> &LayoutModel {
+        &self.model
+    }
+}
+
+impl ReorgPolicy for StaticPolicy {
+    fn name(&self) -> String {
+        "Static".into()
+    }
+
+    fn observe(&mut self, query: &Query) -> StepCost {
+        StepCost {
+            service: self.model.cost(query),
+            reorg: 0.0,
+            switched: false,
+        }
+    }
+
+    fn switches(&self) -> u64 {
+        self.switches
+    }
+}

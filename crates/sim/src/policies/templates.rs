@@ -1,0 +1,80 @@
+//! Per-template (per-segment) optimal layouts — the extra workload
+//! knowledge granted to the MTS-Optimal and Offline-Optimal comparison
+//! methods (§VI-C: "a fixed state space that includes the best data layout
+//! precomputed for each query template").
+//!
+//! A "template" here is one of the stream's *concrete* query shapes: each
+//! segment anchors one instantiation of a template family, so the natural
+//! state space has one layout per segment (the paper's 20).
+
+use oreo_layout::{build_exact_model, build_model, LayoutGenerator, SharedSpec};
+use oreo_storage::{LayoutModel, Table};
+use oreo_workload::QueryStream;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// One precomputed layout per stream segment.
+pub struct SegmentLayout {
+    /// Index into the stream's segment list.
+    pub segment: usize,
+    pub spec: SharedSpec,
+    /// Estimated (sample-scaled) model.
+    pub estimate: LayoutModel,
+    /// Exact model over the full table.
+    pub exact: LayoutModel,
+}
+
+/// The precomputed state space for the §VI-C comparison methods.
+pub struct TemplateLayouts {
+    pub layouts: Vec<SegmentLayout>,
+}
+
+impl TemplateLayouts {
+    /// Generate one layout per segment from up to `queries_per_segment` of
+    /// the segment's own queries.
+    pub fn build(
+        table: &Arc<Table>,
+        stream: &QueryStream,
+        generator: &Arc<dyn LayoutGenerator>,
+        k: usize,
+        data_sample_rows: usize,
+        queries_per_segment: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data_sample = table.sample(&mut rng, data_sample_rows);
+        let mut layouts = Vec::with_capacity(stream.segments.len());
+        for (i, seg) in stream.segments.iter().enumerate() {
+            let take = seg.len.min(queries_per_segment);
+            let workload = &stream.queries[seg.start..seg.start + take];
+            let spec = generator.generate(&data_sample, workload, k, &mut rng);
+            let estimate = build_model(
+                spec.as_ref(),
+                i as u64,
+                &data_sample,
+                table.num_rows() as f64,
+            );
+            let exact = build_exact_model(spec.as_ref(), i as u64, table);
+            layouts.push(SegmentLayout {
+                segment: i,
+                spec,
+                estimate,
+                exact,
+            });
+        }
+        Self { layouts }
+    }
+
+    pub fn get(&self, segment: usize) -> &SegmentLayout {
+        &self.layouts[segment]
+    }
+
+    pub fn len(&self) -> usize {
+        self.layouts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.layouts.is_empty()
+    }
+}

@@ -1,0 +1,107 @@
+//! The policy interface every reorganization strategy implements, so the
+//! runner and harnesses compare identical quantities.
+
+use oreo_core::CostLedger;
+use oreo_query::Query;
+
+/// Costs incurred while observing one query.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StepCost {
+    /// Service cost of this query: the fraction of the table read.
+    pub service: f64,
+    /// Reorganization cost incurred this step (α per switch decided now).
+    pub reorg: f64,
+    /// Whether a switch was decided this step.
+    pub switched: bool,
+}
+
+/// An online (or offline-replayed) reorganization strategy.
+pub trait ReorgPolicy {
+    /// Display name, e.g. `"OREO"`, `"Static"`, `"Greedy"`.
+    fn name(&self) -> String;
+
+    /// Observe and "execute" one query, returning the costs it incurred.
+    fn observe(&mut self, query: &Query) -> StepCost;
+
+    /// Number of layout switches so far.
+    fn switches(&self) -> u64;
+}
+
+/// Drive a policy over a stream, accumulating a ledger and a cumulative-cost
+/// trajectory sampled every `sample_every` queries (for Fig. 4-style plots).
+pub fn run_policy(
+    policy: &mut dyn ReorgPolicy,
+    queries: &[Query],
+    sample_every: usize,
+) -> RunResult {
+    let mut ledger = CostLedger::new();
+    let mut trajectory = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        let step = policy.observe(q);
+        ledger.add_query(step.service);
+        if step.switched {
+            ledger.add_reorg(step.reorg);
+        } else {
+            debug_assert_eq!(step.reorg, 0.0, "reorg cost without a switch");
+        }
+        if sample_every > 0 && (i + 1) % sample_every == 0 {
+            trajectory.push((i as u64 + 1, ledger.total()));
+        }
+    }
+    RunResult {
+        name: policy.name(),
+        ledger,
+        trajectory,
+        switches: policy.switches(),
+    }
+}
+
+/// Outcome of one policy run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    pub name: String,
+    pub ledger: CostLedger,
+    /// `(queries processed, cumulative total cost)` samples.
+    pub trajectory: Vec<(u64, f64)>,
+    pub switches: u64,
+}
+
+impl RunResult {
+    pub fn total(&self) -> f64 {
+        self.ledger.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(f64);
+    impl ReorgPolicy for Fixed {
+        fn name(&self) -> String {
+            "fixed".into()
+        }
+        fn observe(&mut self, _q: &Query) -> StepCost {
+            StepCost {
+                service: self.0,
+                reorg: 0.0,
+                switched: false,
+            }
+        }
+        fn switches(&self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn runner_accumulates_and_samples() {
+        let queries: Vec<Query> = (0..100).map(|i| Query::full_scan().with_seq(i)).collect();
+        let mut p = Fixed(0.5);
+        let r = run_policy(&mut p, &queries, 25);
+        assert_eq!(r.ledger.queries, 100);
+        assert!((r.total() - 50.0).abs() < 1e-9);
+        assert_eq!(r.trajectory.len(), 4);
+        assert_eq!(r.trajectory[0], (25, 12.5));
+        assert_eq!(r.switches, 0);
+    }
+}

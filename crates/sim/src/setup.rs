@@ -1,0 +1,229 @@
+//! Assembly helpers: build comparable policy instances for a dataset bundle
+//! so that every harness wires baselines identically.
+
+use crate::feed::CandidateFeed;
+use crate::policies::greedy::GreedyPolicy;
+use crate::policies::mts_optimal::MtsOptimalPolicy;
+use crate::policies::offline_template::OfflineTemplatePolicy;
+use crate::policies::oreo_adapter::OreoPolicy;
+use crate::policies::regret::RegretPolicy;
+use crate::policies::sat::SatPolicy;
+use crate::policies::static_layout::StaticPolicy;
+use crate::policies::templates::TemplateLayouts;
+use oreo_core::{DumtsConfig, OreoConfig, TransitionPolicy};
+use oreo_layout::{
+    build_exact_model, build_model, LayoutGenerator, QdTreeGenerator, RangeLayout, SharedSpec,
+    ZOrderGenerator,
+};
+use oreo_query::Query;
+use oreo_storage::Table;
+use oreo_workload::{DatasetBundle, Segment};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Layout-generation technique under evaluation (Fig. 3 columns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Technique {
+    QdTree,
+    ZOrder,
+}
+
+impl Technique {
+    pub fn label(self) -> &'static str {
+        match self {
+            Technique::QdTree => "Qd-tree",
+            Technique::ZOrder => "Z-Order",
+        }
+    }
+}
+
+/// Instantiate the generator for a technique over a bundle. Z-order falls
+/// back to the bundle's default sort column when the workload is cold.
+pub fn make_generator(
+    technique: Technique,
+    bundle: &DatasetBundle,
+) -> Arc<dyn LayoutGenerator> {
+    match technique {
+        Technique::QdTree => Arc::new(QdTreeGenerator::new()),
+        Technique::ZOrder => Arc::new(ZOrderGenerator::with_defaults(vec![
+            bundle.default_sort_col,
+        ])),
+    }
+}
+
+/// The default layout every online method starts from: range partitioning
+/// on the bundle's natural ingest column ("partition by time", §IV-A).
+pub fn default_spec(bundle: &DatasetBundle, k: usize, seed: u64) -> SharedSpec {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEFA);
+    let sample = bundle.table.sample(&mut rng, 4000.min(bundle.table.num_rows()));
+    Arc::new(RangeLayout::from_sample(
+        &sample,
+        bundle.default_sort_col,
+        k,
+    ))
+}
+
+/// Everything the Fig. 3 / Table II harnesses need to build one policy set.
+pub struct PolicySetup {
+    pub bundle: DatasetBundle,
+    pub technique: Technique,
+    pub config: OreoConfig,
+}
+
+impl PolicySetup {
+    pub fn new(bundle: DatasetBundle, technique: Technique, config: OreoConfig) -> Self {
+        Self {
+            bundle,
+            technique,
+            config,
+        }
+    }
+
+    fn generator(&self) -> Arc<dyn LayoutGenerator> {
+        make_generator(self.technique, &self.bundle)
+    }
+
+    fn data_sample(&self) -> Table {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xD5A7);
+        self.bundle
+            .table
+            .sample(&mut rng, self.config.data_sample_rows)
+    }
+
+    fn feed(&self) -> CandidateFeed {
+        CandidateFeed::new(
+            self.data_sample(),
+            self.bundle.table.num_rows() as f64,
+            self.generator(),
+            self.config.partitions,
+            self.config.window,
+            self.config.generation_interval,
+            self.config.seed,
+        )
+    }
+
+    /// Initial (estimated, exact) models of the default layout.
+    fn initial_models(
+        &self,
+    ) -> (
+        oreo_storage::LayoutModel,
+        oreo_storage::LayoutModel,
+        SharedSpec,
+    ) {
+        let spec = default_spec(&self.bundle, self.config.partitions, self.config.seed);
+        let estimate = build_model(
+            spec.as_ref(),
+            0,
+            &self.data_sample(),
+            self.bundle.table.num_rows() as f64,
+        );
+        let exact = build_exact_model(spec.as_ref(), 0, &self.bundle.table);
+        (estimate, exact, spec)
+    }
+
+    /// The OREO policy.
+    pub fn oreo(&self) -> OreoPolicy {
+        let (_, _, spec) = self.initial_models();
+        OreoPolicy::new(
+            Arc::clone(&self.bundle.table),
+            spec,
+            self.generator(),
+            self.config.clone(),
+        )
+    }
+
+    /// The Greedy baseline.
+    pub fn greedy(&self) -> GreedyPolicy {
+        let (estimate, exact, _) = self.initial_models();
+        GreedyPolicy::new(
+            Arc::clone(&self.bundle.table),
+            self.feed(),
+            estimate,
+            exact,
+            self.config.alpha,
+        )
+    }
+
+    /// The Regret baseline.
+    pub fn regret(&self) -> RegretPolicy {
+        let (estimate, exact, _) = self.initial_models();
+        RegretPolicy::new(
+            Arc::clone(&self.bundle.table),
+            self.feed(),
+            estimate,
+            exact,
+            self.config.alpha,
+        )
+    }
+
+    /// The SAT-style heuristic baseline (§VII-2): ratio-triggered
+    /// reorganization with threshold τ = 0.3.
+    pub fn sat(&self) -> SatPolicy {
+        let (_, exact, _) = self.initial_models();
+        SatPolicy::new(
+            Arc::clone(&self.bundle.table),
+            self.feed(),
+            exact,
+            self.config.alpha,
+            0.3,
+        )
+    }
+
+    /// The Static baseline (needs the whole workload in advance).
+    pub fn static_policy(&self, full_workload: &[Query]) -> StaticPolicy {
+        StaticPolicy::build(
+            &self.bundle.table,
+            full_workload,
+            &self.generator(),
+            self.config.partitions,
+            self.config.data_sample_rows,
+            2_000,
+            self.config.seed,
+        )
+    }
+
+    /// Per-template (per-segment) layouts shared by MTS-Optimal and
+    /// Offline-Optimal. Needs the generated stream, since each segment
+    /// anchors a concrete query shape.
+    pub fn template_layouts(&self, stream: &oreo_workload::QueryStream) -> TemplateLayouts {
+        TemplateLayouts::build(
+            &self.bundle.table,
+            stream,
+            &self.generator(),
+            self.config.partitions,
+            self.config.data_sample_rows,
+            100,
+            self.config.seed,
+        )
+    }
+
+    /// MTS Optimal over a precomputed per-template state space.
+    pub fn mts_optimal(&self, layouts: &TemplateLayouts) -> MtsOptimalPolicy {
+        MtsOptimalPolicy::new(
+            layouts,
+            DumtsConfig {
+                alpha: self.config.alpha,
+                transition: if self.config.gamma == 0.0 {
+                    TransitionPolicy::Uniform
+                } else {
+                    TransitionPolicy::SkippedWeighted {
+                        gamma: self.config.gamma,
+                    }
+                },
+                stay_on_reset: self.config.stay_on_reset,
+                mid_phase_admission: self.config.mid_phase_admission,
+                seed: self.config.seed,
+            },
+        )
+    }
+
+    /// Offline Optimal switching at template boundaries.
+    pub fn offline_optimal(
+        &self,
+        layouts: &TemplateLayouts,
+        segments: &[Segment],
+    ) -> OfflineTemplatePolicy {
+        OfflineTemplatePolicy::new(layouts, segments, self.config.alpha)
+    }
+}

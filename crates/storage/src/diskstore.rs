@@ -1,0 +1,391 @@
+//! A partitioned on-disk table store.
+//!
+//! This is our stand-in for the paper's Spark + Parquet setup: partitions are
+//! the unit of I/O, a query reads only the partitions its predicate cannot
+//! skip, and *reorganization* re-routes every row to a new partition and
+//! rewrites all files (read → update BID → repartition → compress + write,
+//! exactly the four steps measured for Table I).
+
+use crate::column::DictBuilder;
+use crate::column::Column;
+use crate::error::{Result, StorageError};
+use crate::format::{read_partition, write_partition};
+use crate::partition::{build_metadata, PartitionMetadata};
+use crate::table::Table;
+use oreo_query::{Query, Schema};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Handle to one on-disk partition.
+#[derive(Clone, Debug)]
+pub struct PartitionHandle {
+    pub path: PathBuf,
+    pub rows: u64,
+    pub bytes: u64,
+}
+
+/// Statistics from a scan, used both for correctness checks and for the
+/// physical-time measurements in the benchmark harnesses.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ScanStats {
+    pub partitions_read: usize,
+    pub partitions_skipped: usize,
+    pub rows_read: u64,
+    pub rows_matched: u64,
+    pub bytes_read: u64,
+}
+
+/// A partitioned table persisted to a directory, one file per partition.
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+    schema: Arc<Schema>,
+    partitions: Vec<PartitionHandle>,
+    metadata: Vec<PartitionMetadata>,
+}
+
+impl DiskStore {
+    /// Partition `table` by `assignment` (row → BID, BIDs in `0..k`) and
+    /// write one compressed file per partition under `dir`.
+    pub fn create(dir: &Path, table: &Table, assignment: &[u32], k: usize) -> Result<Self> {
+        assert_eq!(assignment.len(), table.num_rows(), "assignment length");
+        fs::create_dir_all(dir)?;
+
+        // Group row ids by partition.
+        let mut groups: Vec<Vec<u32>> = vec![Vec::new(); k];
+        for (row, &bid) in assignment.iter().enumerate() {
+            groups[bid as usize].push(row as u32);
+        }
+
+        let mut partitions = Vec::with_capacity(k);
+        for (bid, rows) in groups.iter().enumerate() {
+            let part = table.project_rows(rows);
+            let path = dir.join(format!("part-{bid:05}.oreo"));
+            let bytes = write_partition(&path, &part)?;
+            partitions.push(PartitionHandle {
+                path,
+                rows: rows.len() as u64,
+                bytes,
+            });
+        }
+
+        let metadata = build_metadata(table, assignment, k);
+        Ok(Self {
+            dir: dir.to_owned(),
+            schema: Arc::clone(table.schema()),
+            partitions,
+            metadata,
+        })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    pub fn partitions(&self) -> &[PartitionHandle] {
+        &self.partitions
+    }
+
+    pub fn metadata(&self) -> &[PartitionMetadata] {
+        &self.metadata
+    }
+
+    /// Total on-disk footprint in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.partitions.iter().map(|p| p.bytes).sum()
+    }
+
+    /// Total rows across partitions.
+    pub fn total_rows(&self) -> u64 {
+        self.partitions.iter().map(|p| p.rows).sum()
+    }
+
+    /// Read every partition (the paper's "full table scan" used as the
+    /// denominator of α): all bytes are read from disk and one column — the
+    /// aggregate's input — is decoded, the way a columnar engine executes
+    /// `SELECT agg(col) FROM t`.
+    pub fn full_scan(&self) -> Result<ScanStats> {
+        self.scan(&Query::full_scan())
+    }
+
+    /// Metadata-pruned, column-projected scan: read only partitions the
+    /// predicate may match (the `BID IN (...)` rewrite of the paper's
+    /// shallow Spark integration), decode only the predicate's columns, and
+    /// evaluate row by row. An empty predicate decodes column 0 as the
+    /// stand-in aggregate input.
+    pub fn scan(&self, query: &Query) -> Result<ScanStats> {
+        let mut cols = query.predicate.columns();
+        if cols.is_empty() {
+            cols.push(0);
+        }
+        let mut stats = ScanStats::default();
+        for (handle, meta) in self.partitions.iter().zip(&self.metadata) {
+            if !meta.may_match(&query.predicate) {
+                stats.partitions_skipped += 1;
+                continue;
+            }
+            let (nrows, decoded) =
+                crate::format::read_partition_projected(&handle.path, &self.schema, &cols)?;
+            stats.partitions_read += 1;
+            stats.rows_read += nrows as u64;
+            stats.bytes_read += handle.bytes;
+            let lookup = |col: usize| {
+                decoded
+                    .iter()
+                    .find(|(c, _)| *c == col)
+                    .map(|(_, column)| column)
+                    .expect("projected column present")
+            };
+            for row in 0..nrows {
+                let hit = query
+                    .predicate
+                    .atoms()
+                    .iter()
+                    .all(|a| crate::column::atom_matches_ref(a, lookup(a.col()).get(row)));
+                if hit {
+                    stats.rows_matched += 1;
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Load the full table back into memory, concatenating all partitions
+    /// (row order is partition-major, which is fine: layouts route by value,
+    /// not by position).
+    pub fn load_table(&self) -> Result<Table> {
+        let mut parts = Vec::with_capacity(self.partitions.len());
+        for handle in &self.partitions {
+            parts.push(read_partition(&handle.path, &self.schema)?);
+        }
+        concat_tables(&self.schema, &parts)
+    }
+
+    /// Physical reorganization into `new_dir`: read all partitions, compute
+    /// each row's new BID with `route`, regroup, and compress + write the new
+    /// partition files. Returns the new store (the old directory is left
+    /// untouched; callers delete it after the atomic "swap", as the paper's
+    /// background reorganization does).
+    pub fn reorganize(
+        &self,
+        new_dir: &Path,
+        k: usize,
+        mut route: impl FnMut(&Table, usize) -> u32,
+    ) -> Result<DiskStore> {
+        let table = self.load_table()?;
+        let mut assignment = Vec::with_capacity(table.num_rows());
+        for row in 0..table.num_rows() {
+            let bid = route(&table, row);
+            if bid as usize >= k {
+                return Err(StorageError::Corrupt(format!(
+                    "router produced BID {bid} >= k = {k}"
+                )));
+            }
+            assignment.push(bid);
+        }
+        DiskStore::create(new_dir, &table, &assignment, k)
+    }
+
+    /// Remove all partition files and the directory.
+    pub fn destroy(self) -> Result<()> {
+        fs::remove_dir_all(&self.dir)?;
+        Ok(())
+    }
+}
+
+/// Concatenate tables sharing a schema. Dictionary columns are re-interned
+/// because each file carries its own dictionary.
+pub fn concat_tables(schema: &Arc<Schema>, parts: &[Table]) -> Result<Table> {
+    let ncols = schema.len();
+    let total: usize = parts.iter().map(Table::num_rows).sum();
+    let mut columns = Vec::with_capacity(ncols);
+    for col in 0..ncols {
+        let mut ints: Option<Vec<i64>> = None;
+        let mut floats: Option<Vec<f64>> = None;
+        let mut dict: Option<DictBuilder> = None;
+        for part in parts {
+            if part.schema().as_ref() != schema.as_ref() {
+                return Err(StorageError::Corrupt("schema mismatch in concat".into()));
+            }
+            match part.column(col) {
+                Column::Int(v) => ints.get_or_insert_with(|| Vec::with_capacity(total)).extend(v),
+                Column::Float(v) => floats
+                    .get_or_insert_with(|| Vec::with_capacity(total))
+                    .extend(v),
+                Column::Str(d) => {
+                    let b = dict.get_or_insert_with(DictBuilder::new);
+                    for row in 0..d.len() {
+                        b.push(d.get(row));
+                    }
+                }
+            }
+        }
+        let column = if let Some(v) = ints {
+            Column::Int(v)
+        } else if let Some(v) = floats {
+            Column::Float(v)
+        } else if let Some(b) = dict {
+            Column::Str(b.finish())
+        } else {
+            // no parts at all: produce an empty column of the schema's type
+            Column::empty(schema.column_type(col))
+        };
+        columns.push(column);
+    }
+    Ok(Table::new(Arc::clone(schema), columns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+    use oreo_query::{ColumnType, QueryBuilder, Scalar};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "oreo-store-{}-{}-{}",
+            tag,
+            std::process::id(),
+            rand::random::<u32>()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn table(n: i64) -> Table {
+        let s = Arc::new(Schema::from_pairs([
+            ("ts", ColumnType::Timestamp),
+            ("v", ColumnType::Int),
+            ("tag", ColumnType::Str),
+        ]));
+        let mut b = TableBuilder::new(Arc::clone(&s));
+        for i in 0..n {
+            b.push_row(&[
+                Scalar::Int(i),
+                Scalar::Int(i % 100),
+                Scalar::from(["a", "b", "c", "d"][(i % 4) as usize]),
+            ]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn create_and_full_scan() {
+        let t = table(1000);
+        let assignment: Vec<u32> = (0..1000).map(|i| (i / 250) as u32).collect();
+        let dir = tmpdir("scan");
+        let store = DiskStore::create(&dir, &t, &assignment, 4).unwrap();
+        assert_eq!(store.num_partitions(), 4);
+        assert_eq!(store.total_rows(), 1000);
+        let stats = store.full_scan().unwrap();
+        assert_eq!(stats.partitions_read, 4);
+        assert_eq!(stats.rows_read, 1000);
+        assert_eq!(stats.rows_matched, 1000);
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn filtered_scan_skips_partitions() {
+        let t = table(1000);
+        // partition by ts quartile → ts ranges are disjoint
+        let assignment: Vec<u32> = (0..1000).map(|i| (i / 250) as u32).collect();
+        let dir = tmpdir("filter");
+        let store = DiskStore::create(&dir, &t, &assignment, 4).unwrap();
+        let q = QueryBuilder::new(t.schema()).between("ts", 0, 249).build();
+        let stats = store.scan(&q).unwrap();
+        assert_eq!(stats.partitions_read, 1);
+        assert_eq!(stats.partitions_skipped, 3);
+        assert_eq!(stats.rows_matched, 250);
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn load_table_round_trips_all_rows() {
+        let t = table(500);
+        let assignment: Vec<u32> = (0..500).map(|i| (i % 3) as u32).collect();
+        let dir = tmpdir("load");
+        let store = DiskStore::create(&dir, &t, &assignment, 3).unwrap();
+        let back = store.load_table().unwrap();
+        assert_eq!(back.num_rows(), 500);
+        // every original ts value appears exactly once
+        let mut seen: Vec<i64> = (0..back.num_rows())
+            .map(|r| back.scalar(r, 0).as_int().unwrap())
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..500).collect::<Vec<_>>());
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn reorganize_rewrites_by_new_routing() {
+        let t = table(800);
+        let by_time: Vec<u32> = (0..800).map(|i| (i / 200) as u32).collect();
+        let dir = tmpdir("reorg-src");
+        let store = DiskStore::create(&dir, &t, &by_time, 4).unwrap();
+
+        // new layout: partition by v quartile instead of time
+        let dir2 = tmpdir("reorg-dst");
+        let store2 = store
+            .reorganize(&dir2, 4, |table, row| {
+                (table.scalar(row, 1).as_int().unwrap() / 25) as u32
+            })
+            .unwrap();
+        assert_eq!(store2.total_rows(), 800);
+        // a v-point query now skips partitions in the new store
+        let q = QueryBuilder::new(t.schema()).eq("v", 8).build();
+        let new_stats = store2.scan(&q).unwrap();
+        assert_eq!(new_stats.partitions_read, 1, "v=8 lives in BID 0 only");
+        assert_eq!(new_stats.rows_matched, 8);
+        store.destroy().unwrap();
+        store2.destroy().unwrap();
+    }
+
+    #[test]
+    fn router_out_of_range_is_an_error() {
+        let t = table(10);
+        let dir = tmpdir("badroute");
+        let store = DiskStore::create(&dir, &t, &[0; 10], 1).unwrap();
+        let dir2 = tmpdir("badroute-dst");
+        let err = store.reorganize(&dir2, 2, |_, _| 7).unwrap_err();
+        assert!(err.to_string().contains("BID 7"));
+        store.destroy().unwrap();
+        let _ = fs::remove_dir_all(dir2);
+    }
+
+    #[test]
+    fn concat_reinterns_dictionaries() {
+        let s = Arc::new(Schema::from_pairs([("tag", ColumnType::Str)]));
+        let mut b1 = TableBuilder::new(Arc::clone(&s));
+        b1.push_row(&[Scalar::from("x")]);
+        b1.push_row(&[Scalar::from("y")]);
+        let mut b2 = TableBuilder::new(Arc::clone(&s));
+        b2.push_row(&[Scalar::from("y")]);
+        b2.push_row(&[Scalar::from("z")]);
+        let t = concat_tables(&s, &[b1.finish(), b2.finish()]).unwrap();
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.scalar(1, 0), Scalar::from("y"));
+        assert_eq!(t.scalar(2, 0), Scalar::from("y"));
+        assert_eq!(t.scalar(3, 0), Scalar::from("z"));
+    }
+
+    #[test]
+    fn empty_partitions_are_valid() {
+        let t = table(100);
+        let dir = tmpdir("empty");
+        // everything to BID 0; BIDs 1..4 empty
+        let store = DiskStore::create(&dir, &t, &vec![0; 100], 4).unwrap();
+        assert_eq!(store.num_partitions(), 4);
+        let stats = store.full_scan().unwrap();
+        assert_eq!(stats.rows_read, 100);
+        store.destroy().unwrap();
+    }
+}

@@ -1,0 +1,48 @@
+//! Storage-layer error type.
+
+use crate::encode::DecodeError;
+use std::fmt;
+use std::io;
+
+/// Errors from the on-disk store.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file exists but its contents are invalid (bad magic, checksum
+    /// mismatch, truncated or malformed blocks).
+    Corrupt(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "io error: {e}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt partition file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+impl From<DecodeError> for StorageError {
+    fn from(e: DecodeError) -> Self {
+        StorageError::Corrupt(e.0)
+    }
+}
+
+/// Storage result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

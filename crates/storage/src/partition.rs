@@ -1,0 +1,301 @@
+//! Partition-level metadata: the only thing OREO needs to cost a query on a
+//! layout without touching data (Fig. 2 of the paper).
+//!
+//! For every column a partition tracks its `[min, max]` range; categorical
+//! columns with low cardinality additionally keep the exact distinct-value
+//! set, which prunes `IN`/`=` filters much more sharply than a string range.
+
+use crate::column::Column;
+use crate::table::Table;
+use oreo_query::{Predicate, Scalar};
+use std::collections::BTreeSet;
+
+/// Per-column pruning statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnStats {
+    /// `[min, max]` over the partition's rows; `None` for an empty partition.
+    pub range: Option<(Scalar, Scalar)>,
+    /// Exact distinct set, kept only for categorical columns whose partition-
+    /// local cardinality stays at or below the builder's cap.
+    pub distinct: Option<BTreeSet<Scalar>>,
+}
+
+impl ColumnStats {
+    fn empty() -> Self {
+        Self {
+            range: None,
+            distinct: None,
+        }
+    }
+}
+
+/// Metadata for one partition of one layout.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionMetadata {
+    /// Row count — possibly *scaled* when the metadata was estimated from a
+    /// sample (see [`PartitionMetadata::scale_rows`]).
+    pub rows: f64,
+    /// Per-column stats, indexed by [`oreo_query::ColId`].
+    pub columns: Vec<ColumnStats>,
+}
+
+impl PartitionMetadata {
+    /// Can any row of this partition match `predicate`? Conservative: `false`
+    /// means the partition is provably irrelevant and can be skipped.
+    pub fn may_match(&self, predicate: &Predicate) -> bool {
+        if self.rows <= 0.0 {
+            return false;
+        }
+        predicate.atoms().iter().all(|atom| {
+            let stats = &self.columns[atom.col()];
+            if let Some(distinct) = &stats.distinct {
+                return atom.may_match_set(distinct);
+            }
+            match &stats.range {
+                Some((min, max)) => atom.may_match_range(min, max),
+                None => false,
+            }
+        })
+    }
+
+    /// Multiply the row count by `factor`. Metadata built from a table
+    /// *sample* approximates the full-table partition sizes this way, which
+    /// is how candidate layouts are costed before they are materialized.
+    pub fn scale_rows(&mut self, factor: f64) {
+        self.rows *= factor;
+    }
+}
+
+/// Default cap on exact distinct sets per (partition, column): beyond this,
+/// the builder keeps only the range. 64 comfortably covers the categorical
+/// columns of TPC-H/TPC-DS-shaped data (flags, modes, segments, regions).
+pub const DEFAULT_DISTINCT_CAP: usize = 64;
+
+/// Builds metadata for all `k` partitions of a layout in one pass over the
+/// table, given the row → partition assignment.
+pub fn build_metadata(table: &Table, assignment: &[u32], k: usize) -> Vec<PartitionMetadata> {
+    build_metadata_capped(table, assignment, k, DEFAULT_DISTINCT_CAP)
+}
+
+/// As [`build_metadata`] with an explicit distinct-set cap.
+pub fn build_metadata_capped(
+    table: &Table,
+    assignment: &[u32],
+    k: usize,
+    distinct_cap: usize,
+) -> Vec<PartitionMetadata> {
+    assert_eq!(assignment.len(), table.num_rows(), "assignment length");
+    let ncols = table.num_columns();
+    let mut rows = vec![0u64; k];
+    for &bid in assignment {
+        rows[bid as usize] += 1;
+    }
+
+    // Accumulate per column to stay cache-friendly in the typed arrays.
+    let mut stats: Vec<Vec<ColumnStats>> = (0..k)
+        .map(|_| (0..ncols).map(|_| ColumnStats::empty()).collect())
+        .collect();
+
+    for (col_id, column) in table.columns().iter().enumerate() {
+        match column {
+            Column::Int(values) => {
+                let mut min = vec![i64::MAX; k];
+                let mut max = vec![i64::MIN; k];
+                // Low-cardinality integer columns (nation keys, store ids,
+                // months…) prune equality predicates far better with exact
+                // distinct sets than with min/max ranges — a range almost
+                // always straddles the probe value. Track a capped set per
+                // partition, dropping it on overflow.
+                let mut sets: Vec<Option<BTreeSet<i64>>> = vec![Some(BTreeSet::new()); k];
+                for (row, &v) in values.iter().enumerate() {
+                    let b = assignment[row] as usize;
+                    min[b] = min[b].min(v);
+                    max[b] = max[b].max(v);
+                    if let Some(set) = sets[b].as_mut() {
+                        set.insert(v);
+                        if set.len() > distinct_cap {
+                            sets[b] = None;
+                        }
+                    }
+                }
+                for b in 0..k {
+                    if rows[b] > 0 {
+                        stats[b][col_id].range =
+                            Some((Scalar::Int(min[b]), Scalar::Int(max[b])));
+                        stats[b][col_id].distinct = sets[b]
+                            .take()
+                            .map(|s| s.into_iter().map(Scalar::Int).collect());
+                    }
+                }
+            }
+            Column::Float(values) => {
+                let mut min = vec![f64::INFINITY; k];
+                let mut max = vec![f64::NEG_INFINITY; k];
+                for (row, &v) in values.iter().enumerate() {
+                    let b = assignment[row] as usize;
+                    if v.total_cmp(&min[b]).is_lt() {
+                        min[b] = v;
+                    }
+                    if v.total_cmp(&max[b]).is_gt() {
+                        max[b] = v;
+                    }
+                }
+                for b in 0..k {
+                    if rows[b] > 0 {
+                        stats[b][col_id].range =
+                            Some((Scalar::Float(min[b]), Scalar::Float(max[b])));
+                    }
+                }
+            }
+            Column::Str(dict) => {
+                // Track distinct codes per partition; degrade to range-only
+                // when a partition exceeds the cap.
+                let mut codes: Vec<Option<BTreeSet<u32>>> = vec![Some(BTreeSet::new()); k];
+                for (row, &code) in dict.codes().iter().enumerate() {
+                    let b = assignment[row] as usize;
+                    if let Some(set) = codes[b].as_mut() {
+                        set.insert(code);
+                        if set.len() > distinct_cap {
+                            codes[b] = None;
+                        }
+                    }
+                }
+                for b in 0..k {
+                    if rows[b] == 0 {
+                        continue;
+                    }
+                    match &codes[b] {
+                        Some(set) => {
+                            let distinct: BTreeSet<Scalar> = set
+                                .iter()
+                                .map(|&c| Scalar::Str(dict.decode(c).to_owned()))
+                                .collect();
+                            let min = distinct.iter().next().cloned();
+                            let max = distinct.iter().next_back().cloned();
+                            stats[b][col_id].range = min.zip(max);
+                            stats[b][col_id].distinct = Some(distinct);
+                        }
+                        None => {
+                            // One extra pass for this partition's range.
+                            let mut min: Option<&str> = None;
+                            let mut max: Option<&str> = None;
+                            for (row, &code) in dict.codes().iter().enumerate() {
+                                if assignment[row] as usize != b {
+                                    continue;
+                                }
+                                let s = dict.decode(code);
+                                min = Some(min.map_or(s, |m| if s < m { s } else { m }));
+                                max = Some(max.map_or(s, |m| if s > m { s } else { m }));
+                            }
+                            stats[b][col_id].range = min.zip(max).map(|(lo, hi)| {
+                                (Scalar::Str(lo.to_owned()), Scalar::Str(hi.to_owned()))
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    stats
+        .into_iter()
+        .zip(rows)
+        .map(|(columns, r)| PartitionMetadata {
+            rows: r as f64,
+            columns,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+    use oreo_query::{ColumnType, QueryBuilder, Schema};
+    use std::sync::Arc;
+
+    fn table() -> Table {
+        let s = Arc::new(Schema::from_pairs([
+            ("v", ColumnType::Int),
+            ("f", ColumnType::Float),
+            ("c", ColumnType::Str),
+        ]));
+        let mut b = TableBuilder::new(Arc::clone(&s));
+        for i in 0..100i64 {
+            b.push_row(&[
+                Scalar::Int(i),
+                Scalar::Float(i as f64),
+                Scalar::from(if i < 50 { "low" } else { "high" }),
+            ]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn metadata_ranges_per_partition() {
+        let t = table();
+        // rows 0..50 -> partition 0, rows 50..100 -> partition 1
+        let assignment: Vec<u32> = (0..100).map(|i| (i >= 50) as u32).collect();
+        let meta = build_metadata(&t, &assignment, 2);
+        assert_eq!(meta[0].rows, 50.0);
+        assert_eq!(
+            meta[0].columns[0].range,
+            Some((Scalar::Int(0), Scalar::Int(49)))
+        );
+        assert_eq!(
+            meta[1].columns[0].range,
+            Some((Scalar::Int(50), Scalar::Int(99)))
+        );
+        let d0 = meta[0].columns[2].distinct.as_ref().unwrap();
+        assert_eq!(d0.len(), 1);
+        assert!(d0.contains(&Scalar::from("low")));
+    }
+
+    #[test]
+    fn may_match_uses_distinct_sets() {
+        let t = table();
+        let assignment: Vec<u32> = (0..100).map(|i| (i >= 50) as u32).collect();
+        let meta = build_metadata(&t, &assignment, 2);
+        let q = QueryBuilder::new(t.schema())
+            .eq("c", "low")
+            .build_predicate();
+        assert!(meta[0].may_match(&q));
+        assert!(!meta[1].may_match(&q));
+        let q2 = QueryBuilder::new(t.schema())
+            .between("v", 10, 20)
+            .build_predicate();
+        assert!(meta[0].may_match(&q2));
+        assert!(!meta[1].may_match(&q2));
+    }
+
+    #[test]
+    fn distinct_cap_degrades_to_range() {
+        let t = table();
+        let assignment = vec![0u32; 100];
+        // cap 1 forces the 2-value partition to range-only
+        let meta = build_metadata_capped(&t, &assignment, 1, 1);
+        assert!(meta[0].columns[2].distinct.is_none());
+        assert_eq!(
+            meta[0].columns[2].range,
+            Some((Scalar::from("high"), Scalar::from("low")))
+        );
+    }
+
+    #[test]
+    fn empty_partition_never_matches() {
+        let t = table();
+        let assignment = vec![0u32; 100]; // partition 1 stays empty
+        let meta = build_metadata(&t, &assignment, 2);
+        assert_eq!(meta[1].rows, 0.0);
+        assert!(!meta[1].may_match(&Predicate::always_true()));
+    }
+
+    #[test]
+    fn scale_rows_multiplies() {
+        let t = table();
+        let assignment = vec![0u32; 100];
+        let mut meta = build_metadata(&t, &assignment, 1);
+        meta[0].scale_rows(10.0);
+        assert_eq!(meta[0].rows, 1000.0);
+    }
+}

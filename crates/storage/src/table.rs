@@ -1,0 +1,299 @@
+//! The in-memory table: a schema plus one [`Column`] per schema entry.
+
+use crate::column::{atom_matches_ref, Column, DictBuilder, ValueRef};
+use oreo_query::{ColId, ColumnType, Predicate, Scalar, Schema};
+use rand::Rng;
+use std::sync::Arc;
+
+/// A columnar table. Immutable once built; layouts are expressed as
+/// row → partition assignments *over* a table, never by mutating it.
+#[derive(Clone, Debug)]
+pub struct Table {
+    schema: Arc<Schema>,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// Assemble from pre-built columns.
+    ///
+    /// # Panics
+    /// Panics if column count or lengths disagree with the schema — tables
+    /// are only built by generator code, so a mismatch is a bug.
+    pub fn new(schema: Arc<Schema>, columns: Vec<Column>) -> Self {
+        assert_eq!(schema.len(), columns.len(), "column count mismatch");
+        let rows = columns.first().map_or(0, Column::len);
+        for (i, c) in columns.iter().enumerate() {
+            assert_eq!(c.len(), rows, "column {i} length mismatch");
+        }
+        Self {
+            schema,
+            columns,
+            rows,
+        }
+    }
+
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn column(&self, id: ColId) -> &Column {
+        &self.columns[id]
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Borrowed cell view.
+    pub fn get(&self, row: usize, col: ColId) -> ValueRef<'_> {
+        self.columns[col].get(row)
+    }
+
+    /// Owned cell value (allocates for strings).
+    pub fn scalar(&self, row: usize, col: ColId) -> Scalar {
+        self.columns[col].scalar(row)
+    }
+
+    /// Row-level predicate evaluation without allocation.
+    pub fn row_matches(&self, row: usize, predicate: &Predicate) -> bool {
+        predicate
+            .atoms()
+            .iter()
+            .all(|a| atom_matches_ref(a, self.get(row, a.col())))
+    }
+
+    /// Exact selectivity of a predicate (fraction of rows matching).
+    pub fn selectivity(&self, predicate: &Predicate) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        let hits = (0..self.rows)
+            .filter(|&r| self.row_matches(r, predicate))
+            .count();
+        hits as f64 / self.rows as f64
+    }
+
+    /// Materialize a new table containing exactly `rows` (in order).
+    pub fn project_rows(&self, rows: &[u32]) -> Table {
+        Table {
+            schema: Arc::clone(&self.schema),
+            columns: self.columns.iter().map(|c| c.project_rows(rows)).collect(),
+            rows: rows.len(),
+        }
+    }
+
+    /// Uniform sample of `n` rows without replacement (all rows if
+    /// `n >= num_rows`). Used to build layout candidates from 0.1–1% samples
+    /// the way the paper does.
+    pub fn sample(&self, rng: &mut impl Rng, n: usize) -> Table {
+        if n >= self.rows {
+            return self.clone();
+        }
+        let mut idx = rand::seq::index::sample(rng, self.rows, n).into_vec();
+        idx.sort_unstable();
+        let idx: Vec<u32> = idx.into_iter().map(|i| i as u32).collect();
+        self.project_rows(&idx)
+    }
+
+    /// Approximate in-memory footprint.
+    pub fn memory_bytes(&self) -> usize {
+        self.columns.iter().map(Column::memory_bytes).sum()
+    }
+}
+
+/// Streaming row-oriented builder, used by the synthetic dataset generators.
+pub struct TableBuilder {
+    schema: Arc<Schema>,
+    ints: Vec<Option<Vec<i64>>>,
+    floats: Vec<Option<Vec<f64>>>,
+    dicts: Vec<Option<DictBuilder>>,
+    rows: usize,
+}
+
+impl TableBuilder {
+    pub fn new(schema: Arc<Schema>) -> Self {
+        let n = schema.len();
+        let mut ints = Vec::with_capacity(n);
+        let mut floats = Vec::with_capacity(n);
+        let mut dicts = Vec::with_capacity(n);
+        for (_, def) in schema.iter() {
+            ints.push(def.ty.is_int_backed().then(Vec::new));
+            floats.push((def.ty == ColumnType::Float).then(Vec::new));
+            dicts.push((def.ty == ColumnType::Str).then(DictBuilder::new));
+        }
+        Self {
+            schema,
+            ints,
+            floats,
+            dicts,
+            rows: 0,
+        }
+    }
+
+    /// Append one cell to the current row. Cells must be pushed in schema
+    /// order via [`TableBuilder::push_row`]; these typed setters exist for
+    /// generators that fill columns independently.
+    pub fn push_int(&mut self, col: ColId, v: i64) {
+        self.ints[col].as_mut().expect("not an int column").push(v);
+    }
+
+    pub fn push_float(&mut self, col: ColId, v: f64) {
+        self.floats[col]
+            .as_mut()
+            .expect("not a float column")
+            .push(v);
+    }
+
+    pub fn push_str(&mut self, col: ColId, v: &str) {
+        self.dicts[col].as_mut().expect("not a str column").push(v);
+    }
+
+    /// Append a full row of scalars (schema order).
+    pub fn push_row(&mut self, row: &[Scalar]) {
+        assert_eq!(row.len(), self.schema.len());
+        for (col, v) in row.iter().enumerate() {
+            match v {
+                Scalar::Int(x) => self.push_int(col, *x),
+                Scalar::Float(x) => self.push_float(col, *x),
+                Scalar::Str(x) => self.push_str(col, x),
+            }
+        }
+        self.rows += 1;
+    }
+
+    /// Mark a row complete when using the typed per-column setters.
+    pub fn finish_row(&mut self) {
+        self.rows += 1;
+    }
+
+    pub fn finish(self) -> Table {
+        let mut columns = Vec::with_capacity(self.schema.len());
+        for (col, (ints, (floats, dicts))) in self
+            .ints
+            .into_iter()
+            .zip(self.floats.into_iter().zip(self.dicts))
+            .enumerate()
+        {
+            let c = if let Some(v) = ints {
+                Column::Int(v)
+            } else if let Some(v) = floats {
+                Column::Float(v)
+            } else if let Some(d) = dicts {
+                Column::Str(d.finish())
+            } else {
+                unreachable!("column {col} has no representation")
+            };
+            columns.push(c);
+        }
+        Table::new(self.schema, columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oreo_query::QueryBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(Schema::from_pairs([
+            ("ts", ColumnType::Timestamp),
+            ("qty", ColumnType::Int),
+            ("price", ColumnType::Float),
+            ("region", ColumnType::Str),
+        ]))
+    }
+
+    fn small_table() -> Table {
+        let s = schema();
+        let mut b = TableBuilder::new(Arc::clone(&s));
+        let regions = ["eu", "na", "apac"];
+        for i in 0..90i64 {
+            b.push_row(&[
+                Scalar::Int(i),
+                Scalar::Int(i % 10),
+                Scalar::Float(i as f64 * 0.5),
+                Scalar::from(regions[(i % 3) as usize]),
+            ]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let t = small_table();
+        assert_eq!(t.num_rows(), 90);
+        assert_eq!(t.num_columns(), 4);
+        assert_eq!(t.scalar(5, 0), Scalar::Int(5));
+        assert_eq!(t.scalar(5, 3), Scalar::from("apac"));
+    }
+
+    #[test]
+    fn selectivity_exact() {
+        let t = small_table();
+        let q = QueryBuilder::new(t.schema())
+            .lt("qty", 5)
+            .build_predicate();
+        // qty = i % 10, so qty < 5 hits exactly half the rows
+        assert!((t.selectivity(&q) - 0.5).abs() < 1e-12);
+        let q2 = QueryBuilder::new(t.schema())
+            .eq("region", "eu")
+            .build_predicate();
+        assert!((t.selectivity(&q2) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn project_rows_preserves_values() {
+        let t = small_table();
+        let p = t.project_rows(&[10, 20, 30]);
+        assert_eq!(p.num_rows(), 3);
+        assert_eq!(p.scalar(1, 0), Scalar::Int(20));
+        assert_eq!(p.scalar(2, 3), t.scalar(30, 3));
+    }
+
+    #[test]
+    fn sample_is_subset_without_replacement() {
+        let t = small_table();
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = t.sample(&mut rng, 30);
+        assert_eq!(s.num_rows(), 30);
+        // all ts values are unique in the base table, so a without-replacement
+        // sample has 30 unique values
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..s.num_rows() {
+            assert!(seen.insert(s.scalar(r, 0)));
+        }
+    }
+
+    #[test]
+    fn sample_larger_than_table_is_identity() {
+        let t = small_table();
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(t.sample(&mut rng, 1000).num_rows(), 90);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_columns_rejected() {
+        let s = schema();
+        Table::new(
+            s,
+            vec![
+                Column::Int(vec![1]),
+                Column::Int(vec![1, 2]),
+                Column::Float(vec![0.0]),
+                Column::Str(Default::default()),
+            ],
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! A dataset + workload bundle: everything a harness needs to reproduce one
+//! of the paper's three evaluation settings.
+
+use crate::generator::{generate_stream, QueryStream, StreamConfig, Template};
+use oreo_query::ColId;
+use oreo_storage::Table;
+use std::sync::Arc;
+
+/// One evaluation setting: a table, its query templates, and the column the
+/// "default layout" (partition by arrival order/time) sorts on.
+#[derive(Clone, Debug)]
+pub struct DatasetBundle {
+    pub name: &'static str,
+    pub table: Arc<Table>,
+    pub templates: Vec<Template>,
+    /// The natural ingest-order column (e.g. arrival time) used for the
+    /// initial range layout.
+    pub default_sort_col: ColId,
+}
+
+impl DatasetBundle {
+    /// Generate the paper-shaped drifting stream for this bundle.
+    pub fn stream(&self, config: StreamConfig) -> QueryStream {
+        generate_stream(&self.templates, config)
+    }
+
+    /// Template lookup by id.
+    pub fn template(&self, id: oreo_query::TemplateId) -> Option<&Template> {
+        self.templates.iter().find(|t| t.id == id)
+    }
+}

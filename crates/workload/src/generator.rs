@@ -1,0 +1,342 @@
+//! Template-based drifting workload generation (§VI-A2).
+//!
+//! "The workload generator behaves like a state machine and samples queries
+//! from one query template for an arbitrary amount of time before switching
+//! to another random query template." Streams default to 30 000 queries in
+//! 20 template segments; every segment boundary is recorded so the
+//! Offline-Optimal and Fig. 4 harnesses know where drift happened.
+
+use oreo_query::{Predicate, Query, TemplateId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A parameterized query shape. Instantiating draws fresh literals, so
+/// queries within a segment are similar but not identical.
+#[derive(Clone)]
+pub struct Template {
+    pub id: TemplateId,
+    pub name: &'static str,
+    make: Arc<dyn Fn(&mut StdRng) -> Predicate + Send + Sync>,
+}
+
+impl Template {
+    pub fn new(
+        id: TemplateId,
+        name: &'static str,
+        make: impl Fn(&mut StdRng) -> Predicate + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            id,
+            name,
+            make: Arc::new(make),
+        }
+    }
+
+    /// Draw one query from this template.
+    pub fn instantiate(&self, rng: &mut StdRng) -> Query {
+        Query::new((self.make)(rng)).with_template(self.id)
+    }
+}
+
+impl std::fmt::Debug for Template {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Template({}: {})", self.id, self.name)
+    }
+}
+
+/// One contiguous run of a single template within the stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// Index of the segment's first query.
+    pub start: usize,
+    /// Number of queries in the segment.
+    pub len: usize,
+    /// Template driving the segment.
+    pub template: TemplateId,
+}
+
+/// Workload-stream parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamConfig {
+    /// Total queries (paper: 30 000).
+    pub total_queries: usize,
+    /// Template segments (paper: 20).
+    pub segments: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// `Some(frac)` (the default, 1.0): each segment *anchors* one concrete
+    /// instantiation of its template and queries jitter their range
+    /// predicates by ±`frac` of the range width around it. This matches the
+    /// paper's "30 000 queries generated from 20 query templates": each
+    /// segment is one concrete query shape, so a per-template-optimal layout
+    /// exists and a single static layout cannot cover all 20 shapes.
+    /// `None`: re-draw template parameters independently per query.
+    pub anchor_jitter: Option<f64>,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            total_queries: 30_000,
+            segments: 20,
+            seed: 0,
+            anchor_jitter: Some(1.0),
+        }
+    }
+}
+
+/// A generated stream plus its drift annotations.
+#[derive(Clone, Debug)]
+pub struct QueryStream {
+    pub queries: Vec<Query>,
+    pub segments: Vec<Segment>,
+}
+
+impl QueryStream {
+    /// Sequence numbers at which the template changes (Fig. 4's gray lines).
+    pub fn switch_points(&self) -> Vec<usize> {
+        self.segments.iter().skip(1).map(|s| s.start).collect()
+    }
+}
+
+/// Generate a drifting stream from `templates` (state-machine style).
+///
+/// Consecutive segments always use *different* templates (a "switch" that
+/// re-draws the same template would not be a drift). Segment lengths are
+/// arbitrary: random cut points over the stream, each segment at least one
+/// query.
+pub fn generate_stream(templates: &[Template], config: StreamConfig) -> QueryStream {
+    assert!(!templates.is_empty(), "need at least one template");
+    assert!(config.total_queries >= config.segments);
+    assert!(config.segments >= 1);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Random segment lengths: distinct cut points in (0, total).
+    let mut cuts: Vec<usize> = Vec::new();
+    while cuts.len() < config.segments - 1 {
+        let c = rng.random_range(1..config.total_queries);
+        if !cuts.contains(&c) {
+            cuts.push(c);
+        }
+    }
+    cuts.sort_unstable();
+    cuts.push(config.total_queries);
+
+    // Template per segment: uniformly random, no immediate repeats.
+    let mut segment_templates: Vec<TemplateId> = Vec::with_capacity(config.segments);
+    for i in 0..config.segments {
+        loop {
+            let t = templates[rng.random_range(0..templates.len())].id;
+            if i == 0 || segment_templates[i - 1] != t || templates.len() == 1 {
+                segment_templates.push(t);
+                break;
+            }
+        }
+    }
+
+    let by_id = |id: TemplateId| {
+        templates
+            .iter()
+            .find(|t| t.id == id)
+            .expect("segment template exists")
+    };
+
+    let mut queries = Vec::with_capacity(config.total_queries);
+    let mut segments = Vec::with_capacity(config.segments);
+    let mut start = 0usize;
+    for (i, &end) in cuts.iter().enumerate() {
+        let template = by_id(segment_templates[i]);
+        segments.push(Segment {
+            start,
+            len: end - start,
+            template: template.id,
+        });
+        match config.anchor_jitter {
+            Some(frac) => {
+                // one concrete query shape per segment, jittered per query
+                let anchor = template.instantiate(&mut rng);
+                for seq in start..end {
+                    let predicate = jitter_predicate(&anchor.predicate, frac, &mut rng);
+                    queries.push(
+                        Query::new(predicate)
+                            .with_template(template.id)
+                            .with_seq(seq as u64),
+                    );
+                }
+            }
+            None => {
+                for seq in start..end {
+                    queries.push(template.instantiate(&mut rng).with_seq(seq as u64));
+                }
+            }
+        }
+        start = end;
+    }
+
+    QueryStream { queries, segments }
+}
+
+/// Shift every range (`BETWEEN`) predicate by a uniform offset of up to
+/// ±`frac` of the range's width, keeping the width; point and set predicates
+/// stay fixed. This is the per-query parameter jitter within a segment.
+pub fn jitter_predicate(predicate: &Predicate, frac: f64, rng: &mut StdRng) -> Predicate {
+    use oreo_query::{Atom, Scalar};
+    let atoms = predicate
+        .atoms()
+        .iter()
+        .map(|a| match a {
+            Atom::Between { col, low, high } => match (low, high) {
+                (Scalar::Int(lo), Scalar::Int(hi)) => {
+                    let width = (hi - lo).max(1);
+                    let max_shift = ((width as f64) * frac).round() as i64;
+                    let shift = if max_shift > 0 {
+                        rng.random_range(-max_shift..=max_shift)
+                    } else {
+                        0
+                    };
+                    Atom::Between {
+                        col: *col,
+                        low: Scalar::Int(lo + shift),
+                        high: Scalar::Int(hi + shift),
+                    }
+                }
+                (Scalar::Float(lo), Scalar::Float(hi)) => {
+                    let width = hi - lo;
+                    let shift = (rng.random::<f64>() * 2.0 - 1.0) * width * frac;
+                    Atom::Between {
+                        col: *col,
+                        low: Scalar::Float(lo + shift),
+                        high: Scalar::Float(hi + shift),
+                    }
+                }
+                _ => a.clone(),
+            },
+            other => other.clone(),
+        })
+        .collect();
+    Predicate::new(atoms)
+}
+
+// ------------------------------------------------------- value helpers --
+
+/// Uniform i64 in `[lo, hi]`.
+pub fn uniform_i64(rng: &mut StdRng, lo: i64, hi: i64) -> i64 {
+    rng.random_range(lo..=hi)
+}
+
+/// Zipf-ish index in `[0, n)`: favors small indices with exponent ~1.
+/// Good enough for skewed categorical picks (popular collectors, brands…).
+pub fn zipf_index(rng: &mut StdRng, n: usize) -> usize {
+    debug_assert!(n > 0);
+    // inverse-CDF of a discretized 1/x density
+    let u: f64 = rng.random();
+    let idx = ((n as f64 + 1.0).powf(u) - 1.0) as usize;
+    idx.min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oreo_query::{Atom, CompareOp, Scalar};
+
+    fn dummy_templates(n: u32) -> Vec<Template> {
+        (0..n)
+            .map(|i| {
+                Template::new(i, "dummy", move |rng| {
+                    Predicate::new(vec![Atom::Compare {
+                        col: 0,
+                        op: CompareOp::Lt,
+                        value: Scalar::Int(rng.random_range(0..100) + i as i64 * 1000),
+                    }])
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stream_has_requested_shape() {
+        let s = generate_stream(
+            &dummy_templates(5),
+            StreamConfig {
+                total_queries: 1000,
+                segments: 10,
+                seed: 3,
+                anchor_jitter: None,
+            },
+        );
+        assert_eq!(s.queries.len(), 1000);
+        assert_eq!(s.segments.len(), 10);
+        assert_eq!(s.switch_points().len(), 9);
+        // segments tile the stream
+        let total: usize = s.segments.iter().map(|g| g.len).sum();
+        assert_eq!(total, 1000);
+        for (i, seg) in s.segments.iter().enumerate() {
+            assert!(seg.len >= 1);
+            if i > 0 {
+                assert_eq!(seg.start, s.segments[i - 1].start + s.segments[i - 1].len);
+                assert_ne!(seg.template, s.segments[i - 1].template, "no-op switch");
+            }
+        }
+    }
+
+    #[test]
+    fn queries_carry_template_and_seq() {
+        let s = generate_stream(
+            &dummy_templates(3),
+            StreamConfig {
+                total_queries: 100,
+                segments: 4,
+                seed: 1,
+                anchor_jitter: None,
+            },
+        );
+        for (i, q) in s.queries.iter().enumerate() {
+            assert_eq!(q.seq, i as u64);
+            let seg = s
+                .segments
+                .iter()
+                .find(|g| g.start <= i && i < g.start + g.len)
+                .unwrap();
+            assert_eq!(q.template, Some(seg.template));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = StreamConfig {
+            total_queries: 200,
+            segments: 5,
+            seed: 9,
+            anchor_jitter: None,
+        };
+        let a = generate_stream(&dummy_templates(4), cfg);
+        let b = generate_stream(&dummy_templates(4), cfg);
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.segments, b.segments);
+    }
+
+    #[test]
+    fn single_template_allows_repeats() {
+        let s = generate_stream(
+            &dummy_templates(1),
+            StreamConfig {
+                total_queries: 50,
+                segments: 3,
+                seed: 2,
+                anchor_jitter: None,
+            },
+        );
+        assert_eq!(s.segments.len(), 3);
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[zipf_index(&mut rng, 10)] += 1;
+        }
+        assert!(counts[0] > counts[9] * 2, "{counts:?}");
+    }
+}

@@ -1,0 +1,62 @@
+//! # oreo-workload
+//!
+//! Synthetic datasets and drifting query workloads reproducing the paper's
+//! three evaluation settings (§VI-A2):
+//!
+//! * [`tpch`] — denormalized lineitem (28 columns) + 13 lineitem-touching
+//!   template analogues;
+//! * [`tpcds`] — denormalized store_sales (24 columns) + 17 template
+//!   analogues;
+//! * [`telemetry`] — an ingestion-job log shaped after the description of
+//!   VMware SuperCollider's production table (time-range + collector
+//!   filters).
+//!
+//! Workload *drift* is produced by [`generator::generate_stream`]: a state
+//! machine that samples one template for a random stretch, then jumps to
+//! another — 30 000 queries over 20 segments by default, with segment
+//! boundaries recorded for the offline baselines.
+//!
+//! Everything is deterministic given a seed. The substitution rationale
+//! (real dbgen/dsdgen/production data → these generators) is documented in
+//! DESIGN.md §2.
+
+pub mod bundle;
+pub mod generator;
+pub mod telemetry;
+pub mod tpcds;
+pub mod tpch;
+
+pub use bundle::DatasetBundle;
+pub use generator::{
+    generate_stream, uniform_i64, zipf_index, QueryStream, Segment, StreamConfig, Template,
+};
+pub use telemetry::telemetry_bundle;
+pub use tpcds::tpcds_bundle;
+pub use tpch::tpch_bundle;
+
+/// All three bundles at the given scale (used by the Fig. 3 and Table II
+/// harnesses, which sweep datasets).
+pub fn all_bundles(rows: usize, seed: u64) -> Vec<DatasetBundle> {
+    vec![
+        tpch_bundle(rows, seed),
+        tpcds_bundle(rows, seed ^ 0x00D5),
+        telemetry_bundle(rows, seed ^ 0x7E1E),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_bundles_distinct() {
+        let bs = all_bundles(200, 1);
+        assert_eq!(bs.len(), 3);
+        let names: Vec<&str> = bs.iter().map(|b| b.name).collect();
+        assert_eq!(names, vec!["TPC-H", "TPC-DS", "Telemetry"]);
+        for b in &bs {
+            assert_eq!(b.table.num_rows(), 200);
+            assert!(!b.templates.is_empty());
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Telemetry-shaped dataset and workload (§VI-A2).
+//!
+//! The paper's third dataset is a production table from VMware's internal
+//! SuperCollider data platform: a log of monitoring information for
+//! ingestion jobs, with six months of queries. That data is proprietary;
+//! the paper describes its shape precisely enough to synthesize:
+//!
+//! > "The most popular predicates include range queries on the arrival time
+//! > of the record, where the time interval ranges from a few hours to a
+//! > few months, as well as filters on the name of the collector who has
+//! > sent the data."
+//!
+//! We model an ingestion-job log over a six-month time domain with a
+//! Zipf-skewed collector population, and templates dominated by
+//! arrival-time ranges (hours → months) and collector filters.
+
+use crate::bundle::DatasetBundle;
+use crate::generator::{zipf_index, Template};
+use oreo_query::{ColumnType, QueryBuilder, Schema};
+use oreo_storage::{Table, TableBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Six months in seconds.
+pub const TIME_MAX: i64 = 6 * 30 * 24 * 3600;
+
+const HOUR: i64 = 3600;
+const DAY: i64 = 24 * HOUR;
+const MONTH: i64 = 30 * DAY;
+
+const NUM_COLLECTORS: usize = 50;
+const NUM_TEAMS: usize = 100;
+const NUM_HOSTS: usize = 200;
+const STATUSES: [&str; 5] = ["ok", "failed", "retried", "skipped", "timeout"];
+const DATACENTERS: [&str; 8] = [
+    "dc-ams", "dc-dub", "dc-iad", "dc-lhr", "dc-nrt", "dc-pdx", "dc-sin", "dc-sjc",
+];
+
+/// Ingestion-job log schema.
+pub fn telemetry_schema() -> Schema {
+    use ColumnType::*;
+    Schema::from_pairs([
+        ("arrival_time", Timestamp),
+        ("collector", Str),
+        ("team", Str),
+        ("job_id", Int),
+        ("status", Str),
+        ("duration_ms", Int),
+        ("bytes_ingested", Int),
+        ("error_count", Int),
+        ("host", Str),
+        ("datacenter", Str),
+    ])
+}
+
+fn collector_name(i: usize) -> String {
+    format!("collector-{i:03}")
+}
+
+fn team_name(i: usize) -> String {
+    format!("team-{i:03}")
+}
+
+/// Generate the log table. Rows arrive in time order (it is a log), with a
+/// Zipf-skewed collector/team population and mostly-successful jobs.
+pub fn telemetry_table(rows: usize, seed: u64) -> Table {
+    let schema = Arc::new(telemetry_schema());
+    let mut b = TableBuilder::new(Arc::clone(&schema));
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    for i in 0..rows {
+        // time-ordered arrivals with jitter
+        let base = (i as i64 * TIME_MAX) / rows.max(1) as i64;
+        let arrival = (base + rng.random_range(0..=TIME_MAX / rows.max(1) as i64)).min(TIME_MAX);
+        let collector = collector_name(zipf_index(&mut rng, NUM_COLLECTORS));
+        let team = team_name(zipf_index(&mut rng, NUM_TEAMS));
+        let failed: bool = rng.random_range(0..100) < 7;
+        let status = if failed {
+            STATUSES[rng.random_range(1..STATUSES.len())]
+        } else {
+            "ok"
+        };
+
+        b.push_int(0, arrival);
+        b.push_str(1, &collector);
+        b.push_str(2, &team);
+        b.push_int(3, i as i64);
+        b.push_str(4, status);
+        b.push_int(5, rng.random_range(50..600_000));
+        b.push_int(6, rng.random_range(1_000..10_000_000_000));
+        b.push_int(7, if failed { rng.random_range(1..100) } else { 0 });
+        b.push_str(8, &format!("host-{:03}", zipf_index(&mut rng, NUM_HOSTS)));
+        b.push_str(9, DATACENTERS[rng.random_range(0..DATACENTERS.len())]);
+        b.finish_row();
+    }
+    b.finish()
+}
+
+/// Eight templates matching the described production query mix.
+pub fn telemetry_templates(schema: &Arc<Schema>) -> Vec<Template> {
+    let mut out = Vec::new();
+    macro_rules! template {
+        ($id:expr, $name:expr, |$rng:ident, $q:ident| $body:expr) => {{
+            let sc = Arc::clone(schema);
+            out.push(Template::new($id, $name, move |$rng| {
+                let $q = QueryBuilder::new(&sc);
+                $body
+            }));
+        }};
+    }
+
+    // recent few hours of data
+    template!(0, "time-hours", |rng, q| {
+        let span = rng.random_range(1..=6) * HOUR;
+        let start = rng.random_range(0..TIME_MAX - span);
+        q.between("arrival_time", start, start + span).build_predicate()
+    });
+
+    // a few days
+    template!(1, "time-days", |rng, q| {
+        let span = rng.random_range(1..=7) * DAY;
+        let start = rng.random_range(0..TIME_MAX - span);
+        q.between("arrival_time", start, start + span).build_predicate()
+    });
+
+    // one to three months
+    template!(2, "time-months", |rng, q| {
+        let span = rng.random_range(1..=3) * MONTH;
+        let start = rng.random_range(0..TIME_MAX - span);
+        q.between("arrival_time", start, start + span).build_predicate()
+    });
+
+    // per-collector drill-down (popular collectors queried more)
+    template!(3, "collector", |rng, q| q
+        .eq(
+            "collector",
+            collector_name(zipf_index(rng, NUM_COLLECTORS)).as_str()
+        )
+        .build_predicate());
+
+    // collector within a day
+    template!(4, "collector-day", |rng, q| {
+        let start = rng.random_range(0..TIME_MAX - DAY);
+        q.eq(
+            "collector",
+            collector_name(zipf_index(rng, NUM_COLLECTORS)).as_str(),
+        )
+        .between("arrival_time", start, start + DAY)
+        .build_predicate()
+    });
+
+    // a team's jobs within a week
+    template!(5, "team-week", |rng, q| {
+        let start = rng.random_range(0..TIME_MAX - 7 * DAY);
+        q.eq("team", team_name(zipf_index(rng, NUM_TEAMS)).as_str())
+            .between("arrival_time", start, start + 7 * DAY)
+            .build_predicate()
+    });
+
+    // failure investigation within a day
+    template!(6, "failures-day", |rng, q| {
+        let start = rng.random_range(0..TIME_MAX - DAY);
+        q.in_set("status", ["failed", "timeout"])
+            .between("arrival_time", start, start + DAY)
+            .build_predicate()
+    });
+
+    // datacenter health over a few hours
+    template!(7, "dc-hours", |rng, q| {
+        let span = rng.random_range(2..=12) * HOUR;
+        let start = rng.random_range(0..TIME_MAX - span);
+        q.eq("datacenter", DATACENTERS[rng.random_range(0..DATACENTERS.len())])
+            .between("arrival_time", start, start + span)
+            .build_predicate()
+    });
+
+    out
+}
+
+/// Build the full telemetry bundle.
+pub fn telemetry_bundle(rows: usize, seed: u64) -> DatasetBundle {
+    let table = Arc::new(telemetry_table(rows, seed));
+    let templates = telemetry_templates(table.schema());
+    DatasetBundle {
+        name: "Telemetry",
+        table,
+        templates,
+        default_sort_col: 0, // arrival_time: the natural ingest order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_time_ordered() {
+        let t = telemetry_table(1000, 1);
+        assert_eq!(t.num_columns(), 10);
+        let col = t.schema().col("arrival_time").unwrap();
+        let mut prev = 0i64;
+        for r in 0..t.num_rows() {
+            let v = t.scalar(r, col).as_int().unwrap();
+            assert!(v >= prev - TIME_MAX / 1000, "roughly ordered");
+            assert!((0..=TIME_MAX).contains(&v));
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn collectors_are_skewed() {
+        let t = telemetry_table(5000, 2);
+        let col = t.schema().col("collector").unwrap();
+        let mut counts = std::collections::HashMap::new();
+        for r in 0..t.num_rows() {
+            *counts.entry(t.scalar(r, col)).or_insert(0usize) += 1;
+        }
+        let top = counts.values().copied().max().unwrap();
+        let avg = 5000 / counts.len();
+        assert!(top > avg * 3, "top collector {top} not skewed vs avg {avg}");
+    }
+
+    #[test]
+    fn failures_are_rare_and_consistent() {
+        let t = telemetry_table(3000, 3);
+        let s = t.schema();
+        let (status, errs) = (s.col("status").unwrap(), s.col("error_count").unwrap());
+        let mut failures = 0;
+        for r in 0..t.num_rows() {
+            let st = t.scalar(r, status);
+            let e = t.scalar(r, errs).as_int().unwrap();
+            if st.as_str() == Some("ok") {
+                assert_eq!(e, 0, "ok rows have no errors");
+            } else {
+                failures += 1;
+                assert!(e > 0, "failed rows have errors");
+            }
+        }
+        let rate = failures as f64 / 3000.0;
+        assert!((0.03..0.12).contains(&rate), "failure rate {rate}");
+    }
+
+    #[test]
+    fn templates_have_time_biased_shapes() {
+        let t = telemetry_table(4000, 4);
+        let templates = telemetry_templates(t.schema());
+        assert_eq!(templates.len(), 8);
+        let mut rng = StdRng::seed_from_u64(5);
+        // hours queries are much more selective than months queries
+        let hours: f64 = (0..20)
+            .map(|_| t.selectivity(&templates[0].instantiate(&mut rng).predicate))
+            .sum::<f64>()
+            / 20.0;
+        let months: f64 = (0..20)
+            .map(|_| t.selectivity(&templates[2].instantiate(&mut rng).predicate))
+            .sum::<f64>()
+            / 20.0;
+        assert!(hours < months, "hours {hours} !< months {months}");
+        assert!(months > 0.1, "months queries touch a lot of data");
+    }
+
+    #[test]
+    fn bundle_defaults_to_time_sort() {
+        let b = telemetry_bundle(500, 6);
+        assert_eq!(b.default_sort_col, 0);
+        assert_eq!(b.name, "Telemetry");
+    }
+}

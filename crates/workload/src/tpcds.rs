@@ -1,0 +1,364 @@
+//! TPC-DS-shaped dataset and workload (§VI-A2).
+//!
+//! The paper denormalizes all dimensions against `store_sales` (SF 10,
+//! ~26M rows) and uses 17 store_sales-touching templates (q3, q7, q13, q19,
+//! q27, q28, q34, q36, q46, q48, q53, q68, q79, q88, q89, q96, q98). We
+//! reproduce the shape: a store_sales-like fact table joined with date,
+//! time, item, store, customer-demographics and household-demographics
+//! attributes, plus 17 template analogues whose predicate structures follow
+//! the originals.
+//!
+//! Sold dates are integer days since 1998-01-01 over a five-year domain;
+//! `d_year`/`d_moy`/`d_dom` are derived consistently from the day number.
+
+use crate::bundle::DatasetBundle;
+use crate::generator::Template;
+use oreo_query::{ColumnType, QueryBuilder, Schema};
+use oreo_storage::{Table, TableBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Five years of sold dates.
+pub const DAYS: i64 = 5 * 365;
+
+const STORE_NAMES: [&str; 12] = [
+    "able", "ation", "bar", "cally", "eing", "ese", "anti", "ought", "pri", "bration", "eseese",
+    "callycally",
+];
+const STATES: [&str; 10] = ["AL", "CA", "GA", "MI", "NY", "OH", "PA", "TN", "TX", "WA"];
+const CATEGORIES: [&str; 10] = [
+    "Books", "Children", "Electronics", "Home", "Jewelry", "Men", "Music", "Shoes", "Sports",
+    "Women",
+];
+const CLASSES: [&str; 16] = [
+    "accent", "bedding", "blinds/shades", "classical", "computers", "decor", "dresses",
+    "earings", "fiction", "fragrances", "infants", "mens watch", "pants", "rock", "shirts",
+    "womens watch",
+];
+const GENDERS: [&str; 2] = ["F", "M"];
+const MARITAL: [&str; 5] = ["D", "M", "S", "U", "W"];
+const EDUCATION: [&str; 7] = [
+    "2 yr Degree", "4 yr Degree", "Advanced Degree", "College", "Primary", "Secondary", "Unknown",
+];
+const COUNTRIES: [&str; 12] = [
+    "AUSTRALIA", "BRAZIL", "CANADA", "CHINA", "FRANCE", "GERMANY", "INDIA", "ITALY", "JAPAN",
+    "MEXICO", "UK", "US",
+];
+
+/// The denormalized store_sales schema.
+pub fn tpcds_schema() -> Schema {
+    use ColumnType::*;
+    Schema::from_pairs([
+        ("ss_ticket_number", Int),
+        ("ss_sold_date", Timestamp),
+        ("d_year", Int),
+        ("d_moy", Int),
+        ("d_dom", Int),
+        ("ss_sold_time", Int),
+        ("ss_item_sk", Int),
+        ("ss_quantity", Int),
+        ("ss_wholesale_cost", Float),
+        ("ss_list_price", Float),
+        ("ss_sales_price", Float),
+        ("ss_net_profit", Float),
+        ("ss_store_sk", Int),
+        ("s_store_name", Str),
+        ("s_state", Str),
+        ("i_category", Str),
+        ("i_class", Str),
+        ("i_brand_id", Int),
+        ("i_manufact_id", Int),
+        ("cd_gender", Str),
+        ("cd_marital_status", Str),
+        ("cd_education_status", Str),
+        ("hd_dep_count", Int),
+        ("c_birth_country", Str),
+    ])
+}
+
+/// Generate the denormalized table.
+pub fn tpcds_table(rows: usize, seed: u64) -> Table {
+    let schema = Arc::new(tpcds_schema());
+    let mut b = TableBuilder::new(Arc::clone(&schema));
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    for i in 0..rows {
+        let sold_date = rng.random_range(0..DAYS);
+        let d_year = 1998 + sold_date / 365;
+        let day_of_year = sold_date % 365;
+        let d_moy = day_of_year / 30 + 1; // 1..=13 clamped below
+        let d_moy = d_moy.min(12);
+        let d_dom = day_of_year % 28 + 1;
+        let wholesale = rng.random_range(1.0..100.0);
+        let list = wholesale * rng.random_range(1.0..2.5);
+        let sales = list * rng.random_range(0.3..1.0);
+
+        b.push_int(0, i as i64);
+        b.push_int(1, sold_date);
+        b.push_int(2, d_year);
+        b.push_int(3, d_moy);
+        b.push_int(4, d_dom);
+        b.push_int(5, rng.random_range(0..86_400));
+        b.push_int(6, rng.random_range(0..100_000));
+        b.push_int(7, rng.random_range(1..=100));
+        b.push_float(8, wholesale);
+        b.push_float(9, list);
+        b.push_float(10, sales);
+        b.push_float(11, sales - wholesale);
+        b.push_int(12, rng.random_range(0..12));
+        b.push_str(13, STORE_NAMES[rng.random_range(0..STORE_NAMES.len())]);
+        b.push_str(14, STATES[rng.random_range(0..STATES.len())]);
+        b.push_str(15, CATEGORIES[rng.random_range(0..CATEGORIES.len())]);
+        b.push_str(16, CLASSES[rng.random_range(0..CLASSES.len())]);
+        b.push_int(17, rng.random_range(1_000_000..10_000_000));
+        b.push_int(18, rng.random_range(1..=1000));
+        b.push_str(19, GENDERS[rng.random_range(0..GENDERS.len())]);
+        b.push_str(20, MARITAL[rng.random_range(0..MARITAL.len())]);
+        b.push_str(21, EDUCATION[rng.random_range(0..EDUCATION.len())]);
+        b.push_int(22, rng.random_range(0..=9));
+        b.push_str(23, COUNTRIES[rng.random_range(0..COUNTRIES.len())]);
+        b.finish_row();
+    }
+    b.finish()
+}
+
+fn pick<'a>(rng: &mut StdRng, xs: &[&'a str]) -> &'a str {
+    xs[rng.random_range(0..xs.len())]
+}
+
+/// The 17 store_sales-touching template analogues.
+pub fn tpcds_templates(schema: &Arc<Schema>) -> Vec<Template> {
+    let mut out = Vec::new();
+    macro_rules! template {
+        ($id:expr, $name:expr, |$rng:ident, $q:ident| $body:expr) => {{
+            let sc = Arc::clone(schema);
+            out.push(Template::new($id, $name, move |$rng| {
+                let $q = QueryBuilder::new(&sc);
+                $body
+            }));
+        }};
+    }
+
+    // q3: brand sales in a month — manufacturer + November
+    template!(0, "q3", |rng, q| q
+        .eq("d_moy", 11i64)
+        .eq("i_manufact_id", rng.random_range(1..=1000i64))
+        .build_predicate());
+
+    // q7: demographic averages — gender/marital/education + year
+    template!(1, "q7", |rng, q| q
+        .eq("cd_gender", pick(rng, &GENDERS))
+        .eq("cd_marital_status", pick(rng, &MARITAL))
+        .eq("cd_education_status", pick(rng, &EDUCATION))
+        .eq("d_year", rng.random_range(1998..=2002i64))
+        .build_predicate());
+
+    // q13: average store sales under demographic + price constraints
+    template!(2, "q13", |rng, q| {
+        let p = rng.random_range(50.0..150.0);
+        q.eq("cd_marital_status", pick(rng, &MARITAL))
+            .eq("cd_education_status", pick(rng, &EDUCATION))
+            .between("ss_sales_price", p, p + 50.0)
+            .build_predicate()
+    });
+
+    // q19: brand revenue for a month — manufacturer + month + year
+    template!(3, "q19", |rng, q| q
+        .eq("i_manufact_id", rng.random_range(1..=1000i64))
+        .eq("d_moy", rng.random_range(1..=12i64))
+        .eq("d_year", rng.random_range(1998..=2002i64))
+        .build_predicate());
+
+    // q27: demographic averages by state
+    template!(4, "q27", |rng, q| q
+        .eq("cd_gender", pick(rng, &GENDERS))
+        .eq("cd_marital_status", pick(rng, &MARITAL))
+        .eq("cd_education_status", pick(rng, &EDUCATION))
+        .eq("d_year", rng.random_range(1998..=2002i64))
+        .eq("s_state", pick(rng, &STATES))
+        .build_predicate());
+
+    // q28: list-price buckets — quantity band + list-price band
+    template!(5, "q28", |rng, q| {
+        let b = rng.random_range(0..=95i64);
+        let p = rng.random_range(0.0..150.0);
+        q.between("ss_quantity", b, b + 5)
+            .between("ss_list_price", p, p + 10.0)
+            .build_predicate()
+    });
+
+    // q34: dom 1–3 ("after-holiday rush") + dependents + store
+    template!(6, "q34", |rng, q| q
+        .between("d_dom", 1i64, 3i64)
+        .eq("hd_dep_count", rng.random_range(0..=9i64))
+        .eq("ss_store_sk", rng.random_range(0..12i64))
+        .build_predicate());
+
+    // q36: gross margin by class — year + states
+    template!(7, "q36", |rng, q| {
+        let s1 = pick(rng, &STATES);
+        let s2 = pick(rng, &STATES);
+        q.eq("d_year", rng.random_range(1998..=2002i64))
+            .in_set("s_state", [s1, s2])
+            .build_predicate()
+    });
+
+    // q46: customers with dom window + dependents
+    template!(8, "q46", |rng, q| {
+        let d = rng.random_range(1..=26i64);
+        q.between("d_dom", d, d + 2)
+            .eq("hd_dep_count", rng.random_range(0..=9i64))
+            .build_predicate()
+    });
+
+    // q48: quantity under price + demographics
+    template!(9, "q48", |rng, q| {
+        let p = rng.random_range(50.0..150.0);
+        q.between("ss_sales_price", p, p + 50.0)
+            .eq("cd_marital_status", pick(rng, &MARITAL))
+            .eq("cd_education_status", pick(rng, &EDUCATION))
+            .build_predicate()
+    });
+
+    // q53: manufacturer revenue by quarter — brand class + month
+    template!(10, "q53", |rng, q| q
+        .eq("i_class", pick(rng, &CLASSES))
+        .eq("d_moy", rng.random_range(1..=12i64))
+        .build_predicate());
+
+    // q68: dom 1–2 + store name
+    template!(11, "q68", |rng, q| q
+        .between("d_dom", 1i64, 2i64)
+        .eq("s_store_name", pick(rng, &STORE_NAMES))
+        .build_predicate());
+
+    // q79: dom window + dependents + store
+    template!(12, "q79", |rng, q| {
+        let d = rng.random_range(1..=26i64);
+        q.between("d_dom", d, d + 2)
+            .eq("hd_dep_count", rng.random_range(0..=9i64))
+            .eq("ss_store_sk", rng.random_range(0..12i64))
+            .build_predicate()
+    });
+
+    // q88: store traffic by half-hour — time band + dependents
+    template!(13, "q88", |rng, q| {
+        let h = rng.random_range(8..=20i64);
+        q.between("ss_sold_time", h * 3600, h * 3600 + 3599)
+            .eq("hd_dep_count", rng.random_range(0..=9i64))
+            .build_predicate()
+    });
+
+    // q89: category revenue — categories + year + month
+    template!(14, "q89", |rng, q| {
+        let c1 = pick(rng, &CATEGORIES);
+        let c2 = pick(rng, &CATEGORIES);
+        let c3 = pick(rng, &CATEGORIES);
+        q.in_set("i_category", [c1, c2, c3])
+            .eq("d_year", rng.random_range(1998..=2002i64))
+            .eq("d_moy", rng.random_range(1..=12i64))
+            .build_predicate()
+    });
+
+    // q96: time band + dependents + store
+    template!(15, "q96", |rng, q| {
+        let h = rng.random_range(8..=20i64);
+        q.between("ss_sold_time", h * 3600, h * 3600 + 1800)
+            .eq("hd_dep_count", rng.random_range(0..=9i64))
+            .eq("ss_store_sk", rng.random_range(0..12i64))
+            .build_predicate()
+    });
+
+    // q98: category revenue over a 30-day window
+    template!(16, "q98", |rng, q| {
+        let d = rng.random_range(0..DAYS - 30);
+        q.eq("i_category", pick(rng, &CATEGORIES))
+            .between("ss_sold_date", d, d + 30)
+            .build_predicate()
+    });
+
+    out
+}
+
+/// Build the full TPC-DS bundle.
+pub fn tpcds_bundle(rows: usize, seed: u64) -> DatasetBundle {
+    let table = Arc::new(tpcds_table(rows, seed));
+    let templates = tpcds_templates(table.schema());
+    DatasetBundle {
+        name: "TPC-DS",
+        table,
+        templates,
+        default_sort_col: 0, // ss_ticket_number: arrival order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shape_and_derived_dates() {
+        let t = tpcds_table(1000, 1);
+        assert_eq!(t.num_columns(), 24);
+        let s = t.schema();
+        let (sd, y, m, dom) = (
+            s.col("ss_sold_date").unwrap(),
+            s.col("d_year").unwrap(),
+            s.col("d_moy").unwrap(),
+            s.col("d_dom").unwrap(),
+        );
+        for r in 0..t.num_rows() {
+            let date = t.scalar(r, sd).as_int().unwrap();
+            let year = t.scalar(r, y).as_int().unwrap();
+            assert_eq!(year, 1998 + date / 365, "year consistent with date");
+            let moy = t.scalar(r, m).as_int().unwrap();
+            assert!((1..=12).contains(&moy));
+            let d = t.scalar(r, dom).as_int().unwrap();
+            assert!((1..=28).contains(&d));
+        }
+    }
+
+    #[test]
+    fn seventeen_templates_instantiable() {
+        let t = tpcds_table(3000, 2);
+        let templates = tpcds_templates(t.schema());
+        assert_eq!(templates.len(), 17);
+        let mut rng = StdRng::seed_from_u64(3);
+        for tpl in &templates {
+            let q = tpl.instantiate(&mut rng);
+            let sel = t.selectivity(&q.predicate);
+            assert!(
+                (0.0..=0.6).contains(&sel),
+                "{}: selectivity {sel}",
+                tpl.name
+            );
+        }
+    }
+
+    #[test]
+    fn price_correlations() {
+        let t = tpcds_table(500, 4);
+        let s = t.schema();
+        let (w, l, sp) = (
+            s.col("ss_wholesale_cost").unwrap(),
+            s.col("ss_list_price").unwrap(),
+            s.col("ss_sales_price").unwrap(),
+        );
+        for r in 0..t.num_rows() {
+            let wholesale = t.scalar(r, w).as_float().unwrap();
+            let list = t.scalar(r, l).as_float().unwrap();
+            let sales = t.scalar(r, sp).as_float().unwrap();
+            assert!(list >= wholesale);
+            assert!(sales <= list);
+        }
+    }
+
+    #[test]
+    fn bundle_wiring() {
+        let b = tpcds_bundle(500, 5);
+        assert_eq!(b.name, "TPC-DS");
+        assert_eq!(b.templates.len(), 17);
+        assert_eq!(b.default_sort_col, 0);
+    }
+}

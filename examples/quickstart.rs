@@ -1,0 +1,85 @@
+//! Quickstart: run OREO end-to-end on a drifting workload.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a small TPC-H-shaped table, streams 3 000 queries whose template
+//! drifts over time, and lets OREO decide when to reorganize. Prints every
+//! reorganization decision and the final cost ledger next to the
+//! do-nothing baseline (staying on the initial arrival-order layout).
+
+use oreo::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // 1. Dataset: denormalized lineitem-like table (20 000 rows).
+    let bundle = oreo::workload::tpch_bundle(20_000, 42);
+    println!(
+        "table: {} rows × {} columns",
+        bundle.table.num_rows(),
+        bundle.table.schema().len()
+    );
+
+    // 2. Workload: 3 000 queries drifting across 6 template segments.
+    let stream = bundle.stream(StreamConfig {
+        total_queries: 3_000,
+        segments: 6,
+        seed: 7,
+        ..Default::default()
+    });
+    println!(
+        "workload: {} queries, template switches at {:?}\n",
+        stream.queries.len(),
+        stream.switch_points()
+    );
+
+    // 3. OREO: start from range partitioning on the arrival order, generate
+    //    Qd-tree candidates from the sliding window, switch via D-UMTS.
+    let config = OreoConfig {
+        alpha: 60.0,       // reorganization ≈ 60 full scans (Table I)
+        partitions: 32,    // target partition count
+        data_sample_rows: 3_000,
+        ..Default::default()
+    };
+    let initial = oreo::sim::default_spec(&bundle, config.partitions, 0);
+    let mut system = Oreo::new(
+        Arc::clone(&bundle.table),
+        Arc::clone(&initial),
+        Arc::new(QdTreeGenerator::new()),
+        config,
+    );
+
+    // The do-nothing baseline: every query runs on the initial layout.
+    let static_model = oreo::layout::build_exact_model(initial.as_ref(), 0, &bundle.table);
+    let mut baseline_cost = 0.0;
+
+    for q in &stream.queries {
+        let report = system.observe(q);
+        baseline_cost += static_model.cost(q);
+        if let Some(target) = report.reorg_decision {
+            println!(
+                "query {:>5}: reorganize → {} (phase {}, {} states live)",
+                report.seq,
+                system.layout_name(target).unwrap_or_else(|| "?".into()),
+                system.phases(),
+                system.num_states(),
+            );
+        }
+    }
+
+    let ledger = system.ledger();
+    println!("\n--- results over {} queries ---", ledger.queries);
+    println!(
+        "OREO:     query cost {:8.1} + reorg cost {:6.1} = {:8.1}  ({} switches)",
+        ledger.query_cost,
+        ledger.reorg_cost,
+        ledger.total(),
+        ledger.switches
+    );
+    println!(
+        "no-reorg: query cost {baseline_cost:8.1} + reorg cost    0.0 = {baseline_cost:8.1}"
+    );
+    let saving = (1.0 - ledger.total() / baseline_cost) * 100.0;
+    println!("OREO saves {saving:.1}% of total compute");
+}

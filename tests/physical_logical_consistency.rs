@@ -1,0 +1,144 @@
+//! The cost model is the physical truth: for any layout and query, the
+//! *fraction of rows* the logical model predicts equals what the on-disk
+//! store actually reads under metadata pruning — the property that makes
+//! simulation results transfer to the physical substrate.
+
+use oreo::layout::{build_exact_model, LayoutSpec, QdTreeBuilder, RangeLayout, ZOrderLayout};
+use oreo::prelude::*;
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "oreo-it-{}-{}-{}",
+        tag,
+        std::process::id(),
+        rand::random::<u32>()
+    ));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn logical_cost_equals_physical_rows_read() {
+    let bundle = oreo::workload::tpch_bundle(8_000, 1);
+    let table = &bundle.table;
+    let stream = bundle.stream(StreamConfig {
+        total_queries: 40,
+        segments: 4,
+        seed: 2,
+        ..Default::default()
+    });
+
+    let specs: Vec<(&str, Box<dyn LayoutSpec>)> = vec![
+        (
+            "range",
+            Box::new(RangeLayout::from_sample(table, 0, 8)),
+        ),
+        (
+            "zorder",
+            Box::new(ZOrderLayout::from_sample(
+                table,
+                &[table.schema().col("l_shipdate").unwrap(), 4],
+                8,
+                8,
+            )),
+        ),
+        (
+            "qdtree",
+            Box::new(QdTreeBuilder::new(8).build(table, &stream.queries)),
+        ),
+    ];
+
+    for (name, spec) in specs {
+        let assignment = spec.assign(table);
+        let dir = tmpdir(name);
+        let store = DiskStore::create(&dir, table, &assignment, spec.k()).unwrap();
+        let model = build_exact_model(spec.as_ref(), 0, table);
+
+        for q in stream.queries.iter().take(12) {
+            let stats = store.scan(q).unwrap();
+            let physical_fraction = stats.rows_read as f64 / table.num_rows() as f64;
+            let logical = model.cost(q);
+            assert!(
+                (physical_fraction - logical).abs() < 1e-9,
+                "{name}: physical {physical_fraction} != logical {logical} for {:?}",
+                q.predicate
+            );
+        }
+        store.destroy().unwrap();
+    }
+}
+
+#[test]
+fn matched_rows_are_identical_across_layouts() {
+    // Reorganization must never change query *results* — only I/O. The
+    // number of matching rows is layout-invariant.
+    let bundle = oreo::workload::telemetry_bundle(5_000, 2);
+    let table = &bundle.table;
+    let stream = bundle.stream(StreamConfig {
+        total_queries: 20,
+        segments: 2,
+        seed: 3,
+        ..Default::default()
+    });
+
+    let by_time = RangeLayout::from_sample(table, 0, 6);
+    let tree = QdTreeBuilder::new(6).build(table, &stream.queries);
+
+    let dir1 = tmpdir("layout-a");
+    let dir2 = tmpdir("layout-b");
+    let store_a = DiskStore::create(&dir1, table, &by_time.assign(table), by_time.k()).unwrap();
+    let store_b = DiskStore::create(&dir2, table, &tree.assign(table), tree.k()).unwrap();
+
+    for q in &stream.queries {
+        let a = store_a.scan(q).unwrap();
+        let b = store_b.scan(q).unwrap();
+        assert_eq!(
+            a.rows_matched, b.rows_matched,
+            "layouts disagree on results for {:?}",
+            q.predicate
+        );
+        // and both agree with the in-memory ground truth
+        let truth = (table.selectivity(&q.predicate) * table.num_rows() as f64).round() as u64;
+        assert_eq!(a.rows_matched, truth);
+    }
+    store_a.destroy().unwrap();
+    store_b.destroy().unwrap();
+}
+
+#[test]
+fn physical_reorganization_preserves_content() {
+    let bundle = oreo::workload::tpcds_bundle(4_000, 5);
+    let table = &bundle.table;
+    let by_ticket = RangeLayout::from_sample(table, 0, 5);
+    let dir = tmpdir("content");
+    let store = DiskStore::create(&dir, table, &by_ticket.assign(table), 5).unwrap();
+
+    let stream = bundle.stream(StreamConfig {
+        total_queries: 30,
+        segments: 3,
+        seed: 6,
+        ..Default::default()
+    });
+    let tree = QdTreeBuilder::new(8).build(table, &stream.queries);
+    let dir2 = tmpdir("content-reorg");
+    let store2 = store
+        .reorganize(&dir2, tree.k(), |t, row| tree.route(t, row))
+        .unwrap();
+
+    assert_eq!(store2.total_rows(), table.num_rows() as u64);
+    let back = store2.load_table().unwrap();
+    // same multiset of ticket numbers (the unique key)
+    let mut original: Vec<i64> = (0..table.num_rows())
+        .map(|r| table.scalar(r, 0).as_int().unwrap())
+        .collect();
+    let mut roundtrip: Vec<i64> = (0..back.num_rows())
+        .map(|r| back.scalar(r, 0).as_int().unwrap())
+        .collect();
+    original.sort_unstable();
+    roundtrip.sort_unstable();
+    assert_eq!(original, roundtrip);
+
+    store2.destroy().unwrap();
+    store.destroy().unwrap();
+}

@@ -56,7 +56,9 @@ fn bench_cost_eval(c: &mut Criterion) {
     let tree = QdTreeBuilder::new(64).build(&table, &stream.queries);
     let model = build_exact_model(&tree, 0, &table);
     let q = &stream.queries[0];
-    c.bench_function("layout_cost_eval_k64", |b| b.iter(|| black_box(model.cost(q))));
+    c.bench_function("layout_cost_eval_k64", |b| {
+        b.iter(|| black_box(model.cost(q)))
+    });
     let sample = &stream.queries[..64.min(stream.queries.len())];
     c.bench_function("cost_vector_64q_k64", |b| {
         b.iter(|| black_box(model.cost_vector(sample)))

@@ -11,7 +11,9 @@
 //! The paper's headline: dynamic reorganization with OREO beats a single
 //! optimized static layout by up to 32% in combined time.
 
-use oreo_bench::common::{banner, default_config, fig3_grid, make_stream, run_fig3_policies, Scale};
+use oreo_bench::common::{
+    banner, default_config, fig3_grid, make_stream, run_fig3_policies, Scale,
+};
 use oreo_sim::{default_spec, fmt_f, fmt_pct_change, AsciiTable, PolicySetup};
 use oreo_storage::DiskStore;
 use std::time::Instant;

@@ -11,7 +11,10 @@ use oreo_workload::tpch_bundle;
 
 fn main() {
     let scale = Scale::from_args();
-    banner("Fig. 6: impact of admission threshold ε (TPC-H, Qd-tree)", scale);
+    banner(
+        "Fig. 6: impact of admission threshold ε (TPC-H, Qd-tree)",
+        scale,
+    );
 
     let bundle = tpch_bundle(scale.rows(), 1);
     let stream = make_stream(&bundle, scale, 2);

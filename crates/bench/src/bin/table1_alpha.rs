@@ -15,8 +15,8 @@
 
 use oreo_sim::{fmt_f, AsciiTable};
 use oreo_storage::{DiskStore, Table};
-use rand::SeedableRng;
 use oreo_workload::tpch;
+use rand::SeedableRng;
 use std::path::PathBuf;
 use std::time::Instant;
 

@@ -40,7 +40,10 @@ fn run_variant(
 
 fn main() {
     let scale = Scale::from_args();
-    banner("Table II: γ / SW-vs-RS / reorganization-delay ablations", scale);
+    banner(
+        "Table II: γ / SW-vs-RS / reorganization-delay ablations",
+        scale,
+    );
 
     let bundles = all_bundles(scale.rows(), 1);
     let streams: Vec<_> = bundles.iter().map(|b| make_stream(b, scale, 2)).collect();
@@ -75,7 +78,12 @@ fn main() {
             .collect();
         rows.push((label.to_string(), cells));
     }
-    print_block("Candidate source (sliding window vs reservoir)", &names, &rows, k3);
+    print_block(
+        "Candidate source (sliding window vs reservoir)",
+        &names,
+        &rows,
+        k3,
+    );
 
     // ----------------------------------------------------------- Δ --
     let mut rows: Vec<(String, Vec<Cell>)> = Vec::new();
@@ -88,7 +96,12 @@ fn main() {
         let tag = if delta == 0 { "*" } else { "" };
         rows.push((format!("Δ={delta} {tag}").trim().to_string(), cells));
     }
-    print_block("Reorganization delay (Δ queries on the outdated layout)", &names, &rows, k3);
+    print_block(
+        "Reorganization delay (Δ queries on the outdated layout)",
+        &names,
+        &rows,
+        k3,
+    );
 
     println!("(paper: γ>0 cuts reorg cost 17–28% at similar query cost; RS raises");
     println!(" query costs up to 22% and reorg costs up to 47%; Δ=α raises query");

@@ -25,6 +25,7 @@ impl Scale {
         }
     }
 
+    /// Stream length for this scale.
     pub fn total_queries(self) -> usize {
         match self {
             Scale::Quick => 8_000,
@@ -32,6 +33,7 @@ impl Scale {
         }
     }
 
+    /// Number of workload-drift segments in the stream.
     pub fn segments(self) -> usize {
         match self {
             Scale::Quick => 10,
@@ -47,6 +49,7 @@ impl Scale {
         }
     }
 
+    /// Human-readable name for report headers.
     pub fn label(self) -> &'static str {
         match self {
             Scale::Quick => "quick",

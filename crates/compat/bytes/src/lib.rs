@@ -1,0 +1,379 @@
+//! Offline, API-compatible subset of the `bytes` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the `bytes 1.x` surface the OREO storage codec actually uses —
+//! [`Buf`], [`BufMut`], [`Bytes`], and [`BytesMut`] with the little-endian
+//! integer accessors — is reimplemented here behind the same paths. The
+//! implementation is a plain `Vec<u8>` with a read cursor; it trades the
+//! real crate's zero-copy slicing for simplicity, which is fine for the
+//! partition-sized buffers this workspace moves around.
+//!
+//! Swapping the real `bytes` crate back in requires no source changes
+//! anywhere else in the workspace: delete this stub from the workspace
+//! dependency table and restore the registry dependency.
+
+use std::sync::Arc;
+
+/// Read access to a buffer of bytes, mirroring `bytes::Buf`.
+///
+/// Getter methods consume from the front of the buffer and panic when
+/// fewer than the required bytes remain, exactly like the real crate.
+pub trait Buf {
+    /// Number of bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes as one contiguous slice.
+    fn chunk(&self) -> &[u8];
+
+    /// Discards the next `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copies `dst.len()` bytes from the front of the buffer into `dst`.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            self.remaining() >= dst.len(),
+            "copy_to_slice: need {} bytes, have {}",
+            dst.len(),
+            self.remaining()
+        );
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        self.get_u64_le() as i64
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of slice");
+        *self = &self[cnt..];
+    }
+}
+
+impl<B: Buf + ?Sized> Buf for &mut B {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        (**self).chunk()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        (**self).advance(cnt)
+    }
+}
+
+/// Write access to a growable buffer of bytes, mirroring `bytes::BufMut`.
+pub trait BufMut {
+    /// Appends `src` to the buffer.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_u64_le(v as u64);
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src)
+    }
+}
+
+/// An immutable, cheaply clonable byte buffer with a read cursor,
+/// mirroring `bytes::Bytes`.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from(&[][..]),
+            pos: 0,
+        }
+    }
+
+    /// Builds a buffer owning a copy of `data`.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(data),
+            pos: 0,
+        }
+    }
+
+    /// Number of unread bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether the unread region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The unread bytes copied into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+
+    /// The unread bytes as a slice.
+    pub fn as_ref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    /// A copy of the sub-range `range` of the unread bytes, mirroring
+    /// `Bytes::slice` (which is zero-copy in the real crate).
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let len = self.len();
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            lo <= hi && hi <= len,
+            "slice {lo}..{hi} out of range 0..{len}"
+        );
+        Bytes::copy_from_slice(&self.data[self.pos + lo..self.pos + hi])
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+            pos: 0,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of Bytes");
+        self.pos += cnt;
+    }
+}
+
+/// A growable byte buffer, mirroring `bytes::BytesMut`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Freezes the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+
+    /// Appends a slice (alias kept for `bytes` API parity).
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u16_le(513);
+        b.put_u32_le(70_000);
+        b.put_u64_le(1 << 40);
+        b.put_f64_le(0.25);
+        b.put_slice(b"abc");
+        let mut r = b.freeze();
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 513);
+        assert_eq!(r.get_u32_le(), 70_000);
+        assert_eq!(r.get_u64_le(), 1 << 40);
+        assert_eq!(r.get_f64_le(), 0.25);
+        let mut s = [0u8; 3];
+        r.copy_to_slice(&mut s);
+        assert_eq!(&s, b"abc");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_buf_advances() {
+        let data = [1u8, 2, 3, 4];
+        let mut s: &[u8] = &data;
+        assert_eq!(s.get_u8(), 1);
+        s.advance(1);
+        assert_eq!(s.remaining(), 2);
+        assert_eq!(s.chunk(), &[3, 4]);
+    }
+
+    #[test]
+    fn bytes_cursor_and_views_agree() {
+        let mut b = Bytes::from(vec![9u8, 8, 7]);
+        assert_eq!(b.get_u8(), 9);
+        assert_eq!(b.to_vec(), vec![8, 7]);
+        assert_eq!(AsRef::<[u8]>::as_ref(&b), &[8, 7]);
+        assert_eq!(b.len(), 2);
+    }
+}

@@ -1,0 +1,263 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the `criterion 0.5` surface the OREO microbenchmarks use —
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — is reimplemented here
+//! behind the same paths. Instead of criterion's bootstrapped statistics it
+//! runs a calibrated wall-clock loop (warm-up, then `sample_size` samples)
+//! and prints min/median/mean per-iteration times, which is enough to
+//! compare hot-path changes between commits.
+//!
+//! Swapping the real `criterion` crate back in requires no source changes
+//! anywhere else in the workspace: delete this stub from the workspace
+//! dependency table and restore the registry dependency.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost; accepted for API parity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine inputs: many iterations per setup batch.
+    SmallInput,
+    /// Large routine inputs: few iterations per setup batch.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Per-benchmark timing loop handed to the closure given to
+/// [`Criterion::bench_function`].
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, called repeatedly with no per-call setup.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate so one sample lasts roughly a millisecond.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1))
+            .clamp(1, 1_000_000) as u64;
+        self.iters_per_sample = per_sample;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / per_sample as u32);
+        }
+    }
+
+    /// Times `routine` on fresh inputs built by `setup`; only the routine
+    /// is measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.iters_per_sample = 1;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+/// Criterion CLI flags that take a value as the *next* argument; the value
+/// must not be mistaken for a benchmark name filter.
+const VALUE_FLAGS: &[&str] = &[
+    "--sample-size",
+    "--measurement-time",
+    "--warm-up-time",
+    "--profile-time",
+    "--save-baseline",
+    "--baseline",
+    "--load-baseline",
+    "--output-format",
+    "--color",
+    "--significance-level",
+    "--noise-threshold",
+    "--confidence-level",
+    "--nresamples",
+];
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // The real crate filters benchmarks by any free argument; cargo also
+        // passes flags like `--bench`, which must be ignored — as must the
+        // values of flags like `--sample-size 100`.
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if VALUE_FLAGS.contains(&a.as_str()) {
+                args.next();
+            } else if !a.starts_with('-') {
+                filter = Some(a);
+                break;
+            }
+        }
+        Criterion {
+            sample_size: 60,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timing samples each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark and prints its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_size: self.sample_size,
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        let iters = b.iters_per_sample;
+        samples.sort_unstable();
+        let min = samples.first().copied().unwrap_or_default();
+        let median = samples.get(samples.len() / 2).copied().unwrap_or_default();
+        let mean = samples
+            .iter()
+            .sum::<Duration>()
+            .checked_div(samples.len().max(1) as u32)
+            .unwrap_or_default();
+        println!(
+            "{id:<40} min {:>12} med {:>12} mean {:>12} ({} samples x {} iters)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            samples.len(),
+            iters,
+        );
+        self
+    }
+
+    /// Marks the end of a group (no-op; reports are printed eagerly).
+    pub fn final_summary(&mut self) {}
+}
+
+fn fmt_ns(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Defines a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Benchmark group assembled by `criterion_group!`.
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines the benchmark `main` entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion {
+            sample_size: 5,
+            filter: None,
+        };
+        let mut calls = 0u64;
+        c.bench_function("smoke_iter", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls > 5, "routine should run once per sample at minimum");
+    }
+
+    #[test]
+    fn iter_batched_measures_routine_only() {
+        let mut c = Criterion {
+            sample_size: 4,
+            filter: None,
+        };
+        let mut setups = 0u64;
+        c.bench_function("smoke_batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u64; 8]
+                },
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 4);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            sample_size: 3,
+            filter: Some("only_this".into()),
+        };
+        let mut ran = false;
+        c.bench_function("something_else", |b| {
+            b.iter(|| {
+                ran = true;
+            })
+        });
+        assert!(!ran, "filtered-out benchmark must not run");
+    }
+}

@@ -1,0 +1,90 @@
+//! The [`Arbitrary`] trait and [`any`] entry point, mirroring
+//! `proptest::arbitrary`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::marker::PhantomData;
+
+/// Types with a canonical "anything goes" strategy, mirroring
+/// `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized {
+    /// Draws one unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_standard {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.random()
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_via_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+macro_rules! impl_arbitrary_for_tuple {
+    ($($t:ident),+) => {
+        impl<$($t: Arbitrary),+> Arbitrary for ($($t,)+) {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                ($($t::arbitrary(rng),)+)
+            }
+        }
+    };
+}
+
+impl_arbitrary_for_tuple!(A);
+impl_arbitrary_for_tuple!(A, B);
+impl_arbitrary_for_tuple!(A, B, C);
+impl_arbitrary_for_tuple!(A, B, C, D);
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn any_i64_covers_both_signs() {
+        let s = any::<i64>();
+        let mut rng = case_rng(3, 0);
+        let mut pos = false;
+        let mut neg = false;
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            pos |= v > 0;
+            neg |= v < 0;
+        }
+        assert!(pos && neg, "full-domain i64 should produce both signs");
+    }
+
+    #[test]
+    fn any_tuple_generates() {
+        let s = any::<(usize, u8)>();
+        let mut rng = case_rng(4, 0);
+        let (_a, _b) = s.generate(&mut rng);
+    }
+}

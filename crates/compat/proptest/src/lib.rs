@@ -1,0 +1,108 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the `proptest 1.x` surface the OREO property tests use — the
+//! [`strategy::Strategy`] trait with `prop_map`, [`strategy::Just`],
+//! [`prop_oneof!`], [`collection::vec()`]/[`collection::btree_set()`],
+//! [`arbitrary::any`], and the [`proptest!`]/[`prop_assert!`] macros — is
+//! reimplemented here behind the same paths.
+//!
+//! The semantics are deliberately simplified: each test runs
+//! [`test_runner::ProptestConfig::cases`] random cases from a seed derived
+//! deterministically from the test's name (so failures reproduce across
+//! runs), and there is **no shrinking** — a failing case reports the
+//! assertion message only. Set the `PROPTEST_CASES` environment variable to
+//! change the case count without touching code.
+//!
+//! Swapping the real `proptest` crate back in requires no source changes
+//! anywhere else in the workspace: delete this stub from the workspace
+//! dependency table and restore the registry dependency.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property-test functions, mirroring `proptest::proptest!`.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item expands to a plain
+/// `fn name()` (keeping attributes such as `#[test]`) that evaluates the
+/// body on `cases` freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let base = $crate::test_runner::name_seed(stringify!($name));
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::case_rng(base, case);
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test, mirroring `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test, mirroring `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test, mirroring `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Picks uniformly among several strategies, mirroring `prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}

@@ -1,0 +1,65 @@
+//! Test-runner configuration and seeding, mirroring
+//! `proptest::test_runner`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How many random cases each property test runs, mirroring
+/// `proptest::test_runner::Config`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Same default and same override knob as the real crate.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic 64-bit seed for a test, derived from its name (FNV-1a).
+pub fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The RNG for one generated case of one test.
+pub fn case_rng(name_seed: u64, case: u32) -> StdRng {
+    StdRng::seed_from_u64(name_seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_differ_by_name_and_case() {
+        assert_ne!(name_seed("a"), name_seed("b"));
+        use rand::RngCore;
+        let mut r0 = case_rng(name_seed("a"), 0);
+        let mut r1 = case_rng(name_seed("a"), 1);
+        assert_ne!(r0.next_u64(), r1.next_u64());
+    }
+
+    #[test]
+    fn config_with_cases_overrides() {
+        assert_eq!(ProptestConfig::with_cases(64).cases, 64);
+    }
+}

@@ -1,0 +1,346 @@
+//! Offline, API-compatible subset of the `rand` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the handful of `rand 0.9` APIs the OREO codebase actually uses are
+//! reimplemented here behind the same paths (`rand::Rng`,
+//! `rand::SeedableRng`, `rand::rngs::StdRng`, `rand::seq::index::sample`,
+//! `rand::random`). The generator is xoshiro256++ seeded via SplitMix64 —
+//! deterministic for a given seed, statistically solid for simulation and
+//! test workloads, and explicitly **not** cryptographically secure.
+//!
+//! Swapping the real `rand` crate back in requires no source changes
+//! anywhere else in the workspace: delete this stub from the workspace
+//! dependency table and restore the registry dependency.
+
+/// A source of random 64-bit words; the base trait every generator
+/// implements.
+pub trait RngCore {
+    /// Returns the next pseudo-random `u64` and advances the generator.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be produced uniformly at random by [`Rng::random`].
+pub trait Standard: Sized {
+    /// Draws one uniformly-distributed value from `rng`.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types that [`Rng::random_range`] can sample uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from the half-open range `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from the closed range `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample empty range");
+                // Width in the unsigned domain; wrapping arithmetic keeps
+                // signed ranges like -50..50 correct.
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                lo.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "cannot sample empty inclusive range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_u64_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample empty range");
+                // `lo + (hi - lo) * u` with u just below 1 can round up to
+                // exactly `hi`; clamp to the largest value below it so the
+                // half-open contract holds (real rand guarantees this too).
+                let v = lo + (hi - lo) * <$t>::from_rng(rng);
+                if v < hi {
+                    v
+                } else {
+                    hi.next_down()
+                }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "cannot sample empty inclusive range");
+                (lo + (hi - lo) * <$t>::from_rng(rng)).min(hi)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+/// Unbiased uniform draw from `[0, span)` (`span == 0` means the full
+/// 64-bit range) via rejection sampling.
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    // Rejection zone keeps the draw exactly uniform.
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+/// Range arguments accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// The user-facing random-value API, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Returns a uniformly-distributed value of type `T`
+    /// (`[0, 1)` for floats, the full domain for integers).
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Returns a value uniformly distributed over `range`.
+    fn random_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction of generators from seeds, mirroring
+/// `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire stream is a function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generator types, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++
+    /// seeded through SplitMix64. Not cryptographically secure.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+/// Returns a single random value from a thread-local generator, mirroring
+/// the free function `rand::random`.
+pub fn random<T: Standard>() -> T {
+    use std::cell::RefCell;
+    thread_local! {
+        static THREAD_RNG: RefCell<rngs::StdRng> = RefCell::new({
+            use std::time::{SystemTime, UNIX_EPOCH};
+            let nanos = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+                .unwrap_or(0x5EED);
+            <rngs::StdRng as SeedableRng>::seed_from_u64(nanos)
+        });
+    }
+    THREAD_RNG.with(|r| T::from_rng(&mut *r.borrow_mut()))
+}
+
+/// Sequence-related helpers, mirroring `rand::seq`.
+pub mod seq {
+    /// Index-sampling helpers, mirroring `rand::seq::index`.
+    pub mod index {
+        use crate::{Rng, RngCore};
+
+        /// A set of sampled indices (thin wrapper over `Vec<usize>`).
+        #[derive(Clone, Debug)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Consumes the set, returning the indices as a vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// Whether the sample is empty.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+        }
+
+        /// Samples `amount` distinct indices from `0..length` uniformly,
+        /// via a partial Fisher–Yates shuffle.
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} indices from 0..{length}"
+            );
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = rng.random_range(i..length);
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64_pub(), b.next_u64_pub());
+        }
+    }
+
+    impl StdRng {
+        fn next_u64_pub(&mut self) -> u64 {
+            use super::RngCore;
+            self.next_u64()
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: i64 = rng.random_range(-50i64..50);
+            assert!((-50..50).contains(&v));
+            let w: i64 = rng.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f: f64 = rng.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_values_cover_domain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn index_sample_is_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let idx = super::seq::index::sample(&mut rng, 100, 40).into_vec();
+        assert_eq!(idx.len(), 40);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 40, "indices must be distinct");
+        assert!(idx.iter().all(|&i| i < 100));
+    }
+}

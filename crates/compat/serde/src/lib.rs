@@ -1,0 +1,30 @@
+//! Offline, API-compatible subset of the `serde` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the `serde 1.x` items the OREO codebase names — the [`Serialize`] and
+//! [`Deserialize`] traits and their derive macros — are stubbed here behind
+//! the same paths. No code in the workspace performs actual serialization
+//! (the derives mark config/query types as serialization-*ready*), so the
+//! traits are empty markers and the derives expand to nothing.
+//!
+//! Swapping the real `serde` crate back in requires no source changes
+//! anywhere else in the workspace: delete this stub from the workspace
+//! dependency table and restore the registry dependency.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Stand-in for the `serde::de` module (owned-deserialization marker).
+pub mod de {
+    pub use super::DeserializeOwned;
+}

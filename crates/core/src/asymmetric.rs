@@ -31,7 +31,10 @@ impl TwoStateAsymmetric {
     /// Panics on a state other than 0/1 or non-positive move costs.
     pub fn new(initial: usize, cost_01: f64, cost_10: f64) -> Self {
         assert!(initial < 2, "two states only");
-        assert!(cost_01 > 0.0 && cost_10 > 0.0, "move costs must be positive");
+        assert!(
+            cost_01 > 0.0 && cost_10 > 0.0,
+            "move costs must be positive"
+        );
         Self {
             cost_01,
             cost_10,
@@ -41,10 +44,12 @@ impl TwoStateAsymmetric {
         }
     }
 
+    /// The side (0 or 1) the walker currently occupies.
     pub fn current(&self) -> usize {
         self.current
     }
 
+    /// Number of side switches performed so far.
     pub fn moves(&self) -> u64 {
         self.moves
     }
@@ -61,7 +66,11 @@ impl TwoStateAsymmetric {
     /// incurred this step (service in the post-move state, plus the move
     /// cost if a move happened).
     pub fn observe(&mut self, c0: f64, c1: f64) -> f64 {
-        let (cur, other) = if self.current == 0 { (c0, c1) } else { (c1, c0) };
+        let (cur, other) = if self.current == 0 {
+            (c0, c1)
+        } else {
+            (c1, c0)
+        };
         self.regret = (self.regret + (cur - other)).max(0.0);
         if self.regret >= self.move_cost_from_current() {
             let paid = self.move_cost_from_current();
@@ -152,7 +161,11 @@ mod tests {
                 let cheap = block % 2;
                 for _ in 0..rng.random_range(20..120) {
                     let c = rng.random::<f64>();
-                    costs.push(if cheap == 0 { (0.1 * c, 0.5 + 0.5 * c) } else { (0.5 + 0.5 * c, 0.1 * c) });
+                    costs.push(if cheap == 0 {
+                        (0.1 * c, 0.5 + 0.5 * c)
+                    } else {
+                        (0.5 + 0.5 * c, 0.1 * c)
+                    });
                 }
             }
             let alg = run(&costs, cost_01, cost_10);

@@ -53,8 +53,11 @@ pub struct OreoConfig {
 /// Serializable mirror of [`CandidateSource`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CandidateSourceConfig {
+    /// Candidates from the sliding window only.
     SlidingWindow,
+    /// Candidates from the uniform reservoir only.
     Reservoir,
+    /// Candidates from both sources (§VI-D4 SW+RS ablation).
     Both,
 }
 
@@ -123,26 +126,31 @@ impl OreoConfig {
         self
     }
 
+    /// Sets the admission threshold ε.
     pub fn with_epsilon(mut self, epsilon: f64) -> Self {
         self.epsilon = epsilon;
         self
     }
 
+    /// Sets the transition-weighting exponent γ.
     pub fn with_gamma(mut self, gamma: f64) -> Self {
         self.gamma = gamma;
         self
     }
 
+    /// Sets the master RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
+    /// Sets the reorganization delay Δ in queries.
     pub fn with_delay(mut self, delay: u64) -> Self {
         self.reorg_delay = delay;
         self
     }
 
+    /// Sets the partition count k.
     pub fn with_partitions(mut self, k: usize) -> Self {
         self.partitions = k;
         self

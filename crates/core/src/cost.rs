@@ -20,6 +20,7 @@ pub struct CostLedger {
 }
 
 impl CostLedger {
+    /// An empty ledger.
     pub fn new() -> Self {
         Self::default()
     }

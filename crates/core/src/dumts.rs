@@ -85,6 +85,33 @@ pub struct StepOutcome {
 }
 
 /// The Algorithm 4 engine.
+///
+/// # Example
+///
+/// ```
+/// use oreo_core::{Dumts, DumtsConfig};
+///
+/// let mut d = Dumts::new(
+///     &[0, 1, 2],
+///     DumtsConfig {
+///         alpha: 4.0,
+///         seed: 7,
+///         ..Default::default()
+///     },
+/// );
+/// for _ in 0..200 {
+///     // state 1 is consistently cheap, the others expensive
+///     d.observe_query(|s| if s == 1 { 0.1 } else { 0.9 });
+/// }
+/// assert!(d.states().contains(&d.current()));
+/// assert!(d.switches() > 0 && d.phases() > 0);
+///
+/// // the "D" in D-UMTS: the state space changes mid-stream
+/// d.add_state(3);
+/// let _ = d.remove_state(0);
+/// assert_eq!(d.states().len(), 3);
+/// assert!(d.max_states_seen() >= 3);
+/// ```
 #[derive(Clone, Debug)]
 pub struct Dumts {
     config: DumtsConfig,
@@ -149,10 +176,12 @@ impl Dumts {
         self
     }
 
+    /// The state D-UMTS currently occupies.
     pub fn current(&self) -> StateId {
         self.current
     }
 
+    /// The reorganization cost α this instance was built with.
     pub fn alpha(&self) -> f64 {
         self.config.alpha
     }
@@ -206,11 +235,7 @@ impl Dumts {
         if self.states.contains_key(&s) {
             return;
         }
-        let weights: Vec<f64> = self
-            .states
-            .values()
-            .map(|e| e.last_phase_weight)
-            .collect();
+        let weights: Vec<f64> = self.states.values().map(|e| e.last_phase_weight).collect();
         let seed_weight = median_or(&weights, 0.0);
         let entry = if self.config.mid_phase_admission {
             let active_counters: Vec<f64> = self
@@ -303,10 +328,7 @@ impl Dumts {
         }
 
         let mut outcome = StepOutcome::default();
-        let current_active = self
-            .states
-            .get(&self.current)
-            .is_some_and(|e| e.active);
+        let current_active = self.states.get(&self.current).is_some_and(|e| e.active);
         if current_active {
             return outcome;
         }

@@ -79,8 +79,11 @@ impl Default for ManagerConfig {
 /// (sample-scaled) metadata model.
 #[derive(Clone)]
 pub struct ManagedLayout {
+    /// Stable identifier, shared with the reorganizer's state space.
     pub id: LayoutId,
+    /// The routing spec (how rows map to partitions).
     pub spec: SharedSpec,
+    /// Estimated per-partition metadata used for cost evaluation.
     pub model: LayoutModel,
 }
 
@@ -96,7 +99,9 @@ impl std::fmt::Debug for ManagedLayout {
 /// State-space change notifications for the consumer (the REORGANIZER).
 #[derive(Clone, Debug, PartialEq)]
 pub enum ManagerEvent {
+    /// A layout was admitted into the state space.
     Added(LayoutId),
+    /// A layout was evicted from the state space.
     Removed(LayoutId),
 }
 
@@ -104,14 +109,57 @@ pub enum ManagerEvent {
 /// admission rates).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ManagerStats {
+    /// Candidate layouts produced by the generator.
     pub generated: u64,
+    /// Candidates that passed the ε-distance admission test.
     pub admitted: u64,
+    /// Candidates rejected as too close to an existing state.
     pub rejected: u64,
+    /// States evicted to respect the state-space cap.
     pub pruned: u64,
+    /// Largest state-space size observed (the paper's |S_max|).
     pub peak_states: usize,
 }
 
 /// The LAYOUT MANAGER.
+///
+/// # Example
+///
+/// ```
+/// use oreo_core::{LayoutManager, ManagerConfig};
+/// use oreo_layout::{QdTreeGenerator, RangeLayout, SharedSpec};
+/// use oreo_query::{ColumnType, QueryBuilder, Scalar, Schema};
+/// use oreo_storage::TableBuilder;
+/// use std::sync::Arc;
+///
+/// // a tiny one-column table
+/// let schema = Arc::new(Schema::from_pairs([("v", ColumnType::Int)]));
+/// let mut b = TableBuilder::new(Arc::clone(&schema));
+/// for i in 0..1_000i64 {
+///     b.push_row(&[Scalar::Int(i)]);
+/// }
+/// let table = b.finish();
+///
+/// // start from an equi-depth range layout; grow Qd-tree candidates
+/// let initial: SharedSpec = Arc::new(RangeLayout::from_sample(&table, 0, 8));
+/// let config = ManagerConfig {
+///     window: 50,
+///     generation_interval: 50,
+///     ..Default::default()
+/// };
+/// let (mut manager, initial_id) =
+///     LayoutManager::new(table, 1_000.0, Arc::new(QdTreeGenerator::new()), 8, initial, config);
+///
+/// // every `generation_interval` queries the manager proposes candidates
+/// for i in 0..100i64 {
+///     let lo = (i * 9) % 900;
+///     let q = QueryBuilder::new(&schema).between("v", lo, lo + 40).build();
+///     let _events = manager.observe(&q);
+/// }
+/// assert!(manager.states().contains_key(&initial_id));
+/// assert!(manager.stats().generated > 0);
+/// assert_eq!(manager.num_states(), manager.states().len());
+/// ```
 pub struct LayoutManager {
     config: ManagerConfig,
     generator: Arc<dyn LayoutGenerator>,
@@ -177,14 +225,17 @@ impl LayoutManager {
         &self.states
     }
 
+    /// Current state-space size |S|.
     pub fn num_states(&self) -> usize {
         self.states.len()
     }
 
+    /// Admission/eviction counters so far.
     pub fn stats(&self) -> ManagerStats {
         self.stats
     }
 
+    /// The configuration this manager was built with.
     pub fn config(&self) -> &ManagerConfig {
         &self.config
     }
@@ -203,7 +254,10 @@ impl LayoutManager {
         self.rtbs.push(query.clone(), &mut self.rng);
 
         let mut events = Vec::new();
-        if !self.queries_seen.is_multiple_of(self.config.generation_interval) {
+        if !self
+            .queries_seen
+            .is_multiple_of(self.config.generation_interval)
+        {
             return events;
         }
 
@@ -361,7 +415,9 @@ mod tests {
     }
 
     fn a_query(t: &Table, lo: i64) -> Query {
-        QueryBuilder::new(t.schema()).between("a", lo, lo + 200).build()
+        QueryBuilder::new(t.schema())
+            .between("a", lo, lo + 200)
+            .build()
     }
 
     #[test]
@@ -415,7 +471,11 @@ mod tests {
         // drift the workload to force several admissions
         for i in 0..400i64 {
             let q = QueryBuilder::new(t.schema())
-                .between(if i % 100 < 50 { "a" } else { "b" }, (i * 3) % 500, (i * 3) % 500 + 150)
+                .between(
+                    if i % 100 < 50 { "a" } else { "b" },
+                    (i * 3) % 500,
+                    (i * 3) % 500 + 150,
+                )
                 .build();
             let _ = m.observe(&q);
         }

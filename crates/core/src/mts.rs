@@ -50,18 +50,22 @@ impl Bls {
         self
     }
 
+    /// The state currently occupied.
     pub fn current(&self) -> StateId {
         self.inner.current()
     }
 
+    /// The switching cost α.
     pub fn alpha(&self) -> f64 {
         self.inner.alpha()
     }
 
+    /// Number of completed elimination phases.
     pub fn phases(&self) -> u64 {
         self.inner.phases()
     }
 
+    /// Number of state switches performed.
     pub fn switches(&self) -> u64 {
         self.inner.switches()
     }

@@ -71,14 +71,17 @@ impl MultiCopyCache {
         self.lru.iter().copied()
     }
 
+    /// Whether `state` is currently materialized.
     pub fn is_cached(&self, state: StateId) -> bool {
         self.lru.contains(&state)
     }
 
+    /// Switches that found the target layout already materialized.
     pub fn hits(&self) -> u64 {
         self.hits
     }
 
+    /// Switches that had to materialize the target layout.
     pub fn misses(&self) -> u64 {
         self.misses
     }

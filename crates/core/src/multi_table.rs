@@ -21,11 +21,14 @@ use std::sync::Arc;
 /// A query addressed to one table of a multi-table deployment.
 #[derive(Clone, Debug)]
 pub struct TableQuery {
+    /// Target table name.
     pub table: String,
+    /// The query itself.
     pub query: Query,
 }
 
 impl TableQuery {
+    /// Addresses `query` to the table called `table`.
     pub fn new(table: impl Into<String>, query: Query) -> Self {
         Self {
             table: table.into(),
@@ -40,6 +43,7 @@ pub struct MultiTableOreo {
 }
 
 impl MultiTableOreo {
+    /// An empty deployment with no registered tables.
     pub fn new() -> Self {
         Self {
             instances: BTreeMap::new(),
@@ -56,14 +60,18 @@ impl MultiTableOreo {
         generator: Arc<dyn LayoutGenerator>,
         config: OreoConfig,
     ) {
-        self.instances
-            .insert(name.into(), Oreo::new(table, initial_spec, generator, config));
+        self.instances.insert(
+            name.into(),
+            Oreo::new(table, initial_spec, generator, config),
+        );
     }
 
+    /// Names of the registered tables, in sorted order.
     pub fn tables(&self) -> impl Iterator<Item = &str> {
         self.instances.keys().map(String::as_str)
     }
 
+    /// The OREO instance managing `table`, if registered.
     pub fn instance(&self, table: &str) -> Option<&Oreo> {
         self.instances.get(table)
     }
@@ -119,10 +127,7 @@ mod tests {
         ]));
         let mut b = TableBuilder::new(Arc::clone(&schema));
         for i in 0..n {
-            b.push_row(&[
-                Scalar::Int(i),
-                Scalar::Int((i * (7 + kind as i64)) % 500),
-            ]);
+            b.push_row(&[Scalar::Int(i), Scalar::Int((i * (7 + kind as i64)) % 500)]);
         }
         Arc::new(b.finish())
     }
@@ -185,10 +190,7 @@ mod tests {
         let total = m.total_ledger();
         assert_eq!(total.queries, 800);
         assert!(
-            (total.total()
-                - (ledgers["orders"].total() + ledgers["events"].total()))
-            .abs()
-                < 1e-9
+            (total.total() - (ledgers["orders"].total() + ledgers["events"].total())).abs() < 1e-9
         );
     }
 

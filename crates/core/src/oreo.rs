@@ -49,6 +49,46 @@ pub struct StepReport {
 }
 
 /// The OREO framework instance for one table.
+///
+/// # Example
+///
+/// ```
+/// use oreo_core::{Oreo, OreoConfig};
+/// use oreo_layout::{QdTreeGenerator, RangeLayout};
+/// use oreo_query::{ColumnType, QueryBuilder, Scalar, Schema};
+/// use oreo_storage::TableBuilder;
+/// use std::sync::Arc;
+///
+/// let schema = Arc::new(Schema::from_pairs([("v", ColumnType::Int)]));
+/// let mut b = TableBuilder::new(Arc::clone(&schema));
+/// for i in 0..2_000i64 {
+///     b.push_row(&[Scalar::Int((i * 17) % 1_000)]);
+/// }
+/// let table = Arc::new(b.finish());
+///
+/// let config = OreoConfig {
+///     alpha: 10.0,
+///     partitions: 8,
+///     window: 50,
+///     generation_interval: 50,
+///     ..Default::default()
+/// };
+/// let initial = Arc::new(RangeLayout::from_sample(&table, 0, config.partitions));
+/// let mut oreo = Oreo::new(
+///     Arc::clone(&table),
+///     initial,
+///     Arc::new(QdTreeGenerator::new()),
+///     config,
+/// );
+/// for i in 0..200i64 {
+///     let lo = (i * 5) % 900;
+///     let q = QueryBuilder::new(&schema).between("v", lo, lo + 50).build();
+///     let report = oreo.observe(&q);
+///     assert!(report.service_cost >= 0.0);
+/// }
+/// assert_eq!(oreo.ledger().queries, 200);
+/// assert!(oreo.ledger().total() > 0.0);
+/// ```
 pub struct Oreo {
     config: OreoConfig,
     table: Arc<Table>,
@@ -462,7 +502,11 @@ mod tests {
         let mut oreo = framework(&t, config);
         for q in drifting_queries(&t, 500) {
             oreo.observe(&q);
-            assert!(oreo.num_states() <= 3, "cap violated: {}", oreo.num_states());
+            assert!(
+                oreo.num_states() <= 3,
+                "cap violated: {}",
+                oreo.num_states()
+            );
         }
     }
 

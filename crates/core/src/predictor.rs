@@ -19,7 +19,11 @@ pub enum TransitionPolicy {
     Uniform,
     /// Weight states by `w^γ` where `w` is last-phase average skipped
     /// fraction (§IV-C). `gamma = 0.0` degenerates to `Uniform`.
-    SkippedWeighted { gamma: f64 },
+    SkippedWeighted {
+        /// The weighting exponent; higher values favor historically
+        /// well-skipping states more aggressively.
+        gamma: f64,
+    },
 }
 
 impl TransitionPolicy {

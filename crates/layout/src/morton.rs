@@ -10,10 +10,7 @@
 pub fn morton_encode(coords: &[u32], bits: u32) -> u64 {
     let ndims = coords.len() as u32;
     assert!(ndims > 0, "need at least one dimension");
-    assert!(
-        bits * ndims <= 64,
-        "{bits} bits × {ndims} dims exceeds u64"
-    );
+    assert!(bits * ndims <= 64, "{bits} bits × {ndims} dims exceeds u64");
     for &c in coords {
         assert!(
             bits == 32 || u64::from(c) < (1u64 << bits),

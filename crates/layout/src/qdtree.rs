@@ -42,6 +42,7 @@ enum Node {
 }
 
 impl QdTree {
+    /// Height of the tree (a single leaf has depth 1).
     pub fn depth(&self) -> usize {
         fn d(n: &Node) -> usize {
             match n {
@@ -107,6 +108,7 @@ pub struct QdTreeBuilder {
 }
 
 impl QdTreeBuilder {
+    /// A builder targeting at most `k` leaf partitions.
     pub fn new(k: usize) -> Self {
         assert!(k >= 1);
         Self {
@@ -116,11 +118,13 @@ impl QdTreeBuilder {
         }
     }
 
+    /// Attaches a provenance tag to the built tree's name.
     pub fn with_tag(mut self, tag: impl Into<String>) -> Self {
         self.tag = tag.into();
         self
     }
 
+    /// Overrides the minimum sample rows a leaf may hold.
     pub fn with_min_leaf_rows(mut self, rows: usize) -> Self {
         self.min_leaf_rows = Some(rows);
         self
@@ -195,11 +199,7 @@ impl QdTreeBuilder {
         // Arena of tree slots.
         enum Slot {
             Leaf(Vec<u32>),
-            Inner {
-                atom: Atom,
-                yes: usize,
-                no: usize,
-            },
+            Inner { atom: Atom, yes: usize, no: usize },
         }
         let mut slots: Vec<Slot> = vec![Slot::Leaf((0..nrows as u32).collect())];
         let mut leaf_count = 1usize;
@@ -210,10 +210,10 @@ impl QdTreeBuilder {
         let mut counter: u64 = 0;
 
         let push_best = |slot_idx: usize,
-                             rows: &[u32],
-                             heap: &mut BinaryHeap<(u64, Reverse<u64>, usize, usize)>,
-                             query_sats: &mut Vec<HashMap<ColId, Option<SatSet>>>,
-                             counter: &mut u64| {
+                         rows: &[u32],
+                         heap: &mut BinaryHeap<(u64, Reverse<u64>, usize, usize)>,
+                         query_sats: &mut Vec<HashMap<ColId, Option<SatSet>>>,
+                         counter: &mut u64| {
             let mut best: Option<(u64, usize)> = None;
             for (ci, atom) in candidates.iter().enumerate() {
                 let yes = rows
@@ -288,11 +288,7 @@ impl QdTreeBuilder {
         }
 
         // Assign leaf bids in DFS order and materialize the final tree.
-        fn freeze(
-            slots: &[Slot],
-            idx: usize,
-            next_bid: &mut u32,
-        ) -> Node {
+        fn freeze(slots: &[Slot], idx: usize, next_bid: &mut u32) -> Node {
             match &slots[idx] {
                 Slot::Leaf(_) => {
                     let bid = *next_bid;
@@ -329,6 +325,7 @@ pub struct QdTreeGenerator {
 }
 
 impl QdTreeGenerator {
+    /// A generator with the default (unconstrained) leaf size.
     pub fn new() -> Self {
         Self::default()
     }

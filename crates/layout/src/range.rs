@@ -24,14 +24,12 @@ impl RangeLayout {
     /// `col` within `sample`.
     pub fn from_sample(sample: &Table, col: ColId, k: usize) -> Self {
         assert!(k >= 1, "need at least one partition");
-        let mut values: Vec<Scalar> =
-            (0..sample.num_rows()).map(|r| sample.scalar(r, col)).collect();
+        let mut values: Vec<Scalar> = (0..sample.num_rows())
+            .map(|r| sample.scalar(r, col))
+            .collect();
         values.sort();
         let boundaries = equi_depth_boundaries(&values, k);
-        let name = format!(
-            "range({})",
-            sample.schema().column(col).name
-        );
+        let name = format!("range({})", sample.schema().column(col).name);
         Self {
             col,
             boundaries,
@@ -39,10 +37,12 @@ impl RangeLayout {
         }
     }
 
+    /// The column this layout ranges over.
     pub fn col(&self) -> ColId {
         self.col
     }
 
+    /// The sorted split points between consecutive partitions.
     pub fn boundaries(&self) -> &[Scalar] {
         &self.boundaries
     }
@@ -90,6 +90,7 @@ pub struct RangeGenerator {
 }
 
 impl RangeGenerator {
+    /// A generator producing equi-depth range layouts on `col`.
     pub fn new(col: ColId) -> Self {
         Self { col }
     }

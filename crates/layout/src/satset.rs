@@ -17,6 +17,7 @@ use std::collections::BTreeSet;
 /// One end of an interval.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Bound {
+    /// No endpoint (−∞ or +∞).
     Unbounded,
     /// Endpoint included.
     Inclusive(Scalar),
@@ -28,7 +29,12 @@ pub enum Bound {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SatSet {
     /// Contiguous range `(low, high)`.
-    Interval { low: Bound, high: Bound },
+    Interval {
+        /// Lower end of the range.
+        low: Bound,
+        /// Upper end of the range.
+        high: Bound,
+    },
     /// Finite set of points.
     Points(BTreeSet<Scalar>),
     /// Nothing satisfies (e.g. the intersection of disjoint atoms).
@@ -100,10 +106,7 @@ impl SatSet {
                     SatSet::Points(kept)
                 }
             }
-            (
-                SatSet::Interval { low: l1, high: h1 },
-                SatSet::Interval { low: l2, high: h2 },
-            ) => {
+            (SatSet::Interval { low: l1, high: h1 }, SatSet::Interval { low: l2, high: h2 }) => {
                 let low = max_low(l1, l2);
                 let high = min_high(h1, h2);
                 if interval_empty(&low, &high) {
@@ -142,16 +145,13 @@ impl SatSet {
             (SatSet::Empty, _) => true,
             (_, SatSet::Empty) => false,
             (SatSet::Points(a), SatSet::Points(b)) => a.is_subset(b),
-            (SatSet::Points(a), iv @ SatSet::Interval { .. }) => {
-                a.iter().all(|p| iv.contains(p))
-            }
+            (SatSet::Points(a), iv @ SatSet::Interval { .. }) => a.iter().all(|p| iv.contains(p)),
             // An interval (with a continuum of values) is only inside a
             // finite point set in degenerate cases; stay conservative.
             (SatSet::Interval { .. }, SatSet::Points(_)) => false,
-            (
-                SatSet::Interval { low: l1, high: h1 },
-                SatSet::Interval { low: l2, high: h2 },
-            ) => low_geq(l1, l2) && high_leq(h1, h2),
+            (SatSet::Interval { low: l1, high: h1 }, SatSet::Interval { low: l2, high: h2 }) => {
+                low_geq(l1, l2) && high_leq(h1, h2)
+            }
         }
     }
 
@@ -247,7 +247,10 @@ fn high_leq(a: &Bound, b: &Bound) -> bool {
 
 /// The combined satisfying set of all atoms a predicate places on `col`
 /// (`None` when the predicate does not constrain the column).
-pub fn predicate_satset(predicate: &oreo_query::Predicate, col: oreo_query::ColId) -> Option<SatSet> {
+pub fn predicate_satset(
+    predicate: &oreo_query::Predicate,
+    col: oreo_query::ColId,
+) -> Option<SatSet> {
     let mut acc: Option<SatSet> = None;
     for atom in predicate.atoms() {
         if atom.col() != col {

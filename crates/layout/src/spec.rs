@@ -45,12 +45,7 @@ pub type SharedSpec = Arc<dyn LayoutSpec>;
 /// Build the metadata-only [`LayoutModel`] of a spec by routing `sample`
 /// and scaling partition row counts to `full_rows` — the paper's
 /// "sample-estimated" costing of candidate layouts.
-pub fn build_model(
-    spec: &dyn LayoutSpec,
-    id: u64,
-    sample: &Table,
-    full_rows: f64,
-) -> LayoutModel {
+pub fn build_model(spec: &dyn LayoutSpec, id: u64, sample: &Table, full_rows: f64) -> LayoutModel {
     let assignment = spec.assign(sample);
     let mut meta = build_metadata(sample, &assignment, spec.k());
     if sample.num_rows() > 0 && full_rows > 0.0 {
@@ -104,7 +99,11 @@ mod tests {
             self.k
         }
         fn route(&self, table: &Table, row: usize) -> u32 {
-            (table.scalar(row, 0).as_int().unwrap().rem_euclid(self.k as i64)) as u32
+            (table
+                .scalar(row, 0)
+                .as_int()
+                .unwrap()
+                .rem_euclid(self.k as i64)) as u32
         }
         fn describe(&self) -> String {
             format!("mod({})", self.k)

@@ -40,8 +40,9 @@ impl ZOrderLayout {
 
         let mut grids = Vec::with_capacity(cols.len());
         for &col in cols {
-            let mut values: Vec<Scalar> =
-                (0..sample.num_rows()).map(|r| sample.scalar(r, col)).collect();
+            let mut values: Vec<Scalar> = (0..sample.num_rows())
+                .map(|r| sample.scalar(r, col))
+                .collect();
             values.sort();
             grids.push(equi_depth_boundaries(&values, 1usize << bits));
         }
@@ -91,6 +92,7 @@ impl ZOrderLayout {
         morton_encode(&coords, self.bits)
     }
 
+    /// The columns interleaved into the Z-order key.
     pub fn cols(&self) -> &[ColId] {
         &self.cols
     }

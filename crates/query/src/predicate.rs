@@ -21,10 +21,15 @@ use std::fmt;
 /// Comparison operators for [`Atom::Compare`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CompareOp {
+    /// Strictly less than.
     Lt,
+    /// Less than or equal.
     Le,
+    /// Strictly greater than.
     Gt,
+    /// Greater than or equal.
     Ge,
+    /// Equal.
     Eq,
 }
 
@@ -59,27 +64,36 @@ impl fmt::Display for CompareOp {
 pub enum Atom {
     /// `col <op> value`.
     Compare {
+        /// The constrained column.
         col: ColId,
+        /// The comparison operator.
         op: CompareOp,
+        /// The literal compared against.
         value: Scalar,
     },
     /// `col BETWEEN low AND high` (inclusive on both ends).
     Between {
+        /// The constrained column.
         col: ColId,
+        /// Lower bound (inclusive).
         low: Scalar,
+        /// Upper bound (inclusive).
         high: Scalar,
     },
     /// `col IN (set)`. Sets are small (query literals), stored sorted.
-    InSet { col: ColId, set: Vec<Scalar> },
+    InSet {
+        /// The constrained column.
+        col: ColId,
+        /// The sorted membership literals.
+        set: Vec<Scalar>,
+    },
 }
 
 impl Atom {
     /// The column this atom constrains.
     pub fn col(&self) -> ColId {
         match self {
-            Atom::Compare { col, .. } | Atom::Between { col, .. } | Atom::InSet { col, .. } => {
-                *col
-            }
+            Atom::Compare { col, .. } | Atom::Between { col, .. } | Atom::InSet { col, .. } => *col,
         }
     }
 
@@ -128,7 +142,9 @@ impl Atom {
                 CompareOp::Ge => distinct.iter().next_back().is_some_and(|max| max >= value),
                 CompareOp::Eq => distinct.contains(value),
             },
-            Atom::Between { low, high, .. } => distinct.range(low.clone()..=high.clone()).next().is_some(),
+            Atom::Between { low, high, .. } => {
+                distinct.range(low.clone()..=high.clone()).next().is_some()
+            }
             Atom::InSet { set, .. } => set.iter().any(|v| distinct.contains(v)),
         }
     }
@@ -424,6 +440,9 @@ mod tests {
                 set: vec![Scalar::from("eu")],
             },
         ]);
-        assert_eq!(p.display(&schema).to_string(), "qty < 5 AND region IN ('eu')");
+        assert_eq!(
+            p.display(&schema).to_string(),
+            "qty < 5 AND region IN ('eu')"
+        );
     }
 }

@@ -76,6 +76,7 @@ pub struct QueryBuilder<'a> {
 }
 
 impl<'a> QueryBuilder<'a> {
+    /// A builder over `schema` with no atoms yet.
     pub fn new(schema: &'a Schema) -> Self {
         Self {
             schema,
@@ -121,12 +122,7 @@ impl<'a> QueryBuilder<'a> {
     }
 
     /// `col BETWEEN low AND high` (inclusive).
-    pub fn between(
-        mut self,
-        col: &str,
-        low: impl Into<Scalar>,
-        high: impl Into<Scalar>,
-    ) -> Self {
+    pub fn between(mut self, col: &str, low: impl Into<Scalar>, high: impl Into<Scalar>) -> Self {
         let col = self.schema.col_or_panic(col);
         let (low, high) = (low.into(), high.into());
         debug_assert!(low <= high, "BETWEEN bounds inverted");
@@ -135,7 +131,11 @@ impl<'a> QueryBuilder<'a> {
     }
 
     /// `col IN (values...)`
-    pub fn in_set<V: Into<Scalar>>(mut self, col: &str, values: impl IntoIterator<Item = V>) -> Self {
+    pub fn in_set<V: Into<Scalar>>(
+        mut self,
+        col: &str,
+        values: impl IntoIterator<Item = V>,
+    ) -> Self {
         let col = self.schema.col_or_panic(col);
         self.atoms.push(Atom::InSet {
             col,

@@ -11,13 +11,19 @@ pub type ColId = usize;
 /// A single column definition.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ColumnDef {
+    /// Column name, unique within its schema.
     pub name: String,
+    /// The column's value type.
     pub ty: ColumnType,
 }
 
 impl ColumnDef {
+    /// A definition for a column called `name` of type `ty`.
     pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
-        Self { name: name.into(), ty }
+        Self {
+            name: name.into(),
+            ty,
+        }
     }
 }
 

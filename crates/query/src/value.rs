@@ -54,8 +54,11 @@ impl fmt::Display for ColumnType {
 /// row when routing records through a layout.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum Scalar {
+    /// A 64-bit integer (also carries dates/timestamps as epoch offsets).
     Int(i64),
+    /// A 64-bit float.
     Float(f64),
+    /// An owned string.
     Str(String),
 }
 

@@ -42,14 +42,17 @@ impl<T> Reservoir<T> {
         }
     }
 
+    /// Number of items currently held.
     pub fn len(&self) -> usize {
         self.items.len()
     }
 
+    /// Whether the sample is empty.
     pub fn is_empty(&self) -> bool {
         self.items.is_empty()
     }
 
+    /// Maximum number of items the reservoir keeps.
     pub fn capacity(&self) -> usize {
         self.capacity
     }

@@ -95,18 +95,22 @@ impl<T> TimeBiasedReservoir<T> {
         }
     }
 
+    /// Number of items currently held.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
+    /// Whether the sample is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
+    /// Maximum number of items the reservoir keeps.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
+    /// The exponential time-bias rate λ.
     pub fn lambda(&self) -> f64 {
         self.lambda
     }

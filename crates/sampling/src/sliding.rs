@@ -39,14 +39,17 @@ impl<T> SlidingWindow<T> {
         self.pushed += 1;
     }
 
+    /// Number of items currently held.
     pub fn len(&self) -> usize {
         self.items.len()
     }
 
+    /// Whether the window is empty.
     pub fn is_empty(&self) -> bool {
         self.items.is_empty()
     }
 
+    /// Maximum number of items the window keeps.
     pub fn capacity(&self) -> usize {
         self.capacity
     }

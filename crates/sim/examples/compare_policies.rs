@@ -28,12 +28,28 @@ fn main() {
     let jitter: f64 = args.get(6).map(|s| s.parse().unwrap()).unwrap_or(0.15);
     let gamma: f64 = args.get(7).map(|s| s.parse().unwrap()).unwrap_or(1.0);
     let epsilon: f64 = args.get(8).map(|s| s.parse().unwrap()).unwrap_or(0.08);
-    let stream = bundle.stream(StreamConfig { total_queries: total, segments, seed: 2, anchor_jitter: Some(jitter) });
+    let stream = bundle.stream(StreamConfig {
+        total_queries: total,
+        segments,
+        seed: 2,
+        anchor_jitter: Some(jitter),
+    });
     let config = OreoConfig {
-        alpha, window: 200, generation_interval: 200,
-        partitions: k, data_sample_rows: sample, seed: 3, gamma, epsilon, ..Default::default()
+        alpha,
+        window: 200,
+        generation_interval: 200,
+        partitions: k,
+        data_sample_rows: sample,
+        seed: 3,
+        gamma,
+        epsilon,
+        ..Default::default()
     };
-    let tech = if std::env::var("TECH").as_deref() == Ok("zorder") { Technique::ZOrder } else { Technique::QdTree };
+    let tech = if std::env::var("TECH").as_deref() == Ok("zorder") {
+        Technique::ZOrder
+    } else {
+        Technique::QdTree
+    };
     let setup = PolicySetup::new(bundle.clone(), tech, config.clone());
 
     let mut static_p = setup.static_policy(&stream.queries);
@@ -52,9 +68,19 @@ fn main() {
     let roff = run_policy(&mut off, &stream.queries, 0);
 
     for r in [&rs, &ro, &rg, &rr, &rm, &roff] {
-        println!("{:16} total={:8.1} query={:8.1} reorg={:7.1} switches={}",
-            r.name, r.total(), r.ledger.query_cost, r.ledger.reorg_cost, r.switches);
+        println!(
+            "{:16} total={:8.1} query={:8.1} reorg={:7.1} switches={}",
+            r.name,
+            r.total(),
+            r.ledger.query_cost,
+            r.ledger.reorg_cost,
+            r.switches
+        );
     }
     let f = oreo.framework();
-    println!("OREO states={} stats={:?}", f.num_states(), f.manager_stats());
+    println!(
+        "OREO states={} stats={:?}",
+        f.num_states(),
+        f.manager_stats()
+    );
 }

@@ -18,7 +18,9 @@ use std::sync::Arc;
 /// A freshly generated candidate layout.
 #[derive(Clone)]
 pub struct Candidate {
+    /// Identifier shared with the policies' state spaces.
     pub id: u64,
+    /// The candidate's routing spec.
     pub spec: SharedSpec,
     /// Estimated model (metadata from the data sample, scaled to the table).
     pub model: LayoutModel,
@@ -44,6 +46,7 @@ pub struct CandidateFeed {
 }
 
 impl CandidateFeed {
+    /// A feed over `table` producing candidates with `generator`.
     pub fn new(
         data_sample: Table,
         full_rows: f64,
@@ -88,6 +91,7 @@ impl CandidateFeed {
         self.window.to_vec()
     }
 
+    /// Number of queries offered to the feed so far.
     pub fn queries_seen(&self) -> u64 {
         self.seen
     }

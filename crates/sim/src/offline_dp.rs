@@ -169,7 +169,11 @@ mod tests {
                 replay += alpha;
             }
         }
-        assert!((replay - o.total_cost).abs() < 1e-9, "{replay} vs {}", o.total_cost);
+        assert!(
+            (replay - o.total_cost).abs() < 1e-9,
+            "{replay} vs {}",
+            o.total_cost
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub struct GreedyPolicy {
 }
 
 impl GreedyPolicy {
+    /// A greedy policy switching to the cheapest candidate each interval.
     pub fn new(
         table: Arc<Table>,
         feed: CandidateFeed,

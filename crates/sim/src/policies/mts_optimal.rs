@@ -18,11 +18,11 @@ pub struct MtsOptimalPolicy {
 }
 
 impl MtsOptimalPolicy {
+    /// A D-UMTS policy over the fixed per-segment template layouts.
     pub fn new(layouts: &TemplateLayouts, config: DumtsConfig) -> Self {
         assert!(!layouts.is_empty());
         let alpha = config.alpha;
-        let models: Vec<LayoutModel> =
-            layouts.layouts.iter().map(|l| l.exact.clone()).collect();
+        let models: Vec<LayoutModel> = layouts.layouts.iter().map(|l| l.exact.clone()).collect();
         let ids: Vec<u64> = (0..models.len() as u64).collect();
         let reorganizer = Dumts::new(&ids, config);
         Self {

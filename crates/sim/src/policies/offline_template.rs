@@ -21,6 +21,7 @@ pub struct OfflineTemplatePolicy {
 }
 
 impl OfflineTemplatePolicy {
+    /// The clairvoyant per-segment policy (knows segment boundaries).
     pub fn new(layouts: &TemplateLayouts, segments: &[Segment], alpha: f64) -> Self {
         assert!(!segments.is_empty());
         assert_eq!(layouts.len(), segments.len(), "one layout per segment");

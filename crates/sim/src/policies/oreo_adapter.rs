@@ -13,6 +13,7 @@ pub struct OreoPolicy {
 }
 
 impl OreoPolicy {
+    /// Wraps a full OREO instance behind the [`crate::ReorgPolicy`] interface.
     pub fn new(
         table: Arc<Table>,
         initial_spec: SharedSpec,

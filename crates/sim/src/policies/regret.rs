@@ -41,6 +41,7 @@ pub struct RegretPolicy {
 }
 
 impl RegretPolicy {
+    /// A regret-triggered policy (switch when accumulated regret exceeds α).
     pub fn new(
         table: Arc<Table>,
         feed: CandidateFeed,

@@ -41,6 +41,7 @@ pub struct SatPolicy {
 }
 
 impl SatPolicy {
+    /// A SAT-style periodic re-optimization policy.
     pub fn new(
         table: Arc<Table>,
         feed: CandidateFeed,

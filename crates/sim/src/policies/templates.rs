@@ -18,6 +18,7 @@ use std::sync::Arc;
 pub struct SegmentLayout {
     /// Index into the stream's segment list.
     pub segment: usize,
+    /// The layout built from that segment's queries.
     pub spec: SharedSpec,
     /// Estimated (sample-scaled) model.
     pub estimate: LayoutModel,
@@ -27,6 +28,7 @@ pub struct SegmentLayout {
 
 /// The precomputed state space for the §VI-C comparison methods.
 pub struct TemplateLayouts {
+    /// One precomputed layout per stream segment.
     pub layouts: Vec<SegmentLayout>,
 }
 
@@ -66,14 +68,17 @@ impl TemplateLayouts {
         Self { layouts }
     }
 
+    /// The precomputed layout for `segment`.
     pub fn get(&self, segment: usize) -> &SegmentLayout {
         &self.layouts[segment]
     }
 
+    /// Number of precomputed layouts.
     pub fn len(&self) -> usize {
         self.layouts.len()
     }
 
+    /// Whether no layouts were precomputed.
     pub fn is_empty(&self) -> bool {
         self.layouts.is_empty()
     }

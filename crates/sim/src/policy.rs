@@ -59,14 +59,18 @@ pub fn run_policy(
 /// Outcome of one policy run.
 #[derive(Clone, Debug)]
 pub struct RunResult {
+    /// The policy's display name.
     pub name: String,
+    /// Accumulated query/reorganization costs.
     pub ledger: CostLedger,
     /// `(queries processed, cumulative total cost)` samples.
     pub trajectory: Vec<(u64, f64)>,
+    /// Number of layout switches performed.
     pub switches: u64,
 }
 
 impl RunResult {
+    /// Total cost: query + reorganization.
     pub fn total(&self) -> f64 {
         self.ledger.total()
     }

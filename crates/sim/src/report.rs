@@ -11,6 +11,7 @@ pub struct AsciiTable {
 }
 
 impl AsciiTable {
+    /// A table with the given column headers.
     pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
         Self {
             headers: headers.into_iter().map(Into::into).collect(),

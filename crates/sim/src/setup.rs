@@ -25,11 +25,14 @@ use std::sync::Arc;
 /// Layout-generation technique under evaluation (Fig. 3 columns).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Technique {
+    /// Qd-tree candidate generation.
     QdTree,
+    /// Workload-aware Z-order candidate generation.
     ZOrder,
 }
 
 impl Technique {
+    /// Human-readable name for report headers.
     pub fn label(self) -> &'static str {
         match self {
             Technique::QdTree => "Qd-tree",
@@ -40,10 +43,7 @@ impl Technique {
 
 /// Instantiate the generator for a technique over a bundle. Z-order falls
 /// back to the bundle's default sort column when the workload is cold.
-pub fn make_generator(
-    technique: Technique,
-    bundle: &DatasetBundle,
-) -> Arc<dyn LayoutGenerator> {
+pub fn make_generator(technique: Technique, bundle: &DatasetBundle) -> Arc<dyn LayoutGenerator> {
     match technique {
         Technique::QdTree => Arc::new(QdTreeGenerator::new()),
         Technique::ZOrder => Arc::new(ZOrderGenerator::with_defaults(vec![
@@ -56,7 +56,9 @@ pub fn make_generator(
 /// on the bundle's natural ingest column ("partition by time", §IV-A).
 pub fn default_spec(bundle: &DatasetBundle, k: usize, seed: u64) -> SharedSpec {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xDEFA);
-    let sample = bundle.table.sample(&mut rng, 4000.min(bundle.table.num_rows()));
+    let sample = bundle
+        .table
+        .sample(&mut rng, 4000.min(bundle.table.num_rows()));
     Arc::new(RangeLayout::from_sample(
         &sample,
         bundle.default_sort_col,
@@ -66,12 +68,16 @@ pub fn default_spec(bundle: &DatasetBundle, k: usize, seed: u64) -> SharedSpec {
 
 /// Everything the Fig. 3 / Table II harnesses need to build one policy set.
 pub struct PolicySetup {
+    /// The dataset and query templates under test.
     pub bundle: DatasetBundle,
+    /// Which candidate-generation technique to use.
     pub technique: Technique,
+    /// Shared OREO configuration for all policies.
     pub config: OreoConfig,
 }
 
 impl PolicySetup {
+    /// Bundles a dataset, technique and configuration into one setup.
     pub fn new(bundle: DatasetBundle, technique: Technique, config: OreoConfig) -> Self {
         Self {
             bundle,

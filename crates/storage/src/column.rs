@@ -13,8 +13,11 @@ use std::collections::HashMap;
 /// Borrowed view of one cell.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum ValueRef<'a> {
+    /// A borrowed integer cell.
     Int(i64),
+    /// A borrowed float cell.
     Float(f64),
+    /// A borrowed string cell.
     Str(&'a str),
 }
 
@@ -55,8 +58,13 @@ pub fn atom_matches_ref(atom: &Atom, value: ValueRef<'_>) -> bool {
             None => false,
         },
         Atom::Between { low, high, .. } => {
-            matches!(value.cmp_scalar(low), Some(Ordering::Greater | Ordering::Equal))
-                && matches!(value.cmp_scalar(high), Some(Ordering::Less | Ordering::Equal))
+            matches!(
+                value.cmp_scalar(low),
+                Some(Ordering::Greater | Ordering::Equal)
+            ) && matches!(
+                value.cmp_scalar(high),
+                Some(Ordering::Less | Ordering::Equal)
+            )
         }
         Atom::InSet { set, .. } => set
             .iter()
@@ -73,6 +81,7 @@ pub struct DictColumn {
 }
 
 impl DictColumn {
+    /// An empty dictionary column.
     pub fn new() -> Self {
         Self::default()
     }
@@ -83,10 +92,12 @@ impl DictColumn {
         Self { dict, codes }
     }
 
+    /// Number of rows.
     pub fn len(&self) -> usize {
         self.codes.len()
     }
 
+    /// Whether the column has no rows.
     pub fn is_empty(&self) -> bool {
         self.codes.is_empty()
     }
@@ -96,18 +107,22 @@ impl DictColumn {
         self.dict.len()
     }
 
+    /// The dictionary of distinct strings, in first-seen order.
     pub fn dict(&self) -> &[String] {
         &self.dict
     }
 
+    /// The per-row dictionary codes.
     pub fn codes(&self) -> &[u32] {
         &self.codes
     }
 
+    /// The dictionary code of `row`.
     pub fn code(&self, row: usize) -> u32 {
         self.codes[row]
     }
 
+    /// The string value of `row`.
     pub fn get(&self, row: usize) -> &str {
         &self.dict[self.codes[row] as usize]
     }
@@ -127,10 +142,12 @@ pub struct DictBuilder {
 }
 
 impl DictBuilder {
+    /// An empty builder.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Appends one string cell.
     pub fn push(&mut self, value: &str) {
         let code = match self.index.get(value) {
             Some(&c) => c,
@@ -144,6 +161,7 @@ impl DictBuilder {
         self.codes.push(code);
     }
 
+    /// Finalizes into an immutable dictionary column.
     pub fn finish(self) -> DictColumn {
         DictColumn {
             dict: self.dict,
@@ -155,8 +173,11 @@ impl DictBuilder {
 /// One physical column.
 #[derive(Clone, Debug)]
 pub enum Column {
+    /// 64-bit integers (also dates/timestamps).
     Int(Vec<i64>),
+    /// 64-bit floats.
     Float(Vec<f64>),
+    /// Dictionary-encoded strings.
     Str(DictColumn),
 }
 
@@ -170,6 +191,7 @@ impl Column {
         }
     }
 
+    /// Number of rows.
     pub fn len(&self) -> usize {
         match self {
             Column::Int(v) => v.len(),
@@ -178,6 +200,7 @@ impl Column {
         }
     }
 
+    /// Whether the column has no rows.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -293,7 +316,10 @@ mod tests {
 
     #[test]
     fn empty_column_types() {
-        assert!(matches!(Column::empty(ColumnType::Timestamp), Column::Int(_)));
+        assert!(matches!(
+            Column::empty(ColumnType::Timestamp),
+            Column::Int(_)
+        ));
         assert!(matches!(Column::empty(ColumnType::Str), Column::Str(_)));
         assert_eq!(Column::empty(ColumnType::Float).len(), 0);
     }

@@ -6,8 +6,8 @@
 //! rewrites all files (read → update BID → repartition → compress + write,
 //! exactly the four steps measured for Table I).
 
-use crate::column::DictBuilder;
 use crate::column::Column;
+use crate::column::DictBuilder;
 use crate::error::{Result, StorageError};
 use crate::format::{read_partition, write_partition};
 use crate::partition::{build_metadata, PartitionMetadata};
@@ -20,8 +20,11 @@ use std::sync::Arc;
 /// Handle to one on-disk partition.
 #[derive(Clone, Debug)]
 pub struct PartitionHandle {
+    /// Location of the partition file on disk.
     pub path: PathBuf,
+    /// Number of rows stored.
     pub rows: u64,
+    /// Encoded size in bytes.
     pub bytes: u64,
 }
 
@@ -29,10 +32,15 @@ pub struct PartitionHandle {
 /// physical-time measurements in the benchmark harnesses.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ScanStats {
+    /// Partitions actually decoded and scanned.
     pub partitions_read: usize,
+    /// Partitions pruned by metadata before reading.
     pub partitions_skipped: usize,
+    /// Rows decoded from read partitions.
     pub rows_read: u64,
+    /// Rows satisfying the predicate.
     pub rows_matched: u64,
+    /// Bytes read from disk.
     pub bytes_read: u64,
 }
 
@@ -79,22 +87,27 @@ impl DiskStore {
         })
     }
 
+    /// The directory the store writes partitions under.
     pub fn dir(&self) -> &Path {
         &self.dir
     }
 
+    /// The schema of the stored table.
     pub fn schema(&self) -> &Arc<Schema> {
         &self.schema
     }
 
+    /// Number of partitions in the current layout.
     pub fn num_partitions(&self) -> usize {
         self.partitions.len()
     }
 
+    /// Handles of the stored partition files.
     pub fn partitions(&self) -> &[PartitionHandle] {
         &self.partitions
     }
 
+    /// Skipping metadata for each partition.
     pub fn metadata(&self) -> &[PartitionMetadata] {
         &self.metadata
     }
@@ -217,7 +230,9 @@ pub fn concat_tables(schema: &Arc<Schema>, parts: &[Table]) -> Result<Table> {
                 return Err(StorageError::Corrupt("schema mismatch in concat".into()));
             }
             match part.column(col) {
-                Column::Int(v) => ints.get_or_insert_with(|| Vec::with_capacity(total)).extend(v),
+                Column::Int(v) => ints
+                    .get_or_insert_with(|| Vec::with_capacity(total))
+                    .extend(v),
                 Column::Float(v) => floats
                     .get_or_insert_with(|| Vec::with_capacity(total))
                     .extend(v),

@@ -219,7 +219,11 @@ fn pack_decode(buf: &mut impl Buf, count: usize) -> Result<Vec<u32>> {
     let mut out = Vec::with_capacity(count);
     let mut acc: u64 = 0;
     let mut acc_bits: u32 = 0;
-    let mask: u64 = if width == 32 { u32::MAX as u64 } else { (1u64 << width) - 1 };
+    let mask: u64 = if width == 32 {
+        u32::MAX as u64
+    } else {
+        (1u64 << width) - 1
+    };
     for _ in 0..count {
         while acc_bits < width {
             acc |= u64::from(buf.get_u8()) << acc_bits;

@@ -126,11 +126,7 @@ pub fn decode_partition(schema: &Arc<Schema>, bytes: &[u8]) -> Result<Table> {
                 }
                 Column::Str(DictColumn::from_parts(dict, codes))
             }
-            other => {
-                return Err(StorageError::Corrupt(format!(
-                    "unknown column tag {other}"
-                )))
-            }
+            other => return Err(StorageError::Corrupt(format!("unknown column tag {other}"))),
         };
         if column.len() != nrows {
             return Err(StorageError::Corrupt(format!(
@@ -246,11 +242,7 @@ pub fn decode_partition_projected(
                     }
                     Column::Str(DictColumn::from_parts(dict, codes))
                 }
-                other => {
-                    return Err(StorageError::Corrupt(format!(
-                        "unknown column tag {other}"
-                    )))
-                }
+                other => return Err(StorageError::Corrupt(format!("unknown column tag {other}"))),
             };
             if column.len() != nrows {
                 return Err(StorageError::Corrupt(format!(

@@ -23,6 +23,7 @@ pub struct LayoutModel {
 }
 
 impl LayoutModel {
+    /// A model named `name` over the given partition metadata.
     pub fn new(id: LayoutId, name: impl Into<String>, partitions: Vec<PartitionMetadata>) -> Self {
         let total_rows = partitions.iter().map(|p| p.rows).sum();
         Self {
@@ -33,22 +34,27 @@ impl LayoutModel {
         }
     }
 
+    /// The layout's stable identifier.
     pub fn id(&self) -> LayoutId {
         self.id
     }
 
+    /// The layout's display name.
     pub fn name(&self) -> &str {
         &self.name
     }
 
+    /// Number of partitions.
     pub fn num_partitions(&self) -> usize {
         self.partitions.len()
     }
 
+    /// The per-partition skipping metadata.
     pub fn partitions(&self) -> &[PartitionMetadata] {
         &self.partitions
     }
 
+    /// Total rows across all partitions.
     pub fn total_rows(&self) -> f64 {
         self.total_rows
     }

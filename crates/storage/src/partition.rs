@@ -120,8 +120,7 @@ pub fn build_metadata_capped(
                 }
                 for b in 0..k {
                     if rows[b] > 0 {
-                        stats[b][col_id].range =
-                            Some((Scalar::Int(min[b]), Scalar::Int(max[b])));
+                        stats[b][col_id].range = Some((Scalar::Int(min[b]), Scalar::Int(max[b])));
                         stats[b][col_id].distinct = sets[b]
                             .take()
                             .map(|s| s.into_iter().map(Scalar::Int).collect());

@@ -33,22 +33,27 @@ impl Table {
         }
     }
 
+    /// The table's schema.
     pub fn schema(&self) -> &Arc<Schema> {
         &self.schema
     }
 
+    /// Number of rows.
     pub fn num_rows(&self) -> usize {
         self.rows
     }
 
+    /// Number of columns.
     pub fn num_columns(&self) -> usize {
         self.columns.len()
     }
 
+    /// The column with id `id`.
     pub fn column(&self, id: ColId) -> &Column {
         &self.columns[id]
     }
 
+    /// All columns, in schema order.
     pub fn columns(&self) -> &[Column] {
         &self.columns
     }
@@ -120,6 +125,7 @@ pub struct TableBuilder {
 }
 
 impl TableBuilder {
+    /// An empty builder for `schema`.
     pub fn new(schema: Arc<Schema>) -> Self {
         let n = schema.len();
         let mut ints = Vec::with_capacity(n);
@@ -146,6 +152,7 @@ impl TableBuilder {
         self.ints[col].as_mut().expect("not an int column").push(v);
     }
 
+    /// Appends one float cell to column `col`.
     pub fn push_float(&mut self, col: ColId, v: f64) {
         self.floats[col]
             .as_mut()
@@ -153,6 +160,7 @@ impl TableBuilder {
             .push(v);
     }
 
+    /// Appends one string cell to column `col`.
     pub fn push_str(&mut self, col: ColId, v: &str) {
         self.dicts[col].as_mut().expect("not a str column").push(v);
     }
@@ -175,6 +183,7 @@ impl TableBuilder {
         self.rows += 1;
     }
 
+    /// Finalizes into an immutable table.
     pub fn finish(self) -> Table {
         let mut columns = Vec::with_capacity(self.schema.len());
         for (col, (ints, (floats, dicts))) in self
@@ -241,9 +250,7 @@ mod tests {
     #[test]
     fn selectivity_exact() {
         let t = small_table();
-        let q = QueryBuilder::new(t.schema())
-            .lt("qty", 5)
-            .build_predicate();
+        let q = QueryBuilder::new(t.schema()).lt("qty", 5).build_predicate();
         // qty = i % 10, so qty < 5 hits exactly half the rows
         assert!((t.selectivity(&q) - 0.5).abs() < 1e-12);
         let q2 = QueryBuilder::new(t.schema())

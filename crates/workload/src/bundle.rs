@@ -10,8 +10,11 @@ use std::sync::Arc;
 /// "default layout" (partition by arrival order/time) sorts on.
 #[derive(Clone, Debug)]
 pub struct DatasetBundle {
+    /// Dataset name (used in reports).
     pub name: &'static str,
+    /// The generated base table.
     pub table: Arc<Table>,
+    /// The query templates streams are drawn from.
     pub templates: Vec<Template>,
     /// The natural ingest-order column (e.g. arrival time) used for the
     /// initial range layout.

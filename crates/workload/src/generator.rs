@@ -15,12 +15,15 @@ use std::sync::Arc;
 /// queries within a segment are similar but not identical.
 #[derive(Clone)]
 pub struct Template {
+    /// Stable template identifier, carried on generated queries.
     pub id: TemplateId,
+    /// Template name (used in reports).
     pub name: &'static str,
     make: Arc<dyn Fn(&mut StdRng) -> Predicate + Send + Sync>,
 }
 
 impl Template {
+    /// A template that generates queries via `make`.
     pub fn new(
         id: TemplateId,
         name: &'static str,
@@ -89,7 +92,9 @@ impl Default for StreamConfig {
 /// A generated stream plus its drift annotations.
 #[derive(Clone, Debug)]
 pub struct QueryStream {
+    /// The generated queries, in stream order.
     pub queries: Vec<Query>,
+    /// The drift segments the stream was generated from.
     pub segments: Vec<Segment>,
 }
 

@@ -114,21 +114,24 @@ pub fn telemetry_templates(schema: &Arc<Schema>) -> Vec<Template> {
     template!(0, "time-hours", |rng, q| {
         let span = rng.random_range(1..=6) * HOUR;
         let start = rng.random_range(0..TIME_MAX - span);
-        q.between("arrival_time", start, start + span).build_predicate()
+        q.between("arrival_time", start, start + span)
+            .build_predicate()
     });
 
     // a few days
     template!(1, "time-days", |rng, q| {
         let span = rng.random_range(1..=7) * DAY;
         let start = rng.random_range(0..TIME_MAX - span);
-        q.between("arrival_time", start, start + span).build_predicate()
+        q.between("arrival_time", start, start + span)
+            .build_predicate()
     });
 
     // one to three months
     template!(2, "time-months", |rng, q| {
         let span = rng.random_range(1..=3) * MONTH;
         let start = rng.random_range(0..TIME_MAX - span);
-        q.between("arrival_time", start, start + span).build_predicate()
+        q.between("arrival_time", start, start + span)
+            .build_predicate()
     });
 
     // per-collector drill-down (popular collectors queried more)
@@ -170,9 +173,12 @@ pub fn telemetry_templates(schema: &Arc<Schema>) -> Vec<Template> {
     template!(7, "dc-hours", |rng, q| {
         let span = rng.random_range(2..=12) * HOUR;
         let start = rng.random_range(0..TIME_MAX - span);
-        q.eq("datacenter", DATACENTERS[rng.random_range(0..DATACENTERS.len())])
-            .between("arrival_time", start, start + span)
-            .build_predicate()
+        q.eq(
+            "datacenter",
+            DATACENTERS[rng.random_range(0..DATACENTERS.len())],
+        )
+        .between("arrival_time", start, start + span)
+        .build_predicate()
     });
 
     out

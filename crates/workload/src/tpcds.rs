@@ -23,27 +23,74 @@ use std::sync::Arc;
 pub const DAYS: i64 = 5 * 365;
 
 const STORE_NAMES: [&str; 12] = [
-    "able", "ation", "bar", "cally", "eing", "ese", "anti", "ought", "pri", "bration", "eseese",
+    "able",
+    "ation",
+    "bar",
+    "cally",
+    "eing",
+    "ese",
+    "anti",
+    "ought",
+    "pri",
+    "bration",
+    "eseese",
     "callycally",
 ];
 const STATES: [&str; 10] = ["AL", "CA", "GA", "MI", "NY", "OH", "PA", "TN", "TX", "WA"];
 const CATEGORIES: [&str; 10] = [
-    "Books", "Children", "Electronics", "Home", "Jewelry", "Men", "Music", "Shoes", "Sports",
+    "Books",
+    "Children",
+    "Electronics",
+    "Home",
+    "Jewelry",
+    "Men",
+    "Music",
+    "Shoes",
+    "Sports",
     "Women",
 ];
 const CLASSES: [&str; 16] = [
-    "accent", "bedding", "blinds/shades", "classical", "computers", "decor", "dresses",
-    "earings", "fiction", "fragrances", "infants", "mens watch", "pants", "rock", "shirts",
+    "accent",
+    "bedding",
+    "blinds/shades",
+    "classical",
+    "computers",
+    "decor",
+    "dresses",
+    "earings",
+    "fiction",
+    "fragrances",
+    "infants",
+    "mens watch",
+    "pants",
+    "rock",
+    "shirts",
     "womens watch",
 ];
 const GENDERS: [&str; 2] = ["F", "M"];
 const MARITAL: [&str; 5] = ["D", "M", "S", "U", "W"];
 const EDUCATION: [&str; 7] = [
-    "2 yr Degree", "4 yr Degree", "Advanced Degree", "College", "Primary", "Secondary", "Unknown",
+    "2 yr Degree",
+    "4 yr Degree",
+    "Advanced Degree",
+    "College",
+    "Primary",
+    "Secondary",
+    "Unknown",
 ];
 const COUNTRIES: [&str; 12] = [
-    "AUSTRALIA", "BRAZIL", "CANADA", "CHINA", "FRANCE", "GERMANY", "INDIA", "ITALY", "JAPAN",
-    "MEXICO", "UK", "US",
+    "AUSTRALIA",
+    "BRAZIL",
+    "CANADA",
+    "CHINA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "ITALY",
+    "JAPAN",
+    "MEXICO",
+    "UK",
+    "US",
 ];
 
 /// The denormalized store_sales schema.

@@ -40,13 +40,28 @@ const SHIP_INSTRUCT: [&str; 4] = [
 ];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const CONTAINERS: [&str; 8] = [
-    "JUMBO PKG", "LG BOX", "LG CASE", "MED BAG", "MED BOX", "SM BOX", "SM PKG", "WRAP CASE",
+    "JUMBO PKG",
+    "LG BOX",
+    "LG CASE",
+    "MED BAG",
+    "MED BOX",
+    "SM BOX",
+    "SM PKG",
+    "WRAP CASE",
 ];
 const TYPES: [&str; 12] = [
-    "ECONOMY ANODIZED", "ECONOMY BURNISHED", "ECONOMY PLATED",
-    "LARGE BRUSHED", "LARGE POLISHED", "MEDIUM ANODIZED",
-    "PROMO ANODIZED", "PROMO BURNISHED", "PROMO PLATED",
-    "SMALL BRUSHED", "STANDARD PLATED", "STANDARD POLISHED",
+    "ECONOMY ANODIZED",
+    "ECONOMY BURNISHED",
+    "ECONOMY PLATED",
+    "LARGE BRUSHED",
+    "LARGE POLISHED",
+    "MEDIUM ANODIZED",
+    "PROMO ANODIZED",
+    "PROMO BURNISHED",
+    "PROMO PLATED",
+    "SMALL BRUSHED",
+    "STANDARD PLATED",
+    "STANDARD POLISHED",
 ];
 
 /// The denormalized schema (lineitem ⋈ orders ⋈ customer ⋈ supplier ⋈ part).

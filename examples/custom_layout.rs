@@ -35,7 +35,10 @@ impl LayoutGenerator for HottestColumnSort {
         _rng: &mut StdRng,
     ) -> SharedSpec {
         // the most queried column, falling back to column 0 on a cold start
-        let col = top_queried_columns(workload, 1).first().copied().unwrap_or(0);
+        let col = top_queried_columns(workload, 1)
+            .first()
+            .copied()
+            .unwrap_or(0);
         Arc::new(RangeLayout::from_sample(sample, col, k))
     }
 }

@@ -43,9 +43,7 @@ fn main() -> oreo::storage::Result<()> {
     let store2 = store.reorganize(&dir.join("reorg"), k, |t, row| by_ship.route(t, row))?;
     let reorg = t0.elapsed().as_secs_f64();
     let alpha = (reorg / scan).max(1.0);
-    println!(
-        "measured: full scan {scan:.3}s, reorganization {reorg:.3}s → α ≈ {alpha:.0}"
-    );
+    println!("measured: full scan {scan:.3}s, reorganization {reorg:.3}s → α ≈ {alpha:.0}");
     store2.destroy()?;
     store.destroy()?;
 

@@ -41,7 +41,10 @@ fn main() -> oreo::storage::Result<()> {
         .eq("collector", "collector-001")
         .build();
 
-    for (name, q) in [("3-day time range", &time_q), ("collector filter", &collector_q)] {
+    for (name, q) in [
+        ("3-day time range", &time_q),
+        ("collector filter", &collector_q),
+    ] {
         let stats = store.scan(q)?;
         println!(
             "[by-time layout] {name}: read {}/{} partitions, {} rows matched",
@@ -69,7 +72,10 @@ fn main() -> oreo::storage::Result<()> {
         t0.elapsed()
     );
 
-    for (name, q) in [("3-day time range", &time_q), ("collector filter", &collector_q)] {
+    for (name, q) in [
+        ("3-day time range", &time_q),
+        ("collector filter", &collector_q),
+    ] {
         let stats = store2.scan(q)?;
         println!(
             "[qd-tree layout] {name}: read {}/{} partitions, {} rows matched",

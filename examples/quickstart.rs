@@ -37,8 +37,8 @@ fn main() {
     // 3. OREO: start from range partitioning on the arrival order, generate
     //    Qd-tree candidates from the sliding window, switch via D-UMTS.
     let config = OreoConfig {
-        alpha: 60.0,       // reorganization ≈ 60 full scans (Table I)
-        partitions: 32,    // target partition count
+        alpha: 60.0,    // reorganization ≈ 60 full scans (Table I)
+        partitions: 32, // target partition count
         data_sample_rows: 3_000,
         ..Default::default()
     };
@@ -77,9 +77,7 @@ fn main() {
         ledger.total(),
         ledger.switches
     );
-    println!(
-        "no-reorg: query cost {baseline_cost:8.1} + reorg cost    0.0 = {baseline_cost:8.1}"
-    );
+    println!("no-reorg: query cost {baseline_cost:8.1} + reorg cost    0.0 = {baseline_cost:8.1}");
     let saving = (1.0 - ledger.total() / baseline_cost) * 100.0;
     println!("OREO saves {saving:.1}% of total compute");
 }

@@ -70,7 +70,9 @@ fn main() {
         f.phases(),
         f.max_states_seen(),
         f.max_states_seen(),
-        2.0 * (1..=f.max_states_seen()).map(|i| 1.0 / i as f64).sum::<f64>()
+        2.0 * (1..=f.max_states_seen())
+            .map(|i| 1.0 / i as f64)
+            .sum::<f64>()
     );
     let saved = (1.0 - r_oreo.total() / r_static.total()) * 100.0;
     println!("total compute saved vs the best static layout: {saved:.1}%");

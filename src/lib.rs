@@ -73,8 +73,7 @@ pub use oreo_workload as workload;
 pub mod prelude {
     pub use oreo_core::{CostLedger, Dumts, DumtsConfig, Oreo, OreoConfig, TransitionPolicy};
     pub use oreo_layout::{
-        LayoutGenerator, LayoutSpec, QdTreeGenerator, RangeGenerator, RangeLayout,
-        ZOrderGenerator,
+        LayoutGenerator, LayoutSpec, QdTreeGenerator, RangeGenerator, RangeLayout, ZOrderGenerator,
     };
     pub use oreo_query::{ColumnType, Predicate, Query, QueryBuilder, Scalar, Schema};
     pub use oreo_storage::{DiskStore, LayoutModel, Table, TableBuilder};

@@ -66,8 +66,10 @@ fn fixed_state_space_respects_theorem_bound() {
     assert!(opt.total_cost > 0.0);
 
     let trials = 12;
-    let mean: f64 =
-        (0..trials).map(|s| run_dumts(&costs, alpha, s)).sum::<f64>() / trials as f64;
+    let mean: f64 = (0..trials)
+        .map(|s| run_dumts(&costs, alpha, s))
+        .sum::<f64>()
+        / trials as f64;
 
     let bound = 2.0 * harmonic(n) * opt.total_cost + 4.0 * alpha;
     assert!(

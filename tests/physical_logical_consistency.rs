@@ -30,10 +30,7 @@ fn logical_cost_equals_physical_rows_read() {
     });
 
     let specs: Vec<(&str, Box<dyn LayoutSpec>)> = vec![
-        (
-            "range",
-            Box::new(RangeLayout::from_sample(table, 0, 8)),
-        ),
+        ("range", Box::new(RangeLayout::from_sample(table, 0, 8))),
         (
             "zorder",
             Box::new(ZOrderLayout::from_sample(

@@ -12,7 +12,8 @@
 //! optimized static layout by up to 32% in combined time.
 
 use oreo_bench::common::{
-    banner, default_config, fig3_grid, make_stream, run_fig3_policies, Scale,
+    banner, default_config, fig3_grid, json_path_arg, make_stream, run_fig3_policies,
+    write_json_report, Json, Scale,
 };
 use oreo_sim::{default_spec, fmt_f, fmt_pct_change, AsciiTable, PolicySetup};
 use oreo_storage::DiskStore;
@@ -45,9 +46,11 @@ fn measure_substrate(bundle: &oreo_workload::DatasetBundle, k: usize, seed: u64)
 
 fn main() {
     let scale = Scale::from_args();
+    let json_path = json_path_arg();
     banner("Fig. 3: end-to-end query + reorganization time", scale);
 
     let seed = 3;
+    let mut json_rows: Vec<Json> = Vec::new();
     let mut table = AsciiTable::new([
         "dataset",
         "technique",
@@ -81,6 +84,19 @@ fn main() {
                 fmt_pct_change(static_total, total),
                 r.switches.to_string(),
             ]);
+            json_rows.push(Json::obj([
+                ("dataset", Json::from(bundle.name)),
+                ("technique", Json::from(technique.label())),
+                ("method", Json::from(r.name.clone())),
+                ("query_s", Json::from(query_s)),
+                ("reorg_s", Json::from(reorg_time)),
+                ("total_s", Json::from(total)),
+                ("query_cost", Json::from(r.ledger.query_cost)),
+                ("reorg_cost", Json::from(r.ledger.reorg_cost)),
+                ("switches", Json::from(r.switches)),
+                ("scan_s", Json::from(scan_s)),
+                ("physical_reorg_s", Json::from(reorg_s)),
+            ]));
         }
         println!(
             "[{} / {}] substrate: full scan = {:.2}s, physical reorg = {:.2}s (α_measured ≈ {:.0})",
@@ -96,4 +112,15 @@ fn main() {
     println!("{}", table.render());
     println!("(paper: OREO improves on Static by up to 32% in combined time; Greedy");
     println!(" reorganizes most aggressively, Regret most conservatively.)");
+
+    if let Some(path) = json_path {
+        let doc = Json::obj([
+            ("benchmark", Json::from("fig3_end_to_end")),
+            ("scale", Json::from(scale.label())),
+            ("total_queries", Json::from(scale.total_queries())),
+            ("rows", Json::from(scale.rows())),
+            ("cells", Json::Arr(json_rows)),
+        ]);
+        write_json_report(&path, &doc);
+    }
 }

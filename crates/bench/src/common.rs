@@ -4,6 +4,7 @@
 use oreo_core::OreoConfig;
 use oreo_sim::{run_policy, PolicySetup, ReorgPolicy, RunResult, Technique};
 use oreo_workload::{DatasetBundle, QueryStream, StreamConfig};
+use std::fmt::Write as _;
 
 /// Experiment scale, toggled by `--quick` on every binary.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -115,6 +116,163 @@ pub fn fig3_grid(scale: Scale, seed: u64) -> Vec<(DatasetBundle, Technique)> {
     out
 }
 
+/// A JSON value for machine-readable benchmark output. The workspace has no
+/// registry access (so no `serde_json`); benchmark payloads are flat enough
+/// that this tiny emitter suffices for tracking `BENCH_*.json` perf
+/// trajectories across PRs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (non-finite values emit as `null` per JSON's grammar).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for objects.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Serialize to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    fn write_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        let _ = write!(out, "{}", *v as i64);
+                    } else {
+                        let _ = write!(out, "{v}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write_into(out);
+                    out.push(':');
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+/// Parse `--json <path>` from the CLI args, if present.
+pub fn json_path_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+    }
+    None
+}
+
+/// Write a JSON report to `path` (creating parent directories) and echo
+/// where it went.
+pub fn write_json_report(path: &std::path::Path, value: &Json) {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match std::fs::write(path, value.render() + "\n") {
+        Ok(()) => println!("(json report written to {})", path.display()),
+        Err(e) => eprintln!("failed to write json report to {}: {e}", path.display()),
+    }
+}
+
 /// Print the standard harness banner.
 pub fn banner(what: &str, scale: Scale) {
     println!("== {what} ==");
@@ -159,6 +317,24 @@ mod tests {
             .filter(|(_, t)| *t == oreo_sim::Technique::QdTree)
             .count();
         assert_eq!(qd, 3);
+    }
+
+    #[test]
+    fn json_renders_escaped_and_nested() {
+        let j = Json::obj([
+            ("name", Json::from("fig3 \"quick\"\n")),
+            ("qps", Json::from(1234.5)),
+            ("count", Json::from(8u64)),
+            ("ok", Json::from(true)),
+            ("none", Json::Null),
+            ("rows", Json::Arr(vec![Json::from(1.0), Json::from(2.5)])),
+        ]);
+        assert_eq!(
+            j.render(),
+            "{\"name\":\"fig3 \\\"quick\\\"\\n\",\"qps\":1234.5,\"count\":8,\
+             \"ok\":true,\"none\":null,\"rows\":[1,2.5]}"
+        );
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
     }
 
     #[test]

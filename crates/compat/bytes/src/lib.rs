@@ -201,11 +201,6 @@ impl Bytes {
         self.data[self.pos..].to_vec()
     }
 
-    /// The unread bytes as a slice.
-    pub fn as_ref(&self) -> &[u8] {
-        &self.data[self.pos..]
-    }
-
     /// A copy of the sub-range `range` of the unread bytes, mirroring
     /// `Bytes::slice` (which is zero-copy in the real crate).
     pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {

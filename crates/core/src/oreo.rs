@@ -171,7 +171,27 @@ impl Oreo {
     }
 
     /// Observe (and "run") one query, advancing the whole framework.
+    ///
+    /// This is the sequential composition [`Oreo::decide`] →
+    /// [`Oreo::apply_due`] → [`Oreo::settle`]: switch decisions use the
+    /// *configured* delay Δ ([`OreoConfig::reorg_delay`]), landing
+    /// automatically Δ queries after the decision. A concurrent driver
+    /// (`oreo-engine`) calls the three halves itself so the physical switch
+    /// can instead land when its background reorganization actually
+    /// completes (measured Δ).
     pub fn observe(&mut self, query: &Query) -> StepReport {
+        let mut report = self.decide(query);
+        self.apply_due(report.seq);
+        self.settle(query, &mut report);
+        report
+    }
+
+    /// Decision half of [`Oreo::observe`]: advance the layout manager
+    /// (sampling, candidate generation, ε-admission), refresh the
+    /// sample-based predictor, and step the D-UMTS reorganizer. A switch
+    /// decision charges α to the ledger immediately and enqueues the target
+    /// as pending; the *physical* layout is untouched.
+    pub fn decide(&mut self, query: &Query) -> StepReport {
         let seq = self.seq;
         self.seq += 1;
         let mut report = StepReport {
@@ -224,8 +244,12 @@ impl Oreo {
                 .push_back((seq + self.config.reorg_delay, target));
             report.reorg_decision = Some(target);
         }
+        report
+    }
 
-        // 3. Apply any switch whose background reorganization completed.
+    /// Land every pending switch whose configured delay has elapsed by
+    /// stream position `seq` (the sequential Δ semantics, §VI-D5).
+    pub fn apply_due(&mut self, seq: u64) {
         while let Some(&(effective, target)) = self.pending.front() {
             if effective > seq {
                 break;
@@ -233,7 +257,46 @@ impl Oreo {
             self.pending.pop_front();
             self.physical = target;
         }
+    }
 
+    /// Land pending switches up to and including `target` *now*, regardless
+    /// of the configured delay — the measured-Δ path: a concurrent driver
+    /// calls this when its background reorganization toward `target` has
+    /// published. Pending switches are FIFO, so decisions that preceded
+    /// `target` (already superseded builds) land with it. Returns `true` if
+    /// `target` was pending; when it is not, the pending queue is left
+    /// untouched.
+    pub fn complete_reorg(&mut self, target: LayoutId) -> bool {
+        self.complete_reorg_with(target, None)
+    }
+
+    /// As [`Oreo::complete_reorg`], additionally installing `exact` as the
+    /// target's exact metadata model so the next [`Oreo::settle`] does not
+    /// have to materialize it. A background reorganizer has this model for
+    /// free (the published snapshot's metadata is exact), and building it
+    /// lazily would otherwise run a full-table routing pass under whatever
+    /// lock serializes the framework.
+    pub fn complete_reorg_with(&mut self, target: LayoutId, exact: Option<LayoutModel>) -> bool {
+        if !self.pending.iter().any(|&(_, t)| t == target) {
+            return false;
+        }
+        if let Some(model) = exact {
+            debug_assert_eq!(model.id(), target, "exact model is for another layout");
+            self.exact.entry(target).or_insert(model);
+        }
+        while let Some((_, t)) = self.pending.pop_front() {
+            self.physical = t;
+            if t == target {
+                break;
+            }
+        }
+        true
+    }
+
+    /// Settlement half of [`Oreo::observe`]: charge the query's service
+    /// cost against the physical layout's exact metadata and prune the
+    /// state space (protecting the current, physical, and pending states).
+    pub fn settle(&mut self, query: &Query, report: &mut StepReport) {
         // 4. Charge the service cost on the physical layout's exact model.
         let service = self.exact_model(self.physical).cost(query);
         self.ledger.add_query(service);
@@ -257,7 +320,6 @@ impl Oreo {
 
         report.physical = self.physical;
         report.logical = self.reorganizer.current();
-        report
     }
 
     /// Materialize (or fetch) the exact metadata model of a layout.
@@ -273,6 +335,23 @@ impl Oreo {
     /// Accumulated costs.
     pub fn ledger(&self) -> &CostLedger {
         &self.ledger
+    }
+
+    /// The table this framework optimizes.
+    pub fn table(&self) -> &Arc<Table> {
+        &self.table
+    }
+
+    /// Routing spec of a live (or pending/physical) state, if still known —
+    /// what a concurrent driver materializes a snapshot from.
+    pub fn spec(&self, id: LayoutId) -> Option<SharedSpec> {
+        self.specs.get(&id).cloned()
+    }
+
+    /// Targets of decided switches whose physical reorganization has not
+    /// landed yet, in decision order.
+    pub fn pending_targets(&self) -> Vec<LayoutId> {
+        self.pending.iter().map(|&(_, t)| t).collect()
     }
 
     /// The layout queries are physically served on.
@@ -508,6 +587,72 @@ mod tests {
                 oreo.num_states()
             );
         }
+    }
+
+    #[test]
+    fn split_halves_compose_to_observe() {
+        let t = table(2000);
+        let config = OreoConfig {
+            alpha: 5.0,
+            window: 40,
+            generation_interval: 40,
+            partitions: 8,
+            data_sample_rows: 500,
+            reorg_delay: 10,
+            ..Default::default()
+        };
+        let queries = drifting_queries(&t, 400);
+        let mut whole = framework(&t, config.clone());
+        let mut split = framework(&t, config);
+        for q in &queries {
+            let a = whole.observe(q);
+            let mut b = split.decide(q);
+            split.apply_due(b.seq);
+            split.settle(q, &mut b);
+            assert_eq!(a.seq, b.seq);
+            assert_eq!(a.reorg_decision, b.reorg_decision);
+            assert_eq!(a.physical, b.physical);
+            assert_eq!(a.logical, b.logical);
+            assert!((a.service_cost - b.service_cost).abs() < 1e-12);
+        }
+        assert_eq!(*whole.ledger(), *split.ledger());
+    }
+
+    #[test]
+    fn complete_reorg_lands_pending_switch_early() {
+        let t = table(2000);
+        let config = OreoConfig {
+            alpha: 3.0,
+            window: 30,
+            generation_interval: 30,
+            partitions: 8,
+            data_sample_rows: 500,
+            reorg_delay: 1_000_000, // never lands via apply_due
+            ..Default::default()
+        };
+        let mut oreo = framework(&t, config);
+        let queries = drifting_queries(&t, 500);
+        let initial = oreo.physical_layout();
+        let mut landed = false;
+        for q in &queries {
+            let mut r = oreo.decide(q);
+            // measured-Δ path: no apply_due; land explicitly on decision
+            if let Some(target) = r.reorg_decision {
+                assert_eq!(oreo.pending_targets().last(), Some(&target));
+                assert!(oreo.spec(target).is_some(), "pending target has a spec");
+                // a miss must not disturb the pending queue
+                assert!(!oreo.complete_reorg(u64::MAX));
+                assert_eq!(oreo.pending_targets().last(), Some(&target));
+                assert!(oreo.complete_reorg(target));
+                assert_eq!(oreo.physical_layout(), target);
+                landed = true;
+            }
+            oreo.settle(q, &mut r);
+        }
+        assert!(landed, "no switch decided");
+        assert_ne!(oreo.physical_layout(), initial);
+        assert!(oreo.pending_targets().is_empty());
+        assert!(!oreo.complete_reorg(12345), "nothing pending");
     }
 
     #[test]

@@ -1,0 +1,549 @@
+//! The serving engine: a worker pool executing snapshot-isolated scans, a
+//! mutex-serialized OREO bookkeeping core, and a dedicated background
+//! reorganizer thread that never blocks readers.
+//!
+//! Data path per query (Fig. 1, made concurrent):
+//!
+//! 1. a worker pins the current [`TableSnapshot`] and scans it — the only
+//!    expensive phase, and it runs with **no lock held**;
+//! 2. the worker feeds the query to [`Oreo::observe`] (or its
+//!    decide/settle halves in measured-Δ mode) under the core mutex, so
+//!    D-UMTS and layout-manager bookkeeping stay *identical* to the
+//!    sequential simulator;
+//! 3. a switch decision is handed to the reorganizer thread, which
+//!    materializes the target layout aside and atomically publishes it —
+//!    queries keep running on the old snapshot for the whole window, which
+//!    is exactly the paper's reorganization delay Δ, now measured.
+
+use crate::metrics::{as_micros_u64, LatencyStats};
+use crate::queue::ShardedQueue;
+use crate::reorg::{materialize, ReorgRequest, ReorgWindow};
+use oreo_core::{CostLedger, Oreo, OreoConfig};
+use oreo_layout::{LayoutGenerator, SharedSpec};
+use oreo_query::Query;
+use oreo_storage::{LayoutId, SnapshotCell, SnapshotScan, Table, TableSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// When does the *logical* (cost-accounted) layout switch land?
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DelaySemantics {
+    /// The sequential simulator's semantics: Δ = `OreoConfig::reorg_delay`
+    /// queries after the decision, regardless of the physical build. Gives
+    /// exact ledger parity with `oreo-sim` on the same stream.
+    Configured,
+    /// Δ is measured: the switch lands when the background reorganization
+    /// publishes its snapshot. The engine's default.
+    #[default]
+    Measured,
+}
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Scan worker threads.
+    pub workers: usize,
+    /// Work-queue shards (0 = one per worker).
+    pub shards: usize,
+    /// Max queries a worker claims per queue pop (bookkeeping is one core
+    /// lock per batch).
+    pub batch: usize,
+    /// Run the background reorganizer thread. When `false`, switch
+    /// decisions still enter the ledger but the served snapshot never
+    /// changes — the "no concurrent reorganization" baseline. Without a
+    /// reorganizer nothing can complete a measured-Δ switch, so
+    /// [`Engine::start`] forces [`DelaySemantics::Configured`] in this mode
+    /// (otherwise `Oreo`'s pending queue — and the states it protects from
+    /// pruning — would grow for the engine's lifetime).
+    pub background_reorg: bool,
+    /// Logical switch semantics.
+    pub delay: DelaySemantics,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            shards: 0,
+            batch: 16,
+            background_reorg: true,
+            delay: DelaySemantics::Measured,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Configuration whose bookkeeping replays the sequential simulator
+    /// exactly: one worker, one FIFO shard, configured Δ.
+    pub fn sequential_parity() -> Self {
+        Self {
+            workers: 1,
+            shards: 1,
+            delay: DelaySemantics::Configured,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Enables or disables the background reorganizer.
+    pub fn with_background_reorg(mut self, on: bool) -> Self {
+        self.background_reorg = on;
+        self
+    }
+
+    fn effective_shards(&self) -> usize {
+        if self.shards == 0 {
+            self.workers.max(1)
+        } else {
+            self.shards
+        }
+    }
+}
+
+/// Everything the engine observed for one query.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// Stream position assigned by the bookkeeping core (observe order).
+    pub seq: u64,
+    /// The snapshot scan (matching global row ids, rows read, pruning).
+    pub scan: SnapshotScan,
+    /// Layout of the snapshot the scan ran against.
+    pub served_layout: LayoutId,
+    /// Epoch of the snapshot the scan ran against.
+    pub served_epoch: u64,
+    /// Switch decided while observing this query, if any.
+    pub decision: Option<LayoutId>,
+    /// Service cost charged to the ledger for this query.
+    pub service_cost: f64,
+    /// Service latency: worker pickup → completion (scan + bookkeeping,
+    /// including core-mutex wait; excludes time queued behind other
+    /// queries, which a closed-loop harness would otherwise dominate with).
+    pub latency: Duration,
+}
+
+struct Slot {
+    value: Mutex<Option<QueryOutcome>>,
+    ready: Condvar,
+}
+
+/// Handle to one tracked query's outcome (see [`Engine::submit_tracked`]).
+pub struct ResultHandle {
+    slot: Arc<Slot>,
+}
+
+impl ResultHandle {
+    /// Block until the query completes.
+    pub fn wait(self) -> QueryOutcome {
+        let mut v = self.slot.value.lock().expect("result slot poisoned");
+        loop {
+            if let Some(out) = v.take() {
+                return out;
+            }
+            v = self.slot.ready.wait(v).expect("result slot poisoned");
+        }
+    }
+}
+
+struct Job {
+    query: Query,
+    slot: Option<Arc<Slot>>,
+}
+
+struct Shared {
+    core: Mutex<Oreo>,
+    cell: SnapshotCell,
+    queue: ShardedQueue<Job>,
+    config: EngineConfig,
+    /// Queries whose bookkeeping completed (drives measured-Δ windows).
+    observed: AtomicU64,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    snapshots_published: AtomicU64,
+    drain_lock: Mutex<()>,
+    drain_cv: Condvar,
+}
+
+#[derive(Default)]
+struct WorkerStats {
+    latencies_us: Vec<u64>,
+    rows_scanned: u64,
+    rows_matched: u64,
+}
+
+/// Aggregate statistics returned by [`Engine::shutdown`].
+#[derive(Clone, Debug)]
+pub struct EngineStats {
+    /// Worker threads the engine ran with.
+    pub workers: usize,
+    /// Queries fully served.
+    pub queries: u64,
+    /// Wall-clock from engine start to shutdown.
+    pub elapsed: Duration,
+    /// Queries per second over `elapsed`.
+    pub qps: f64,
+    /// Per-query service latency summary (worker pickup → completion).
+    pub latency: LatencyStats,
+    /// The bookkeeping core's cost ledger (identical semantics to the
+    /// sequential simulator).
+    pub ledger: CostLedger,
+    /// Switch decisions made.
+    pub switches: u64,
+    /// Snapshots the background reorganizer published.
+    pub snapshots_published: u64,
+    /// Measured reorganization windows, in decision order.
+    pub windows: Vec<ReorgWindow>,
+    /// Rows read across all scans (after pruning).
+    pub rows_scanned: u64,
+    /// Rows matched across all scans.
+    pub rows_matched: u64,
+    /// Physical layout when the engine stopped.
+    pub final_physical: LayoutId,
+    /// Logical (D-UMTS) layout when the engine stopped.
+    pub final_logical: LayoutId,
+    /// Live state-space size at shutdown.
+    pub num_states: usize,
+    /// |S_max| of the competitive bound.
+    pub max_states_seen: usize,
+}
+
+impl EngineStats {
+    /// Mean measured Δ in queries (`None` without completed windows).
+    pub fn mean_delta_queries(&self) -> Option<f64> {
+        if self.windows.is_empty() {
+            return None;
+        }
+        Some(
+            self.windows
+                .iter()
+                .map(|w| w.queries_during as f64)
+                .sum::<f64>()
+                / self.windows.len() as f64,
+        )
+    }
+
+    /// Mean measured Δ in seconds (`None` without completed windows).
+    pub fn mean_delta_seconds(&self) -> Option<f64> {
+        if self.windows.is_empty() {
+            return None;
+        }
+        Some(
+            self.windows
+                .iter()
+                .map(|w| w.wall.as_secs_f64())
+                .sum::<f64>()
+                / self.windows.len() as f64,
+        )
+    }
+}
+
+/// The concurrent serving engine. See the [module docs](self) for the data
+/// path; construct with [`Engine::start`], feed with [`Engine::submit`] /
+/// [`Engine::submit_tracked`] from any number of threads, finish with
+/// [`Engine::drain`] + [`Engine::shutdown`].
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<WorkerStats>>,
+    reorg: Option<JoinHandle<Vec<ReorgWindow>>>,
+    started: Instant,
+}
+
+impl Engine {
+    /// Boot the engine: build the bookkeeping core, materialize the initial
+    /// snapshot, and spawn the worker pool plus (optionally) the background
+    /// reorganizer.
+    pub fn start(
+        table: Arc<Table>,
+        initial_spec: SharedSpec,
+        generator: Arc<dyn LayoutGenerator>,
+        oreo_config: OreoConfig,
+        mut config: EngineConfig,
+    ) -> Self {
+        if !config.background_reorg {
+            // No reorganizer means nothing ever calls complete_reorg; fall
+            // back to the simulator's configured-delay application so the
+            // pending queue drains (see `background_reorg` docs).
+            config.delay = DelaySemantics::Configured;
+        }
+        let core = Oreo::new(
+            Arc::clone(&table),
+            Arc::clone(&initial_spec),
+            generator,
+            oreo_config,
+        );
+        let initial_id = core.physical_layout();
+        let initial_snapshot = materialize(&table, &initial_spec, initial_id);
+        let shared = Arc::new(Shared {
+            core: Mutex::new(core),
+            cell: SnapshotCell::new(initial_snapshot),
+            queue: ShardedQueue::new(config.effective_shards()),
+            config,
+            observed: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            snapshots_published: AtomicU64::new(0),
+            drain_lock: Mutex::new(()),
+            drain_cv: Condvar::new(),
+        });
+
+        let (reorg_tx, reorg) = if config.background_reorg {
+            let (tx, rx) = channel::<ReorgRequest>();
+            let shared2 = Arc::clone(&shared);
+            let table2 = Arc::clone(&table);
+            let handle = std::thread::Builder::new()
+                .name("oreo-reorg".into())
+                .spawn(move || {
+                    let mut windows = Vec::new();
+                    while let Ok(req) = rx.recv() {
+                        let build_start = Instant::now();
+                        let snapshot = materialize(&table2, &req.spec, req.target);
+                        let rows = snapshot.total_rows();
+                        let partitions = snapshot.num_partitions();
+                        // The snapshot's metadata *is* the target's exact
+                        // model; hand it to the core so the next settle()
+                        // does not rebuild it under the serving mutex.
+                        let exact = snapshot.model();
+                        shared2.cell.publish(snapshot);
+                        shared2.snapshots_published.fetch_add(1, Ordering::Relaxed);
+                        if shared2.config.delay == DelaySemantics::Measured {
+                            shared2
+                                .core
+                                .lock()
+                                .expect("core poisoned")
+                                .complete_reorg_with(req.target, Some(exact));
+                        }
+                        windows.push(ReorgWindow {
+                            target: req.target,
+                            decided_seq: req.decided_seq,
+                            wall: req.decided_at.elapsed(),
+                            build: build_start.elapsed(),
+                            queries_during: shared2
+                                .observed
+                                .load(Ordering::Relaxed)
+                                .saturating_sub(req.observed_at_decision),
+                            rows,
+                            partitions,
+                        });
+                    }
+                    windows
+                })
+                .expect("spawn reorganizer");
+            (Some(tx), Some(handle))
+        } else {
+            (None, None)
+        };
+
+        let workers = (0..config.workers.max(1))
+            .map(|home| {
+                let shared = Arc::clone(&shared);
+                let tx = reorg_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("oreo-worker-{home}"))
+                    .spawn(move || worker_loop(&shared, home, tx))
+                    .expect("spawn worker")
+            })
+            .collect();
+        // Workers hold the only senders now; the reorganizer exits when the
+        // last worker does.
+        drop(reorg_tx);
+
+        Self {
+            shared,
+            workers,
+            reorg,
+            started: Instant::now(),
+        }
+    }
+
+    /// Enqueue a query (fire-and-forget; outcomes land in the stats).
+    pub fn submit(&self, query: Query) {
+        self.enqueue(query, None);
+    }
+
+    /// Enqueue a query and get a handle to its outcome.
+    pub fn submit_tracked(&self, query: Query) -> ResultHandle {
+        let slot = Arc::new(Slot {
+            value: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        self.enqueue(query, Some(Arc::clone(&slot)));
+        ResultHandle { slot }
+    }
+
+    fn enqueue(&self, query: Query, slot: Option<Arc<Slot>>) {
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.queue.push(Job { query, slot });
+    }
+
+    /// Block until every submitted query has completed.
+    pub fn drain(&self) {
+        let mut guard = self.shared.drain_lock.lock().expect("drain poisoned");
+        while self.shared.completed.load(Ordering::Acquire)
+            < self.shared.submitted.load(Ordering::Relaxed)
+        {
+            let (g, _) = self
+                .shared
+                .drain_cv
+                .wait_timeout(guard, Duration::from_millis(1))
+                .expect("drain poisoned");
+            guard = g;
+        }
+    }
+
+    /// Pin the currently served snapshot.
+    pub fn pin(&self) -> Arc<TableSnapshot> {
+        self.shared.cell.pin()
+    }
+
+    /// Epoch of the currently served snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.shared.cell.epoch()
+    }
+
+    /// Snapshot of the bookkeeping ledger.
+    pub fn ledger(&self) -> CostLedger {
+        *self.shared.core.lock().expect("core poisoned").ledger()
+    }
+
+    /// Queries fully served so far.
+    pub fn completed(&self) -> u64 {
+        self.shared.completed.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting work, wait for the pipeline (workers + reorganizer)
+    /// to finish everything in flight, and return aggregate statistics.
+    pub fn shutdown(mut self) -> EngineStats {
+        self.shared.queue.close();
+        let mut latencies = Vec::new();
+        let mut rows_scanned = 0;
+        let mut rows_matched = 0;
+        for handle in self.workers.drain(..) {
+            let stats = handle.join().expect("worker panicked");
+            latencies.extend(stats.latencies_us);
+            rows_scanned += stats.rows_scanned;
+            rows_matched += stats.rows_matched;
+        }
+        let windows = match self.reorg.take() {
+            Some(handle) => handle.join().expect("reorganizer panicked"),
+            None => Vec::new(),
+        };
+        let elapsed = self.started.elapsed();
+        let core = self.shared.core.lock().expect("core poisoned");
+        let queries = self.shared.completed.load(Ordering::Relaxed);
+        EngineStats {
+            workers: self.shared.config.workers.max(1),
+            queries,
+            elapsed,
+            qps: if elapsed.as_secs_f64() > 0.0 {
+                queries as f64 / elapsed.as_secs_f64()
+            } else {
+                0.0
+            },
+            latency: LatencyStats::from_samples(&mut latencies),
+            ledger: *core.ledger(),
+            switches: core.switches(),
+            snapshots_published: self.shared.snapshots_published.load(Ordering::Relaxed),
+            windows,
+            rows_scanned,
+            rows_matched,
+            final_physical: core.physical_layout(),
+            final_logical: core.logical_layout(),
+            num_states: core.num_states(),
+            max_states_seen: core.max_states_seen(),
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Unblock any still-running workers; threads detach and exit on
+        // their own if `shutdown` was never called.
+        self.shared.queue.close();
+    }
+}
+
+fn worker_loop(
+    shared: &Shared,
+    home: usize,
+    reorg_tx: Option<Sender<ReorgRequest>>,
+) -> WorkerStats {
+    let mut stats = WorkerStats::default();
+    while let Some(batch) = shared.queue.pop_batch(home, shared.config.batch) {
+        // Phase 1 — scans against a pinned snapshot, no locks held.
+        let mut scanned = Vec::with_capacity(batch.len());
+        for job in batch {
+            let picked = Instant::now();
+            let snapshot = shared.cell.pin();
+            let scan = snapshot.scan(&job.query.predicate);
+            stats.rows_scanned += scan.rows_read;
+            stats.rows_matched += scan.matches.len() as u64;
+            scanned.push((job, picked, scan, snapshot.layout(), snapshot.epoch()));
+        }
+
+        // Phase 2 — bookkeeping for the whole batch under one core lock.
+        let mut fulfilled = Vec::with_capacity(scanned.len());
+        {
+            let mut core = shared.core.lock().expect("core poisoned");
+            for (job, picked, scan, served_layout, served_epoch) in scanned {
+                let report = match shared.config.delay {
+                    DelaySemantics::Configured => core.observe(&job.query),
+                    DelaySemantics::Measured => {
+                        let mut r = core.decide(&job.query);
+                        core.settle(&job.query, &mut r);
+                        r
+                    }
+                };
+                let observed_now = shared.observed.fetch_add(1, Ordering::Relaxed) + 1;
+                if let Some(target) = report.reorg_decision {
+                    if let Some(tx) = &reorg_tx {
+                        let spec = core.spec(target).expect("decided target has a spec");
+                        // Send while holding the core lock so the build
+                        // queue and `Oreo::pending` stay in the same order.
+                        let _ = tx.send(ReorgRequest {
+                            target,
+                            spec,
+                            decided_seq: report.seq,
+                            decided_at: Instant::now(),
+                            observed_at_decision: observed_now,
+                        });
+                    }
+                }
+                fulfilled.push((
+                    picked,
+                    job.slot,
+                    QueryOutcome {
+                        seq: report.seq,
+                        scan,
+                        served_layout,
+                        served_epoch,
+                        decision: report.reorg_decision,
+                        service_cost: report.service_cost,
+                        latency: Duration::ZERO,
+                    },
+                ));
+            }
+        }
+
+        // Phase 3 — fulfill results and wake drainers.
+        for (picked, slot, mut outcome) in fulfilled {
+            outcome.latency = picked.elapsed();
+            stats.latencies_us.push(as_micros_u64(outcome.latency));
+            if let Some(slot) = slot {
+                let mut v = slot.value.lock().expect("result slot poisoned");
+                *v = Some(outcome);
+                drop(v);
+                slot.ready.notify_all();
+            }
+            shared.completed.fetch_add(1, Ordering::Release);
+        }
+        shared.drain_cv.notify_all();
+    }
+    stats
+}

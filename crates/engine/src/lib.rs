@@ -1,0 +1,320 @@
+//! # oreo-engine
+//!
+//! The concurrent serving layer: OREO turned from a one-query-at-a-time
+//! simulation into a system where scans and reorganizations *overlap*.
+//!
+//! * [`queue`] — a sharded, batching MPMC work queue front end;
+//! * [`engine`] — the [`Engine`]: a scan worker pool over snapshot-isolated
+//!   table state ([`oreo_storage::TableSnapshot`]), a mutex-serialized
+//!   [`oreo_core::Oreo`] bookkeeping core, and a dedicated background
+//!   reorganizer thread that builds target layouts aside and publishes them
+//!   atomically without blocking readers;
+//! * [`reorg`] — the background build + the [`ReorgWindow`] measurement:
+//!   the paper's reorganization delay Δ (§VI-D5) as a *measured* wall-clock
+//!   and query-count window, not a configured constant;
+//! * [`metrics`] — exact latency percentiles for the serving harnesses.
+//!
+//! Bookkeeping (D-UMTS counters, layout-manager admission, the cost ledger)
+//! is fed through the same [`oreo_core::Oreo`] code path as the sequential
+//! simulator, so on a single-threaded FIFO stream the engine's decisions
+//! and ledger match `oreo-sim` exactly
+//! ([`EngineConfig::sequential_parity`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use oreo_engine::{Engine, EngineConfig};
+//! use oreo_core::OreoConfig;
+//! use oreo_layout::{QdTreeGenerator, RangeLayout};
+//! use oreo_query::{ColumnType, QueryBuilder, Scalar, Schema};
+//! use oreo_storage::TableBuilder;
+//! use std::sync::Arc;
+//!
+//! let schema = Arc::new(Schema::from_pairs([("v", ColumnType::Int)]));
+//! let mut b = TableBuilder::new(Arc::clone(&schema));
+//! for i in 0..2_000i64 {
+//!     b.push_row(&[Scalar::Int((i * 17) % 1_000)]);
+//! }
+//! let table = Arc::new(b.finish());
+//!
+//! let config = OreoConfig {
+//!     alpha: 10.0,
+//!     partitions: 8,
+//!     window: 50,
+//!     generation_interval: 50,
+//!     data_sample_rows: 500,
+//!     ..Default::default()
+//! };
+//! let initial = Arc::new(RangeLayout::from_sample(&table, 0, config.partitions));
+//! let engine = Engine::start(
+//!     Arc::clone(&table),
+//!     initial,
+//!     Arc::new(QdTreeGenerator::new()),
+//!     config,
+//!     EngineConfig { workers: 2, ..Default::default() },
+//! );
+//! for i in 0..200i64 {
+//!     let lo = (i * 5) % 900;
+//!     let q = QueryBuilder::new(&schema).between("v", lo, lo + 50).build();
+//!     engine.submit(q);
+//! }
+//! engine.drain();
+//! let stats = engine.shutdown();
+//! assert_eq!(stats.queries, 200);
+//! assert_eq!(stats.ledger.queries, 200);
+//! ```
+
+pub mod engine;
+pub mod metrics;
+pub mod queue;
+pub mod reorg;
+
+pub use engine::{DelaySemantics, Engine, EngineConfig, EngineStats, QueryOutcome, ResultHandle};
+pub use metrics::LatencyStats;
+pub use queue::ShardedQueue;
+pub use reorg::{materialize, ReorgRequest, ReorgWindow};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oreo_core::{Oreo, OreoConfig};
+    use oreo_layout::{QdTreeGenerator, RangeLayout};
+    use oreo_query::{ColumnType, Query, QueryBuilder, Scalar, Schema};
+    use oreo_storage::{Table, TableBuilder};
+    use std::sync::Arc;
+
+    fn table(n: i64) -> Arc<Table> {
+        let s = Arc::new(Schema::from_pairs([
+            ("ts", ColumnType::Timestamp),
+            ("a", ColumnType::Int),
+            ("b", ColumnType::Int),
+        ]));
+        let mut b = TableBuilder::new(Arc::clone(&s));
+        for i in 0..n {
+            b.push_row(&[
+                Scalar::Int(i),
+                Scalar::Int((i * 7) % 1000),
+                Scalar::Int((i * 13) % 1000),
+            ]);
+        }
+        Arc::new(b.finish())
+    }
+
+    fn drifting_queries(t: &Arc<Table>, n: usize) -> Vec<Query> {
+        (0..n)
+            .map(|i| {
+                let col = if i < n / 2 { "a" } else { "b" };
+                let lo = ((i * 37) % 900) as i64;
+                QueryBuilder::new(t.schema())
+                    .between(col, lo, lo + 60)
+                    .build()
+                    .with_seq(i as u64)
+            })
+            .collect()
+    }
+
+    fn config() -> OreoConfig {
+        OreoConfig {
+            alpha: 5.0,
+            window: 50,
+            generation_interval: 50,
+            data_sample_rows: 800,
+            partitions: 16,
+            seed: 11,
+            ..Default::default()
+        }
+    }
+
+    fn start(t: &Arc<Table>, oreo: OreoConfig, cfg: EngineConfig) -> Engine {
+        let initial = Arc::new(RangeLayout::from_sample(t, 0, oreo.partitions));
+        Engine::start(
+            Arc::clone(t),
+            initial,
+            Arc::new(QdTreeGenerator::new()),
+            oreo,
+            cfg,
+        )
+    }
+
+    #[test]
+    fn single_worker_matches_sequential_oreo_exactly() {
+        let t = table(3000);
+        let queries = drifting_queries(&t, 500);
+
+        // sequential reference
+        let initial = Arc::new(RangeLayout::from_sample(&t, 0, config().partitions));
+        let mut reference = Oreo::new(
+            Arc::clone(&t),
+            initial,
+            Arc::new(QdTreeGenerator::new()),
+            config(),
+        );
+        for q in &queries {
+            reference.observe(q);
+        }
+
+        let engine = start(&t, config(), EngineConfig::sequential_parity());
+        for q in &queries {
+            engine.submit(q.clone());
+        }
+        engine.drain();
+        let stats = engine.shutdown();
+
+        assert_eq!(stats.ledger, *reference.ledger(), "ledger diverged");
+        assert_eq!(stats.switches, reference.switches());
+        assert_eq!(stats.final_physical, reference.physical_layout());
+        assert_eq!(stats.final_logical, reference.logical_layout());
+        assert_eq!(stats.max_states_seen, reference.max_states_seen());
+    }
+
+    #[test]
+    fn concurrent_scans_return_exact_row_sets() {
+        let t = table(2000);
+        let queries = drifting_queries(&t, 300);
+        let engine = start(
+            &t,
+            config(),
+            EngineConfig {
+                workers: 4,
+                batch: 8,
+                ..Default::default()
+            },
+        );
+        let handles: Vec<_> = queries
+            .iter()
+            .map(|q| engine.submit_tracked(q.clone()))
+            .collect();
+        for (q, h) in queries.iter().zip(handles) {
+            let out = h.wait();
+            let expected: Vec<u32> = (0..t.num_rows() as u32)
+                .filter(|&r| t.row_matches(r as usize, &q.predicate))
+                .collect();
+            assert_eq!(out.scan.matches, expected, "row set diverged at {}", q.seq);
+        }
+        let stats = engine.shutdown();
+        assert_eq!(stats.queries, 300);
+        // every decision was eventually built and published
+        assert_eq!(stats.snapshots_published, stats.switches);
+        assert_eq!(stats.windows.len() as u64, stats.switches);
+        assert!(stats.switches >= 1, "stream never triggered a reorg");
+    }
+
+    #[test]
+    fn measured_delay_lands_switches_at_publish_time() {
+        let t = table(2000);
+        let queries = drifting_queries(&t, 400);
+        let engine = start(
+            &t,
+            // huge configured delay: only complete_reorg can land switches
+            config().with_delay(1_000_000),
+            EngineConfig {
+                workers: 2,
+                delay: DelaySemantics::Measured,
+                ..Default::default()
+            },
+        );
+        let initial = engine.pin().layout();
+        for q in &queries {
+            engine.submit(q.clone());
+        }
+        engine.drain();
+        let stats = engine.shutdown();
+        assert!(stats.switches >= 1);
+        assert_ne!(
+            stats.final_physical, initial,
+            "measured switch never landed"
+        );
+        assert!(stats.mean_delta_queries().is_some());
+        for w in &stats.windows {
+            assert!(w.wall >= w.build);
+            assert_eq!(w.rows, 2000);
+        }
+    }
+
+    #[test]
+    fn disabled_reorg_keeps_initial_snapshot() {
+        let t = table(1500);
+        let queries = drifting_queries(&t, 300);
+        let engine = start(
+            &t,
+            config(),
+            EngineConfig {
+                workers: 2,
+                background_reorg: false,
+                ..Default::default()
+            },
+        );
+        let initial_epoch = engine.epoch();
+        for q in &queries {
+            engine.submit(q.clone());
+        }
+        engine.drain();
+        assert_eq!(engine.epoch(), initial_epoch);
+        let stats = engine.shutdown();
+        assert_eq!(stats.snapshots_published, 0);
+        assert!(stats.windows.is_empty());
+        assert_eq!(stats.queries, 300);
+    }
+
+    /// Readers pinning concurrently with publishes never observe a snapshot
+    /// that loses or duplicates rows — the epoch/CoW publish invariant.
+    #[test]
+    fn pin_publish_never_loses_or_duplicates_rows() {
+        use oreo_storage::{SnapshotCell, TableSnapshot};
+        let t = table(600);
+        let n = t.num_rows();
+        let expected: Vec<u32> = (0..n as u32).collect();
+        let cell = Arc::new(SnapshotCell::new(TableSnapshot::build(
+            &t,
+            &vec![0u32; n],
+            1,
+            0,
+            "init",
+        )));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let publisher = {
+            let cell = Arc::clone(&cell);
+            let t = Arc::clone(&t);
+            std::thread::spawn(move || {
+                for gen in 1..40u32 {
+                    let k = (gen % 7 + 1) as usize;
+                    let assignment: Vec<u32> = (0..t.num_rows())
+                        .map(|r| ((r as u32).wrapping_mul(gen)) % k as u32)
+                        .collect();
+                    cell.publish(TableSnapshot::build(
+                        &t,
+                        &assignment,
+                        k,
+                        u64::from(gen),
+                        "gen",
+                    ));
+                }
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    let mut pins = 0u64;
+                    let mut last_epoch = 0;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let snap = cell.pin();
+                        assert!(snap.epoch() >= last_epoch, "epoch went backwards");
+                        last_epoch = snap.epoch();
+                        assert_eq!(snap.row_cover(), expected, "partition cover broken");
+                        pins += 1;
+                    }
+                    pins
+                })
+            })
+            .collect();
+        publisher.join().unwrap();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let total: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert!(total > 0);
+        assert_eq!(cell.epoch(), 40);
+    }
+}

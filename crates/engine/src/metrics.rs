@@ -1,0 +1,88 @@
+//! Latency bookkeeping for the serving layer: per-worker sample vectors
+//! merged into percentile summaries at shutdown (exact percentiles over the
+//! full sample set — streams are bounded, so no sketch is needed).
+
+use std::time::Duration;
+
+/// Summary statistics over a set of per-query latencies.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean, microseconds.
+    pub mean_us: f64,
+    /// Median, microseconds.
+    pub p50_us: f64,
+    /// 95th percentile, microseconds.
+    pub p95_us: f64,
+    /// 99th percentile, microseconds.
+    pub p99_us: f64,
+    /// Maximum, microseconds.
+    pub max_us: f64,
+}
+
+impl LatencyStats {
+    /// Compute stats from raw microsecond samples (sorts in place).
+    pub fn from_samples(samples: &mut [u64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len() as u64;
+        let sum: u64 = samples.iter().sum();
+        Self {
+            count,
+            mean_us: sum as f64 / count as f64,
+            p50_us: percentile(samples, 0.50),
+            p95_us: percentile(samples, 0.95),
+            p99_us: percentile(samples, 0.99),
+            max_us: *samples.last().expect("non-empty") as f64,
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1] as f64
+}
+
+/// Duration → whole microseconds, saturating.
+pub fn as_micros_u64(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_samples_are_zero() {
+        assert_eq!(
+            LatencyStats::from_samples(&mut Vec::new()),
+            LatencyStats::default()
+        );
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let mut s: Vec<u64> = (1..=100).collect();
+        let st = LatencyStats::from_samples(&mut s);
+        assert_eq!(st.count, 100);
+        assert_eq!(st.p50_us, 50.0);
+        assert_eq!(st.p95_us, 95.0);
+        assert_eq!(st.p99_us, 99.0);
+        assert_eq!(st.max_us, 100.0);
+        assert!((st.mean_us - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut s = vec![42];
+        let st = LatencyStats::from_samples(&mut s);
+        assert_eq!(st.p50_us, 42.0);
+        assert_eq!(st.p99_us, 42.0);
+        assert_eq!(st.max_us, 42.0);
+    }
+}

@@ -27,7 +27,7 @@ pub use policies::{
     StaticPolicy, TemplateLayouts,
 };
 pub use policy::{run_policy, ReorgPolicy, RunResult, StepCost};
-pub use report::{fmt_f, fmt_pct_change, AsciiTable};
+pub use report::{fmt_f, fmt_pct_change, AsciiTable, ThroughputReport};
 pub use setup::{default_spec, make_generator, PolicySetup, Technique};
 
 #[cfg(test)]
@@ -36,56 +36,16 @@ mod tests {
     use oreo_core::{Bls, DumtsConfig, OreoConfig, TransitionPolicy};
     use oreo_workload::{tpch_bundle, StreamConfig};
 
-    /// End-to-end sanity: on a drifting TPC-H-shaped stream, dynamic
-    /// reorganization (OREO) beats the static layout in total cost, Greedy
-    /// has the lowest query cost but pays the most reorganization, and
-    /// Regret reorganizes the least among the reactive methods.
-    #[test]
-    #[ignore = "OREO's total cost currently exceeds Static's on this drifting \
-                stream under the vendored rand stub's RNG stream (1850 vs 1185 \
-                at seed 2); needs an alpha/candidate-tuning investigation — \
-                tracked in ROADMAP.md. Also ~2 min of wall clock."]
-    fn policy_ordering_matches_paper_narrative() {
-        let bundle = tpch_bundle(30_000, 1);
-        let stream = bundle.stream(StreamConfig {
-            total_queries: 6_000,
-            segments: 10,
-            seed: 2,
-            ..Default::default()
-        });
-        let config = OreoConfig {
-            alpha: 60.0,
-            partitions: 64,
-            data_sample_rows: 4_000,
-            seed: 3,
-            ..Default::default()
-        };
-        let setup = PolicySetup::new(bundle, Technique::QdTree, config);
-
-        let mut static_p = setup.static_policy(&stream.queries);
-        let mut greedy = setup.greedy();
-        let mut regret = setup.regret();
-        let mut oreo = setup.oreo();
-
-        let rs = run_policy(&mut static_p, &stream.queries, 0);
-        let rg = run_policy(&mut greedy, &stream.queries, 0);
-        let rr = run_policy(&mut regret, &stream.queries, 0);
-        let ro = run_policy(&mut oreo, &stream.queries, 0);
-
-        // dynamic reorganization beats static overall
-        assert!(
-            ro.total() < rs.total(),
-            "OREO {} !< Static {}",
-            ro.total(),
-            rs.total()
-        );
-        // Greedy reorganizes at least as much as anyone
-        assert!(rg.switches >= ro.switches);
-        assert!(rg.switches >= rr.switches);
-        // Greedy's query cost is the smallest among online methods
-        assert!(rg.ledger.query_cost <= ro.ledger.query_cost + 1e-9);
-        assert!(rg.ledger.query_cost <= rr.ledger.query_cost + 1e-9);
-    }
+    // NOTE: the former `policy_ordering_matches_paper_narrative` test
+    // (quarantined with `#[ignore]` since the workspace bootstrap) now
+    // lives in `tests/policy_ordering.rs` as a release-profile
+    // integration test. The tuning investigation found the old 6 000-query
+    // / 10-segment configuration gave only ~600 queries per drift segment —
+    // too short for D-UMTS to amortize its α=60 exploration (counters must
+    // absorb ~α of cost before every switch), so *no* tuning of γ/ε could
+    // make OREO beat the fully-informed Static baseline there. At the
+    // paper's segment-length-to-α ratio (§VI-A3: 1 500-query segments,
+    // α=80) the narrative holds with a wide margin; see ROADMAP.md.
 
     /// Theorem IV.1 empirically: the classic algorithm's expected cost is
     /// within 2(1 + ln n)·OPT + O(α) of the DP optimum on oblivious random

@@ -1,5 +1,6 @@
 //! Minimal ASCII table rendering for the benchmark harnesses (the paper's
-//! tables and figure series are reprinted as monospace tables).
+//! tables and figure series are reprinted as monospace tables), plus the
+//! [`ThroughputReport`] rows the concurrent-serving harness emits.
 
 use std::fmt::Write as _;
 
@@ -84,9 +85,131 @@ pub fn fmt_pct_change(base: f64, v: f64) -> String {
     }
 }
 
+/// One measured serving configuration of the `serve_throughput` harness:
+/// a worker count × reorganization mode cell, with its throughput and
+/// latency percentiles.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ThroughputReport {
+    /// Configuration label, e.g. `"reorg on"` / `"reorg off"`.
+    pub label: String,
+    /// Scan worker threads.
+    pub workers: usize,
+    /// Queries served.
+    pub queries: u64,
+    /// Wall-clock seconds from first submit to full drain.
+    pub elapsed_s: f64,
+    /// Queries per second.
+    pub qps: f64,
+    /// Median per-query service latency (worker pickup → completion),
+    /// microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+    /// Layout switches decided during the run.
+    pub switches: u64,
+    /// Background reorganizations completed (snapshots published).
+    pub reorgs_completed: u64,
+    /// Mean measured reorganization window Δ, in queries (the quantity
+    /// `OreoConfig::reorg_delay` configures in the sequential simulator).
+    pub mean_delta_queries: f64,
+    /// Mean measured reorganization window Δ, in seconds.
+    pub mean_delta_s: f64,
+    /// Total ledger cost (query + reorg, logical units).
+    pub total_cost: f64,
+}
+
+impl ThroughputReport {
+    /// Header row matching [`ThroughputReport::table_row`].
+    pub fn table_headers() -> Vec<&'static str> {
+        vec![
+            "mode",
+            "workers",
+            "queries",
+            "qps",
+            "p50(µs)",
+            "p99(µs)",
+            "switches",
+            "reorgs",
+            "Δ(queries)",
+            "Δ(s)",
+        ]
+    }
+
+    /// This report as one ASCII-table row.
+    pub fn table_row(&self) -> Vec<String> {
+        vec![
+            self.label.clone(),
+            self.workers.to_string(),
+            self.queries.to_string(),
+            fmt_f(self.qps, 0),
+            fmt_f(self.p50_us, 0),
+            fmt_f(self.p99_us, 0),
+            self.switches.to_string(),
+            self.reorgs_completed.to_string(),
+            fmt_f(self.mean_delta_queries, 1),
+            fmt_f(self.mean_delta_s, 3),
+        ]
+    }
+
+    /// Render a set of reports as one ASCII table.
+    pub fn render_table(reports: &[ThroughputReport]) -> String {
+        let mut t = AsciiTable::new(Self::table_headers());
+        for r in reports {
+            t.row(r.table_row());
+        }
+        t.render()
+    }
+
+    /// Throughput scaling of `self` relative to a baseline run (e.g. the
+    /// 1-worker cell), as a multiplier.
+    pub fn speedup_over(&self, baseline: &ThroughputReport) -> f64 {
+        if baseline.qps == 0.0 {
+            return 0.0;
+        }
+        self.qps / baseline.qps
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn throughput_rows_align_with_headers() {
+        let r = ThroughputReport {
+            label: "reorg on".into(),
+            workers: 4,
+            queries: 1000,
+            qps: 2512.3,
+            p50_us: 410.0,
+            p99_us: 1900.0,
+            switches: 3,
+            reorgs_completed: 3,
+            mean_delta_queries: 41.5,
+            mean_delta_s: 0.012,
+            ..Default::default()
+        };
+        assert_eq!(r.table_row().len(), ThroughputReport::table_headers().len());
+        let rendered = ThroughputReport::render_table(std::slice::from_ref(&r));
+        assert!(rendered.contains("reorg on"));
+        assert!(rendered.contains("2512"));
+    }
+
+    #[test]
+    fn speedup_is_qps_ratio() {
+        let base = ThroughputReport {
+            qps: 100.0,
+            ..Default::default()
+        };
+        let fast = ThroughputReport {
+            qps: 250.0,
+            ..Default::default()
+        };
+        assert!((fast.speedup_over(&base) - 2.5).abs() < 1e-12);
+        assert_eq!(fast.speedup_over(&ThroughputReport::default()), 0.0);
+    }
 
     #[test]
     fn renders_aligned_columns() {

@@ -15,6 +15,10 @@
 //!    partition, metadata-pruned scans, and physical reorganization
 //!    (read → re-route → regroup → compress + write). This replaces the
 //!    paper's Spark/Parquet setup and provides the measured α of Table I.
+//! 4. **Copy-on-write snapshots** ([`TableSnapshot`], [`SnapshotCell`]) —
+//!    immutable materialized partition sets readers pin while a background
+//!    reorganizer builds the next layout aside and atomically publishes it;
+//!    the substrate of the concurrent serving layer (`oreo-engine`).
 
 pub mod column;
 pub mod diskstore;
@@ -23,6 +27,7 @@ pub mod error;
 pub mod format;
 pub mod layout_model;
 pub mod partition;
+pub mod snapshot;
 pub mod table;
 
 pub use column::{atom_matches_ref, Column, DictBuilder, DictColumn, ValueRef};
@@ -32,6 +37,7 @@ pub use layout_model::{cost_vector_distance, LayoutId, LayoutModel};
 pub use partition::{
     build_metadata, build_metadata_capped, PartitionMetadata, DEFAULT_DISTINCT_CAP,
 };
+pub use snapshot::{SnapshotCell, SnapshotPartition, SnapshotScan, TableSnapshot};
 pub use table::{Table, TableBuilder};
 
 #[cfg(test)]

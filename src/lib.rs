@@ -19,7 +19,10 @@
 //!   [`core::Oreo`] framework;
 //! * [`workload`] — TPC-H/TPC-DS/telemetry-shaped datasets and drifting
 //!   query streams;
-//! * [`sim`] — the evaluation harness with every baseline from the paper.
+//! * [`sim`] — the evaluation harness with every baseline from the paper;
+//! * [`engine`] — the concurrent serving layer: multi-threaded
+//!   snapshot-isolated scans with non-blocking background reorganization
+//!   (the paper's Δ as a measured window).
 //!
 //! ## Quickstart
 //!
@@ -62,6 +65,7 @@
 //! ```
 
 pub use oreo_core as core;
+pub use oreo_engine as engine;
 pub use oreo_layout as layout;
 pub use oreo_query as query;
 pub use oreo_sampling as sampling;
@@ -72,10 +76,13 @@ pub use oreo_workload as workload;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use oreo_core::{CostLedger, Dumts, DumtsConfig, Oreo, OreoConfig, TransitionPolicy};
+    pub use oreo_engine::{DelaySemantics, Engine, EngineConfig, EngineStats};
     pub use oreo_layout::{
         LayoutGenerator, LayoutSpec, QdTreeGenerator, RangeGenerator, RangeLayout, ZOrderGenerator,
     };
     pub use oreo_query::{ColumnType, Predicate, Query, QueryBuilder, Scalar, Schema};
-    pub use oreo_storage::{DiskStore, LayoutModel, Table, TableBuilder};
+    pub use oreo_storage::{
+        DiskStore, LayoutModel, SnapshotCell, Table, TableBuilder, TableSnapshot,
+    };
     pub use oreo_workload::{DatasetBundle, StreamConfig};
 }

@@ -1,0 +1,157 @@
+//! Workspace-level integration tests for the concurrent serving layer:
+//! the engine must change *how* queries are executed (parallel,
+//! snapshot-isolated, reorganized in the background) without changing
+//! *what* they return or *what* the bookkeeping decides.
+
+use oreo::core::OreoConfig;
+use oreo::engine::{DelaySemantics, Engine, EngineConfig};
+use oreo::sim::{default_spec, make_generator, run_policy, PolicySetup, Technique};
+use oreo::storage::{SnapshotCell, TableSnapshot};
+use oreo::workload::{tpch_bundle, StreamConfig};
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn config(seed: u64) -> OreoConfig {
+    OreoConfig {
+        alpha: 30.0,
+        partitions: 16,
+        window: 100,
+        generation_interval: 100,
+        data_sample_rows: 1_000,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// The concurrent engine on a fixed single-threaded FIFO stream produces
+/// *exactly* the ledger and switch decisions of `oreo-sim`'s sequential
+/// OREO policy — concurrency changes the serving plane, never the
+/// bookkeeping (the PR's acceptance criterion).
+#[test]
+fn engine_ledger_matches_sequential_sim_on_fixed_stream() {
+    let seed = 3;
+    let bundle = tpch_bundle(4_000, 1);
+    let stream = bundle.stream(StreamConfig {
+        total_queries: 600,
+        segments: 4,
+        seed: 2,
+        ..Default::default()
+    });
+
+    let setup = PolicySetup::new(bundle.clone(), Technique::QdTree, config(seed));
+    let mut sequential = setup.oreo();
+    let sim = run_policy(&mut sequential, &stream.queries, 0);
+
+    let engine = Engine::start(
+        Arc::clone(&bundle.table),
+        default_spec(&bundle, config(seed).partitions, seed),
+        make_generator(Technique::QdTree, &bundle),
+        config(seed),
+        EngineConfig::sequential_parity(),
+    );
+    for q in &stream.queries {
+        engine.submit(q.clone());
+    }
+    engine.drain();
+    let stats = engine.shutdown();
+
+    assert_eq!(stats.ledger, sim.ledger, "ledger diverged from oreo-sim");
+    assert_eq!(stats.switches, sim.switches, "switch decisions diverged");
+    assert_eq!(stats.queries, 600);
+}
+
+/// Scans executing while reorganizations are in flight return exactly the
+/// row sets sequential execution would: snapshot isolation means a query
+/// sees one complete, consistent partition cover — never a half-moved
+/// table.
+#[test]
+fn concurrent_scans_during_reorg_return_sequential_row_sets() {
+    let seed = 5;
+    let bundle = tpch_bundle(3_000, 1);
+    let stream = bundle.stream(StreamConfig {
+        total_queries: 400,
+        segments: 4,
+        seed: 9,
+        ..Default::default()
+    });
+    let engine = Engine::start(
+        Arc::clone(&bundle.table),
+        default_spec(&bundle, config(seed).partitions, seed),
+        make_generator(Technique::QdTree, &bundle),
+        config(seed),
+        EngineConfig {
+            workers: 4,
+            batch: 8,
+            delay: DelaySemantics::Measured,
+            ..Default::default()
+        },
+    );
+    let handles: Vec<_> = stream
+        .queries
+        .iter()
+        .map(|q| engine.submit_tracked(q.clone()))
+        .collect();
+    let n = bundle.table.num_rows() as u32;
+    for (q, h) in stream.queries.iter().zip(handles) {
+        let out = h.wait();
+        let expected: Vec<u32> = (0..n)
+            .filter(|&r| bundle.table.row_matches(r as usize, &q.predicate))
+            .collect();
+        assert_eq!(
+            out.scan.matches, expected,
+            "row set diverged (stream seq {}, served layout {}, epoch {})",
+            q.seq, out.served_layout, out.served_epoch
+        );
+    }
+    let stats = engine.shutdown();
+    assert!(
+        stats.switches >= 1,
+        "stream never triggered a reorganization"
+    );
+    assert_eq!(
+        stats.windows.len() as u64,
+        stats.switches,
+        "every decision must complete a background build"
+    );
+    for w in &stats.windows {
+        assert!(w.wall >= w.build, "window excludes its own build time?");
+        assert_eq!(w.rows, 3_000, "rebuild moved a partial table");
+    }
+}
+
+/// Randomized pin/publish interleavings never lose or duplicate partitions:
+/// whatever snapshot a reader pins, its partitions cover every base-table
+/// row exactly once.
+#[test]
+fn snapshot_pin_publish_preserves_partition_cover() {
+    let bundle = tpch_bundle(800, 7);
+    let table = &bundle.table;
+    let n = table.num_rows();
+    let expected: Vec<u32> = (0..n as u32).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+
+    let cell = SnapshotCell::new(TableSnapshot::build(table, &vec![0; n], 1, 0, "init"));
+    let mut pinned = vec![cell.pin()];
+    for round in 1..60u64 {
+        // random action mix: publish a random re-partition, pin, or drop
+        match rng.random_range(0..3u8) {
+            0 | 1 => {
+                let k = rng.random_range(1..9usize);
+                let salt: u32 = rng.random();
+                let assignment: Vec<u32> = (0..n as u32)
+                    .map(|r| r.wrapping_mul(2654435761).wrapping_add(salt) % k as u32)
+                    .collect();
+                cell.publish(TableSnapshot::build(table, &assignment, k, round, "rand"));
+            }
+            _ => pinned.push(cell.pin()),
+        }
+        if pinned.len() > 8 {
+            pinned.remove(0); // old pins release; Arc drops the snapshot
+        }
+        // every pin taken at any point still covers the table exactly
+        for snap in &pinned {
+            assert_eq!(snap.row_cover(), expected, "round {round}");
+        }
+        assert_eq!(cell.pin().row_cover(), expected, "round {round}");
+    }
+}

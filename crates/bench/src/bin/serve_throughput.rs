@@ -7,22 +7,31 @@
 //! §VI-D5 is a **measured** window (wall-clock and queries served during
 //! the switch), not a configured constant.
 //!
+//! With `--tiered` the engine serves through the disk tier
+//! (`TieredStore`): every publish persists a `gen-N/` generation directory
+//! (write + fsync + atomic rename) before the snapshot-pointer swap, and
+//! the same run then reports an **empirical α** — the measured
+//! aside-rewrite cost over the extrapolated full-scan cost — next to the
+//! measured Δ. One `--tiered --json` run emits both numbers from one query
+//! stream, unifying Table I's offline α measurement with the engine's Δ.
+//!
 //! The harness also replays the same stream through a single-worker FIFO
 //! engine and through `oreo-sim`'s sequential OREO policy, asserting the
-//! two ledgers are *identical* — concurrency changes the serving plane,
-//! never the bookkeeping.
+//! two ledgers are *identical* — concurrency (and the disk tier) changes
+//! the serving plane, never the bookkeeping.
 //!
-//! Flags: `--quick` (reduced scale), `--json <path>` (machine-readable
-//! report for cross-PR trajectories).
+//! Flags: `--quick` (reduced scale), `--tiered` (disk-tiered serving),
+//! `--json <path>` (machine-readable report for cross-PR trajectories).
 
 use oreo_bench::common::{
     default_config, json_path_arg, make_stream, write_json_report, Json, Scale,
 };
-use oreo_engine::{Engine, EngineConfig, EngineStats};
+use oreo_engine::{Engine, EngineConfig, EngineStats, ServeMode};
 use oreo_sim::{
     default_spec, fmt_f, make_generator, run_policy, PolicySetup, Technique, ThroughputReport,
 };
 use oreo_workload::{tpch_bundle, QueryStream};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -37,16 +46,40 @@ fn serving_queries(scale: Scale) -> usize {
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
+/// A fresh generation root for one tiered cell (removed after the run).
+fn cell_root(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("oreo-serve-{}-{tag}", std::process::id()))
+}
+
+fn serve_mode(tiered: bool, tag: &str) -> ServeMode {
+    if tiered {
+        let root = cell_root(tag);
+        let _ = std::fs::remove_dir_all(&root);
+        ServeMode::Tiered { root }
+    } else {
+        ServeMode::Memory
+    }
+}
+
+/// Remove a tiered cell's generation root once the engine is done with it.
+fn cleanup(mode: &ServeMode) {
+    if let ServeMode::Tiered { root } = mode {
+        let _ = std::fs::remove_dir_all(root);
+    }
+}
+
 fn run_cell(
     bundle: &oreo_workload::DatasetBundle,
     stream: &QueryStream,
     workers: usize,
     background_reorg: bool,
+    tiered: bool,
     seed: u64,
 ) -> (ThroughputReport, EngineStats) {
     let config = default_config(seed);
     let initial = default_spec(bundle, config.partitions, config.seed);
     let generator = make_generator(Technique::QdTree, bundle);
+    let mode = serve_mode(tiered, &format!("w{workers}-r{background_reorg}"));
     let engine = Engine::start(
         Arc::clone(&bundle.table),
         initial,
@@ -54,7 +87,8 @@ fn run_cell(
         config,
         EngineConfig::default()
             .with_workers(workers)
-            .with_background_reorg(background_reorg),
+            .with_background_reorg(background_reorg)
+            .with_mode(mode.clone()),
     );
     let started = Instant::now();
     for q in &stream.queries {
@@ -63,12 +97,17 @@ fn run_cell(
     engine.drain();
     let elapsed = started.elapsed().as_secs_f64();
     let stats = engine.shutdown();
+    cleanup(&mode);
+    for e in &stats.tiered_errors {
+        eprintln!("[workers={workers}] disk-tier degradation: {e}");
+    }
     let report = ThroughputReport {
         label: if background_reorg {
             "reorg on".into()
         } else {
             "reorg off".into()
         },
+        serve_mode: stats.mode.label().into(),
         workers,
         queries: stats.queries,
         elapsed_s: elapsed,
@@ -80,6 +119,9 @@ fn run_cell(
         reorgs_completed: stats.snapshots_published,
         mean_delta_queries: stats.mean_delta_queries().unwrap_or(0.0),
         mean_delta_s: stats.mean_delta_seconds().unwrap_or(0.0),
+        bytes_scanned: stats.bytes_scanned,
+        reorg_bytes_written: stats.reorg_bytes_written(),
+        alpha_empirical: stats.empirical_alpha().unwrap_or(0.0),
         total_cost: stats.ledger.total(),
     };
     (report, stats)
@@ -87,16 +129,18 @@ fn run_cell(
 
 fn main() {
     let scale = Scale::from_args();
+    let tiered = std::env::args().any(|a| a == "--tiered");
     let json_path = json_path_arg();
     let seed = 3;
     let queries = serving_queries(scale);
 
     println!("== Serving throughput: concurrent engine vs worker count ==");
     println!(
-        "scale: {} ({} rows, {} queries/cell, {} hardware threads available)",
+        "scale: {} ({} rows, {} queries/cell, serve mode: {}, {} hardware threads available)",
         scale.label(),
         scale.rows(),
         queries,
+        if tiered { "tiered" } else { "memory" },
         std::thread::available_parallelism().map_or(0, |n| n.get()),
     );
     println!();
@@ -105,27 +149,32 @@ fn main() {
     let mut stream = make_stream(&bundle, scale, 2);
     stream.queries.truncate(queries);
 
-    // Ledger parity: sequential simulator vs single-worker FIFO engine.
+    // Ledger parity: sequential simulator vs single-worker FIFO engine —
+    // in the *same* serve mode as the measured cells, so the acceptance
+    // check covers the tiered path too.
     let setup = PolicySetup::new(bundle.clone(), Technique::QdTree, default_config(seed));
     let mut sequential = setup.oreo();
     let sim_result = run_policy(&mut sequential, &stream.queries, 0);
+    let parity_mode = serve_mode(tiered, "parity");
     let parity_engine = Engine::start(
         Arc::clone(&bundle.table),
         default_spec(&bundle, default_config(seed).partitions, seed),
         make_generator(Technique::QdTree, &bundle),
         default_config(seed),
-        EngineConfig::sequential_parity(),
+        EngineConfig::sequential_parity().with_mode(parity_mode.clone()),
     );
     for q in &stream.queries {
         parity_engine.submit(q.clone());
     }
     parity_engine.drain();
     let parity = parity_engine.shutdown();
+    cleanup(&parity_mode);
     let ledgers_match =
         parity.ledger == sim_result.ledger && parity.switches == sim_result.switches;
     println!(
-        "ledger parity vs oreo-sim sequential OREO: {} (engine total {:.2}, sim total {:.2}, \
-         switches {} / {})",
+        "ledger parity vs oreo-sim sequential OREO ({} FIFO): {} (engine total {:.2}, \
+         sim total {:.2}, switches {} / {})",
+        parity.mode.label(),
         if ledgers_match { "EXACT" } else { "MISMATCH" },
         parity.ledger.total(),
         sim_result.ledger.total(),
@@ -139,9 +188,10 @@ fn main() {
     println!();
 
     let mut reports: Vec<ThroughputReport> = Vec::new();
+    let mut alpha_cells: Vec<(usize, EngineStats)> = Vec::new();
     for &workers in &WORKER_COUNTS {
         for reorg in [true, false] {
-            let (report, stats) = run_cell(&bundle, &stream, workers, reorg, seed);
+            let (report, stats) = run_cell(&bundle, &stream, workers, reorg, tiered, seed);
             println!(
                 "[workers={} {}] {:>7} qps, p50 {:>6} µs, p99 {:>7} µs, {} switches, {} reorgs, \
                  mean Δ = {} queries / {}s",
@@ -157,6 +207,7 @@ fn main() {
             );
             if reorg {
                 debug_assert_eq!(stats.snapshots_published, stats.switches);
+                alpha_cells.push((workers, stats));
             }
             reports.push(report);
         }
@@ -164,6 +215,30 @@ fn main() {
 
     println!();
     println!("{}", ThroughputReport::render_table(&reports));
+
+    // The unified measurement: α and Δ as observables of the same stream.
+    if tiered {
+        for (workers, stats) in &alpha_cells {
+            let est = stats.alpha_estimator();
+            match (stats.empirical_alpha(), stats.mean_delta_queries()) {
+                (Some(alpha), Some(delta_q)) => println!(
+                    "[workers={workers}] empirical α = {:.1} (mean rewrite {:.4}s over \
+                     extrapolated full scan {:.4}s, {} bytes/rewrite) — same stream's \
+                     measured Δ = {:.1} queries / {:.4}s",
+                    alpha,
+                    est.mean_reorg_seconds().unwrap_or(0.0),
+                    est.full_scan_seconds().unwrap_or(0.0),
+                    fmt_f(est.mean_reorg_bytes().unwrap_or(0.0), 0),
+                    delta_q,
+                    stats.mean_delta_seconds().unwrap_or(0.0),
+                ),
+                _ => println!(
+                    "[workers={workers}] empirical α not measurable (no completed rewrite)"
+                ),
+            }
+        }
+        println!();
+    }
 
     let cell = |workers: usize, label: &str| {
         reports
@@ -203,6 +278,7 @@ fn main() {
             .map(|r| {
                 Json::obj([
                     ("mode", Json::from(r.label.clone())),
+                    ("serve_mode", Json::from(r.serve_mode.clone())),
                     ("workers", Json::from(r.workers)),
                     ("queries", Json::from(r.queries)),
                     ("elapsed_s", Json::from(r.elapsed_s)),
@@ -214,6 +290,16 @@ fn main() {
                     ("reorgs_completed", Json::from(r.reorgs_completed)),
                     ("mean_delta_queries", Json::from(r.mean_delta_queries)),
                     ("mean_delta_s", Json::from(r.mean_delta_s)),
+                    ("bytes_scanned", Json::from(r.bytes_scanned)),
+                    ("reorg_bytes_written", Json::from(r.reorg_bytes_written)),
+                    (
+                        "alpha_empirical",
+                        if r.alpha_empirical > 0.0 {
+                            Json::from(r.alpha_empirical)
+                        } else {
+                            Json::Null
+                        },
+                    ),
                     ("total_cost", Json::from(r.total_cost)),
                 ])
             })
@@ -221,6 +307,10 @@ fn main() {
         let doc = Json::obj([
             ("benchmark", Json::from("serve_throughput")),
             ("scale", Json::from(scale.label())),
+            (
+                "serve_mode",
+                Json::from(if tiered { "tiered" } else { "memory" }),
+            ),
             ("dataset", Json::from(bundle.name)),
             ("rows", Json::from(scale.rows())),
             ("queries_per_cell", Json::from(queries)),

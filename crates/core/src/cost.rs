@@ -61,6 +61,139 @@ impl CostLedger {
     }
 }
 
+/// Accumulator turning a serving run's raw measurements into an
+/// *empirical* α — the paper's Table I ratio (time of one reorganization
+/// over time of one full-table scan), observed on the live query stream
+/// instead of a dedicated offline experiment.
+///
+/// The serving layer feeds it two kinds of samples:
+///
+/// * per-query scans (bytes of the partitions actually read + wall-clock),
+///   which calibrate the substrate's scan throughput; a *full* scan is then
+///   `table_bytes / throughput` seconds — queries are pruned, so the full
+///   scan the α denominator wants is extrapolated, not assumed;
+/// * background reorganizations (bytes written + wall-clock of the aside
+///   rewrite, fsync and commit included), the α numerator.
+///
+/// # Example
+///
+/// ```
+/// use oreo_core::AlphaEstimator;
+///
+/// // 1 MB table; queries scan at 100 MB/s, one rewrite took 0.8 s.
+/// let mut a = AlphaEstimator::new(1_000_000);
+/// a.record_scan(500_000, 0.005);
+/// a.record_scan(250_000, 0.0025);
+/// a.record_reorg(1_000_000, 0.8);
+/// assert!((a.full_scan_seconds().unwrap() - 0.01).abs() < 1e-9);
+/// assert!((a.alpha().unwrap() - 80.0).abs() < 1e-6);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AlphaEstimator {
+    table_bytes: u64,
+    scan_bytes: u64,
+    scan_seconds: f64,
+    scans: u64,
+    reorg_bytes: u64,
+    reorg_seconds: f64,
+    reorgs: u64,
+}
+
+impl AlphaEstimator {
+    /// An estimator for a table whose full scan reads `table_bytes`.
+    pub fn new(table_bytes: u64) -> Self {
+        Self {
+            table_bytes,
+            ..Self::default()
+        }
+    }
+
+    /// Record one served query: bytes of the partitions read (after
+    /// pruning) and the scan's wall-clock seconds.
+    pub fn record_scan(&mut self, bytes: u64, seconds: f64) {
+        self.scan_bytes += bytes;
+        self.scan_seconds += seconds;
+        self.scans += 1;
+    }
+
+    /// Record one completed reorganization: bytes written by the aside
+    /// rewrite and its wall-clock seconds (build + write + fsync + commit).
+    pub fn record_reorg(&mut self, bytes: u64, seconds: f64) {
+        self.reorg_bytes += bytes;
+        self.reorg_seconds += seconds;
+        self.reorgs += 1;
+    }
+
+    /// Measured scan throughput in bytes/second (`None` until a scan with
+    /// nonzero bytes and time has been recorded).
+    pub fn scan_bytes_per_second(&self) -> Option<f64> {
+        (self.scan_bytes > 0 && self.scan_seconds > 0.0)
+            .then(|| self.scan_bytes as f64 / self.scan_seconds)
+    }
+
+    /// Extrapolated wall-clock of one *full* table scan at the measured
+    /// throughput — the α denominator.
+    pub fn full_scan_seconds(&self) -> Option<f64> {
+        self.scan_bytes_per_second()
+            .map(|bps| self.table_bytes as f64 / bps)
+    }
+
+    /// Mean wall-clock of one reorganization — the α numerator (`None`
+    /// until a reorganization has been recorded).
+    pub fn mean_reorg_seconds(&self) -> Option<f64> {
+        (self.reorgs > 0).then(|| self.reorg_seconds / self.reorgs as f64)
+    }
+
+    /// Mean bytes written per reorganization.
+    pub fn mean_reorg_bytes(&self) -> Option<f64> {
+        (self.reorgs > 0).then(|| self.reorg_bytes as f64 / self.reorgs as f64)
+    }
+
+    /// The empirical α: mean reorganization time over extrapolated
+    /// full-scan time. `None` until both sides have samples.
+    pub fn alpha(&self) -> Option<f64> {
+        match (self.mean_reorg_seconds(), self.full_scan_seconds()) {
+            (Some(reorg), Some(scan)) if scan > 0.0 => Some(reorg / scan),
+            _ => None,
+        }
+    }
+
+    /// Bytes a full scan of the table reads.
+    pub fn table_bytes(&self) -> u64 {
+        self.table_bytes
+    }
+
+    /// Scans recorded.
+    pub fn scans(&self) -> u64 {
+        self.scans
+    }
+
+    /// Total bytes scanned across recorded queries.
+    pub fn scan_bytes(&self) -> u64 {
+        self.scan_bytes
+    }
+
+    /// Total scan wall-clock seconds across recorded queries.
+    pub fn scan_seconds(&self) -> f64 {
+        self.scan_seconds
+    }
+
+    /// Reorganizations recorded.
+    pub fn reorgs(&self) -> u64 {
+        self.reorgs
+    }
+
+    /// Total bytes written across recorded reorganizations.
+    pub fn reorg_bytes(&self) -> u64 {
+        self.reorg_bytes
+    }
+
+    /// Total reorganization wall-clock seconds.
+    pub fn reorg_seconds(&self) -> f64 {
+        self.reorg_seconds
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,6 +213,29 @@ mod tests {
     #[test]
     fn empty_ledger_mean_is_zero() {
         assert_eq!(CostLedger::new().mean_query_cost(), 0.0);
+    }
+
+    #[test]
+    fn alpha_estimator_needs_both_sides() {
+        let mut a = AlphaEstimator::new(2_000_000);
+        assert_eq!(a.alpha(), None);
+        assert_eq!(a.full_scan_seconds(), None);
+        a.record_scan(1_000_000, 0.01); // 100 MB/s → full scan 0.02 s
+        assert_eq!(a.alpha(), None, "no reorg recorded yet");
+        assert!((a.full_scan_seconds().unwrap() - 0.02).abs() < 1e-12);
+        a.record_reorg(2_000_000, 1.0);
+        a.record_reorg(2_000_000, 3.0); // mean 2.0 s
+        assert!((a.alpha().unwrap() - 100.0).abs() < 1e-9);
+        assert_eq!(a.reorgs(), 2);
+        assert_eq!(a.mean_reorg_bytes(), Some(2_000_000.0));
+    }
+
+    #[test]
+    fn alpha_estimator_ignores_zero_byte_scans() {
+        let mut a = AlphaEstimator::new(1_000);
+        a.record_scan(0, 0.5); // fully pruned queries calibrate nothing
+        assert_eq!(a.scan_bytes_per_second(), None);
+        assert_eq!(a.scans(), 1);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod predictor;
 
 pub use asymmetric::TwoStateAsymmetric;
 pub use config::{CandidateSourceConfig, OreoConfig};
-pub use cost::CostLedger;
+pub use cost::{AlphaEstimator, CostLedger};
 pub use dumts::{Dumts, DumtsConfig, StateId, StepOutcome};
 pub use layout_manager::{
     CandidateSource, LayoutManager, ManagedLayout, ManagerConfig, ManagerEvent, ManagerStats,

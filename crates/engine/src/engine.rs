@@ -18,10 +18,11 @@
 use crate::metrics::{as_micros_u64, LatencyStats};
 use crate::queue::ShardedQueue;
 use crate::reorg::{materialize, ReorgRequest, ReorgWindow};
-use oreo_core::{CostLedger, Oreo, OreoConfig};
+use oreo_core::{AlphaEstimator, CostLedger, Oreo, OreoConfig};
 use oreo_layout::{LayoutGenerator, SharedSpec};
 use oreo_query::Query;
-use oreo_storage::{LayoutId, SnapshotCell, SnapshotScan, Table, TableSnapshot};
+use oreo_storage::{LayoutId, SnapshotCell, SnapshotScan, Table, TableSnapshot, TieredStore};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -41,8 +42,37 @@ pub enum DelaySemantics {
     Measured,
 }
 
+/// Where snapshots live between publishes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Snapshots are memory-only: the reorganizer materializes and
+    /// publishes without touching disk. Fastest; nothing survives a
+    /// restart.
+    #[default]
+    Memory,
+    /// Snapshots are backed by an [`oreo_storage::TieredStore`] under
+    /// `root`: every publish persists a `gen-N/` directory (write + fsync +
+    /// atomic rename) *before* the snapshot-pointer swap, readers pin the
+    /// old generation until released, and the engine reports the rewrite's
+    /// bytes + wall-clock as an empirical α alongside the measured Δ.
+    Tiered {
+        /// Root directory for the generation subdirectories.
+        root: PathBuf,
+    },
+}
+
+impl ServeMode {
+    /// Short label for reports (`"memory"` / `"tiered"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServeMode::Memory => "memory",
+            ServeMode::Tiered { .. } => "tiered",
+        }
+    }
+}
+
 /// Engine tuning knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Scan worker threads.
     pub workers: usize,
@@ -61,6 +91,8 @@ pub struct EngineConfig {
     pub background_reorg: bool,
     /// Logical switch semantics.
     pub delay: DelaySemantics,
+    /// Snapshot persistence: memory-only or disk-tiered.
+    pub mode: ServeMode,
 }
 
 impl Default for EngineConfig {
@@ -71,6 +103,7 @@ impl Default for EngineConfig {
             batch: 16,
             background_reorg: true,
             delay: DelaySemantics::Measured,
+            mode: ServeMode::Memory,
         }
     }
 }
@@ -97,6 +130,17 @@ impl EngineConfig {
     pub fn with_background_reorg(mut self, on: bool) -> Self {
         self.background_reorg = on;
         self
+    }
+
+    /// Sets the serve mode (memory-only or disk-tiered).
+    pub fn with_mode(mut self, mode: ServeMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Shorthand for [`ServeMode::Tiered`] rooted at `root`.
+    pub fn tiered(self, root: impl Into<PathBuf>) -> Self {
+        self.with_mode(ServeMode::Tiered { root: root.into() })
     }
 
     fn effective_shards(&self) -> usize {
@@ -160,6 +204,8 @@ struct Job {
 struct Shared {
     core: Mutex<Oreo>,
     cell: SnapshotCell,
+    /// The disk tier, in [`ServeMode::Tiered`] runs.
+    tiered: Option<TieredStore>,
     queue: ShardedQueue<Job>,
     config: EngineConfig,
     /// Queries whose bookkeeping completed (drives measured-Δ windows).
@@ -176,6 +222,8 @@ struct WorkerStats {
     latencies_us: Vec<u64>,
     rows_scanned: u64,
     rows_matched: u64,
+    bytes_scanned: u64,
+    scan_seconds: f64,
 }
 
 /// Aggregate statistics returned by [`Engine::shutdown`].
@@ -200,10 +248,26 @@ pub struct EngineStats {
     pub snapshots_published: u64,
     /// Measured reorganization windows, in decision order.
     pub windows: Vec<ReorgWindow>,
+    /// Disk-tier publish failures the reorganizer survived (the affected
+    /// switches degraded to memory-only publishes and their windows carry
+    /// `bytes_written == 0`). Always empty in [`ServeMode::Memory`].
+    pub tiered_errors: Vec<String>,
     /// Rows read across all scans (after pruning).
     pub rows_scanned: u64,
     /// Rows matched across all scans.
     pub rows_matched: u64,
+    /// Bytes of the partitions read across all scans (in-memory bytes in
+    /// [`ServeMode::Memory`], encoded on-disk bytes in
+    /// [`ServeMode::Tiered`]).
+    pub bytes_scanned: u64,
+    /// Wall-clock seconds spent inside snapshot scans, summed across
+    /// workers.
+    pub scan_seconds: f64,
+    /// Bytes a full (unpruned) scan of the final snapshot reads — the α
+    /// denominator's table size.
+    pub table_bytes: u64,
+    /// The serve mode the engine ran in.
+    pub mode: ServeMode,
     /// Physical layout when the engine stopped.
     pub final_physical: LayoutId,
     /// Logical (D-UMTS) layout when the engine stopped.
@@ -242,6 +306,45 @@ impl EngineStats {
                 / self.windows.len() as f64,
         )
     }
+
+    /// Total bytes written by aside rewrites (0 in memory-only serving).
+    pub fn reorg_bytes_written(&self) -> u64 {
+        self.windows.iter().map(|w| w.bytes_written).sum()
+    }
+
+    /// The run's measurements assembled into the cost-model accumulator:
+    /// every scan calibrates the substrate's read throughput, every
+    /// *persisted* rewrite contributes its bytes + wall-clock (build +
+    /// write). Memory-only rewrites (`bytes_written == 0`) are excluded —
+    /// Table I's α is the cost of the physical rewrite, and a build-only
+    /// ratio would silently under-report it by the whole disk persist.
+    pub fn alpha_estimator(&self) -> AlphaEstimator {
+        let mut est = AlphaEstimator::new(self.table_bytes);
+        if self.queries > 0 {
+            // Workers aggregate; feed the totals as one sample per query on
+            // average — the estimator only uses the byte/second ratios.
+            est.record_scan(self.bytes_scanned, self.scan_seconds);
+        }
+        for w in self.windows.iter().filter(|w| w.bytes_written > 0) {
+            est.record_reorg(w.bytes_written, (w.build + w.write).as_secs_f64());
+        }
+        est
+    }
+
+    /// The empirical α of this serving run: mean aside-rewrite wall-clock
+    /// over the extrapolated full-scan wall-clock, both measured on the
+    /// same query stream. `None` until the run has both persisted rewrites
+    /// and non-pruned scans — in particular, always `None` in
+    /// [`ServeMode::Memory`] (no physical rewrite to bill), and `None`
+    /// when any tiered publish failed mid-run: the degraded snapshots
+    /// serve with in-memory byte accounting, so the scan-throughput
+    /// calibration would mix units and the ratio would be wrong.
+    pub fn empirical_alpha(&self) -> Option<f64> {
+        if !self.tiered_errors.is_empty() {
+            return None;
+        }
+        self.alpha_estimator().alpha()
+    }
 }
 
 /// The concurrent serving engine. See the [module docs](self) for the data
@@ -251,7 +354,7 @@ impl EngineStats {
 pub struct Engine {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<WorkerStats>>,
-    reorg: Option<JoinHandle<Vec<ReorgWindow>>>,
+    reorg: Option<JoinHandle<(Vec<ReorgWindow>, Vec<String>)>>,
     started: Instant,
 }
 
@@ -279,11 +382,23 @@ impl Engine {
             oreo_config,
         );
         let initial_id = core.physical_layout();
-        let initial_snapshot = materialize(&table, &initial_spec, initial_id);
+        let mut initial_snapshot = materialize(&table, &initial_spec, initial_id);
+        let tiered = match &config.mode {
+            ServeMode::Memory => None,
+            ServeMode::Tiered { root } => {
+                let (store, _receipt) =
+                    TieredStore::create(root, &mut initial_snapshot).expect("create tiered store");
+                Some(store)
+            }
+        };
+        let effective_shards = config.effective_shards();
+        let background_reorg = config.background_reorg;
+        let worker_count = config.workers.max(1);
         let shared = Arc::new(Shared {
             core: Mutex::new(core),
             cell: SnapshotCell::new(initial_snapshot),
-            queue: ShardedQueue::new(config.effective_shards()),
+            tiered,
+            queue: ShardedQueue::new(effective_shards),
             config,
             observed: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
@@ -293,7 +408,7 @@ impl Engine {
             drain_cv: Condvar::new(),
         });
 
-        let (reorg_tx, reorg) = if config.background_reorg {
+        let (reorg_tx, reorg) = if background_reorg {
             let (tx, rx) = channel::<ReorgRequest>();
             let shared2 = Arc::clone(&shared);
             let table2 = Arc::clone(&table);
@@ -301,15 +416,42 @@ impl Engine {
                 .name("oreo-reorg".into())
                 .spawn(move || {
                     let mut windows = Vec::new();
+                    let mut tiered_errors = Vec::new();
                     while let Ok(req) = rx.recv() {
                         let build_start = Instant::now();
-                        let snapshot = materialize(&table2, &req.spec, req.target);
+                        let mut snapshot = materialize(&table2, &req.spec, req.target);
+                        let build = build_start.elapsed();
                         let rows = snapshot.total_rows();
                         let partitions = snapshot.num_partitions();
                         // The snapshot's metadata *is* the target's exact
                         // model; hand it to the core so the next settle()
                         // does not rebuild it under the serving mutex.
                         let exact = snapshot.model();
+                        // Disk tier: persist the aside rewrite (write +
+                        // fsync + atomic rename) *before* the pointer swap
+                        // — the rename is the durability point. A disk
+                        // failure (ENOSPC, unwritable root, …) must not
+                        // kill the serving plane: degrade to a memory-only
+                        // publish, record the error, and keep going — the
+                        // window then carries bytes_written = 0 and is
+                        // excluded from the empirical α.
+                        let (write, bytes_written, generation) = match &shared2.tiered {
+                            Some(store) => match store.publish(&mut snapshot) {
+                                Ok(receipt) => {
+                                    (receipt.wall, receipt.bytes_written, receipt.generation)
+                                }
+                                Err(e) => {
+                                    let msg = format!(
+                                        "tiered publish of layout {} failed: {e}",
+                                        req.target
+                                    );
+                                    eprintln!("oreo-reorg: {msg} (serving from memory)");
+                                    tiered_errors.push(msg);
+                                    (Duration::ZERO, 0, 0)
+                                }
+                            },
+                            None => (Duration::ZERO, 0, 0),
+                        };
                         shared2.cell.publish(snapshot);
                         shared2.snapshots_published.fetch_add(1, Ordering::Relaxed);
                         if shared2.config.delay == DelaySemantics::Measured {
@@ -323,7 +465,10 @@ impl Engine {
                             target: req.target,
                             decided_seq: req.decided_seq,
                             wall: req.decided_at.elapsed(),
-                            build: build_start.elapsed(),
+                            build,
+                            write,
+                            bytes_written,
+                            generation,
                             queries_during: shared2
                                 .observed
                                 .load(Ordering::Relaxed)
@@ -332,7 +477,7 @@ impl Engine {
                             partitions,
                         });
                     }
-                    windows
+                    (windows, tiered_errors)
                 })
                 .expect("spawn reorganizer");
             (Some(tx), Some(handle))
@@ -340,7 +485,7 @@ impl Engine {
             (None, None)
         };
 
-        let workers = (0..config.workers.max(1))
+        let workers = (0..worker_count)
             .map(|home| {
                 let shared = Arc::clone(&shared);
                 let tx = reorg_tx.clone();
@@ -407,6 +552,11 @@ impl Engine {
         self.shared.cell.epoch()
     }
 
+    /// The disk tier backing the snapshots, in [`ServeMode::Tiered`] runs.
+    pub fn tiered(&self) -> Option<&TieredStore> {
+        self.shared.tiered.as_ref()
+    }
+
     /// Snapshot of the bookkeeping ledger.
     pub fn ledger(&self) -> CostLedger {
         *self.shared.core.lock().expect("core poisoned").ledger()
@@ -424,17 +574,22 @@ impl Engine {
         let mut latencies = Vec::new();
         let mut rows_scanned = 0;
         let mut rows_matched = 0;
+        let mut bytes_scanned = 0;
+        let mut scan_seconds = 0.0;
         for handle in self.workers.drain(..) {
             let stats = handle.join().expect("worker panicked");
             latencies.extend(stats.latencies_us);
             rows_scanned += stats.rows_scanned;
             rows_matched += stats.rows_matched;
+            bytes_scanned += stats.bytes_scanned;
+            scan_seconds += stats.scan_seconds;
         }
-        let windows = match self.reorg.take() {
+        let (windows, tiered_errors) = match self.reorg.take() {
             Some(handle) => handle.join().expect("reorganizer panicked"),
-            None => Vec::new(),
+            None => (Vec::new(), Vec::new()),
         };
         let elapsed = self.started.elapsed();
+        let table_bytes = self.shared.cell.pin().total_bytes();
         let core = self.shared.core.lock().expect("core poisoned");
         let queries = self.shared.completed.load(Ordering::Relaxed);
         EngineStats {
@@ -451,8 +606,13 @@ impl Engine {
             switches: core.switches(),
             snapshots_published: self.shared.snapshots_published.load(Ordering::Relaxed),
             windows,
+            tiered_errors,
             rows_scanned,
             rows_matched,
+            bytes_scanned,
+            scan_seconds,
+            table_bytes,
+            mode: self.shared.config.mode.clone(),
             final_physical: core.physical_layout(),
             final_logical: core.logical_layout(),
             num_states: core.num_states(),
@@ -482,8 +642,10 @@ fn worker_loop(
             let picked = Instant::now();
             let snapshot = shared.cell.pin();
             let scan = snapshot.scan(&job.query.predicate);
+            stats.scan_seconds += picked.elapsed().as_secs_f64();
             stats.rows_scanned += scan.rows_read;
             stats.rows_matched += scan.matches.len() as u64;
+            stats.bytes_scanned += scan.bytes_scanned;
             scanned.push((job, picked, scan, snapshot.layout(), snapshot.epoch()));
         }
 

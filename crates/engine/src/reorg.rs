@@ -21,7 +21,9 @@ pub struct ReorgRequest {
     pub observed_at_decision: u64,
 }
 
-/// One completed background reorganization — the measured Δ of §VI-D5.
+/// One completed background reorganization — the measured Δ of §VI-D5,
+/// and (in tiered serving) the measured write bill that feeds the
+/// empirical α.
 #[derive(Clone, Debug)]
 pub struct ReorgWindow {
     /// Layout the engine switched to.
@@ -30,8 +32,18 @@ pub struct ReorgWindow {
     pub decided_seq: u64,
     /// Wall-clock duration from decision to snapshot publish.
     pub wall: Duration,
-    /// Wall-clock duration of the build itself (exclues queue wait).
+    /// Wall-clock duration of the in-memory build (excludes queue wait and
+    /// the disk write).
     pub build: Duration,
+    /// Wall-clock of persisting the aside rewrite (encode + write + fsync +
+    /// atomic rename). Zero in memory-only serving.
+    pub write: Duration,
+    /// Bytes written by the aside rewrite (partition files, row-id
+    /// sidecars, manifest). Zero in memory-only serving.
+    pub bytes_written: u64,
+    /// On-disk generation number the rewrite committed as (0 in memory-only
+    /// serving).
+    pub generation: u64,
     /// Queries the engine served *during* the window — the measured Δ in
     /// queries, the unit `OreoConfig::reorg_delay` configures in the
     /// sequential simulator.

@@ -92,6 +92,9 @@ pub fn fmt_pct_change(base: f64, v: f64) -> String {
 pub struct ThroughputReport {
     /// Configuration label, e.g. `"reorg on"` / `"reorg off"`.
     pub label: String,
+    /// Serving mode: `"memory"` (snapshots live in memory only) or
+    /// `"tiered"` (every publish persists an on-disk generation).
+    pub serve_mode: String,
     /// Scan worker threads.
     pub workers: usize,
     /// Queries served.
@@ -116,6 +119,15 @@ pub struct ThroughputReport {
     pub mean_delta_queries: f64,
     /// Mean measured reorganization window Δ, in seconds.
     pub mean_delta_s: f64,
+    /// Bytes of the partitions read across all scans (in-memory bytes in
+    /// memory mode, encoded file bytes in tiered mode).
+    pub bytes_scanned: u64,
+    /// Bytes written by aside rewrites (0 in memory mode).
+    pub reorg_bytes_written: u64,
+    /// Empirical α measured on this run — mean aside-rewrite wall-clock
+    /// over extrapolated full-scan wall-clock (0 when not measurable,
+    /// e.g. no completed rewrite).
+    pub alpha_empirical: f64,
     /// Total ledger cost (query + reorg, logical units).
     pub total_cost: f64,
 }
@@ -125,6 +137,7 @@ impl ThroughputReport {
     pub fn table_headers() -> Vec<&'static str> {
         vec![
             "mode",
+            "serve",
             "workers",
             "queries",
             "qps",
@@ -134,6 +147,7 @@ impl ThroughputReport {
             "reorgs",
             "Δ(queries)",
             "Δ(s)",
+            "α̂",
         ]
     }
 
@@ -141,6 +155,7 @@ impl ThroughputReport {
     pub fn table_row(&self) -> Vec<String> {
         vec![
             self.label.clone(),
+            self.serve_mode.clone(),
             self.workers.to_string(),
             self.queries.to_string(),
             fmt_f(self.qps, 0),
@@ -150,6 +165,11 @@ impl ThroughputReport {
             self.reorgs_completed.to_string(),
             fmt_f(self.mean_delta_queries, 1),
             fmt_f(self.mean_delta_s, 3),
+            if self.alpha_empirical > 0.0 {
+                fmt_f(self.alpha_empirical, 1)
+            } else {
+                "-".into()
+            },
         ]
     }
 
@@ -180,6 +200,7 @@ mod tests {
     fn throughput_rows_align_with_headers() {
         let r = ThroughputReport {
             label: "reorg on".into(),
+            serve_mode: "tiered".into(),
             workers: 4,
             queries: 1000,
             qps: 2512.3,
@@ -189,12 +210,20 @@ mod tests {
             reorgs_completed: 3,
             mean_delta_queries: 41.5,
             mean_delta_s: 0.012,
+            bytes_scanned: 1 << 20,
+            reorg_bytes_written: 1 << 19,
+            alpha_empirical: 72.4,
             ..Default::default()
         };
         assert_eq!(r.table_row().len(), ThroughputReport::table_headers().len());
         let rendered = ThroughputReport::render_table(std::slice::from_ref(&r));
         assert!(rendered.contains("reorg on"));
+        assert!(rendered.contains("tiered"));
         assert!(rendered.contains("2512"));
+        assert!(rendered.contains("72.4"));
+        // an unmeasured α renders as "-"
+        let none = ThroughputReport::default();
+        assert_eq!(*none.table_row().last().unwrap(), "-");
     }
 
     #[test]

@@ -87,6 +87,48 @@ impl DiskStore {
         })
     }
 
+    /// Open an existing partition directory (one written by
+    /// [`DiskStore::create`], or a [`crate::TieredStore`] generation
+    /// directory, whose `part-*.oreo` files use the same format): list the
+    /// partition files in name order, decode each to rebuild row counts and
+    /// pruning metadata, and return a scannable store.
+    pub fn open(dir: &Path, schema: &Arc<Schema>) -> Result<Self> {
+        let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                p.extension().is_some_and(|x| x == "oreo")
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("part-"))
+            })
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            return Err(StorageError::Corrupt(format!(
+                "no partition files under {}",
+                dir.display()
+            )));
+        }
+        let mut partitions = Vec::with_capacity(paths.len());
+        let mut metadata = Vec::with_capacity(paths.len());
+        for path in paths {
+            let (table, meta, bytes) = open_partition_file(&path, schema)?;
+            metadata.push(meta);
+            partitions.push(PartitionHandle {
+                bytes,
+                path,
+                rows: table.num_rows() as u64,
+            });
+        }
+        Ok(Self {
+            dir: dir.to_owned(),
+            schema: Arc::clone(schema),
+            partitions,
+            metadata,
+        })
+    }
+
     /// The directory the store writes partitions under.
     pub fn dir(&self) -> &Path {
         &self.dir
@@ -213,6 +255,23 @@ impl DiskStore {
         fs::remove_dir_all(&self.dir)?;
         Ok(())
     }
+}
+
+/// Decode one partition file and rebuild its pruning metadata from its own
+/// rows (the recovery-path reconstruction: all rows in one group, so the
+/// ranges/distinct sets equal what the original build produced). Returns
+/// the table, its metadata, and the file's on-disk size — shared by
+/// [`DiskStore::open`] and [`crate::TieredStore::open`].
+pub(crate) fn open_partition_file(
+    path: &Path,
+    schema: &Arc<Schema>,
+) -> Result<(Table, PartitionMetadata, u64)> {
+    let table = read_partition(path, schema)?;
+    let bytes = fs::metadata(path)?.len();
+    let meta = build_metadata(&table, &vec![0; table.num_rows()], 1)
+        .pop()
+        .expect("k=1 metadata");
+    Ok((table, meta, bytes))
 }
 
 /// Concatenate tables sharing a schema. Dictionary columns are re-interned

@@ -2,7 +2,7 @@
 //!
 //! The partitioned columnar storage substrate OREO optimizes over.
 //!
-//! Three layers:
+//! Five layers:
 //!
 //! 1. **In-memory tables** ([`Table`], [`Column`]) — immutable columnar data
 //!    with typed columns (`i64`, `f64`, dictionary strings) used by the
@@ -19,6 +19,12 @@
 //!    immutable materialized partition sets readers pin while a background
 //!    reorganizer builds the next layout aside and atomically publishes it;
 //!    the substrate of the concurrent serving layer (`oreo-engine`).
+//! 5. **The disk tier** ([`TieredStore`], [`Generation`]) — snapshot
+//!    generations persisted as `gen-N/` directories, committed by atomic
+//!    rename, pinned by readers, garbage-collected after the last unpin,
+//!    and recovered on restart. Backing the serving path with this tier
+//!    makes the measured α of Table I and the measured Δ of the engine
+//!    observables of the *same* run.
 
 pub mod column;
 pub mod diskstore;
@@ -29,6 +35,7 @@ pub mod layout_model;
 pub mod partition;
 pub mod snapshot;
 pub mod table;
+pub mod tiered;
 
 pub use column::{atom_matches_ref, Column, DictBuilder, DictColumn, ValueRef};
 pub use diskstore::{concat_tables, DiskStore, PartitionHandle, ScanStats};
@@ -39,6 +46,7 @@ pub use partition::{
 };
 pub use snapshot::{SnapshotCell, SnapshotPartition, SnapshotScan, TableSnapshot};
 pub use table::{Table, TableBuilder};
+pub use tiered::{Generation, PublishReceipt, RecoveryReport, TieredStore};
 
 #[cfg(test)]
 mod proptests {

@@ -16,6 +16,7 @@
 use crate::layout_model::{LayoutId, LayoutModel};
 use crate::partition::{build_metadata, PartitionMetadata};
 use crate::table::Table;
+use crate::tiered::Generation;
 use oreo_query::Predicate;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -30,6 +31,10 @@ pub struct SnapshotPartition {
     pub data: Arc<Table>,
     /// Pruning metadata for this partition.
     pub meta: PartitionMetadata,
+    /// Bytes a scan of this partition reads: in-memory column bytes for a
+    /// memory-resident snapshot, the encoded partition-file size once the
+    /// snapshot is backed by a [`crate::TieredStore`] generation.
+    pub bytes: u64,
 }
 
 /// Result of scanning a snapshot with one predicate.
@@ -39,6 +44,9 @@ pub struct SnapshotScan {
     pub matches: Vec<u32>,
     /// Rows living in partitions the predicate could not skip.
     pub rows_read: u64,
+    /// Bytes of the partitions the predicate could not skip (see
+    /// [`SnapshotPartition::bytes`] for the unit per serving mode).
+    pub bytes_scanned: u64,
     /// Partitions actually scanned.
     pub partitions_read: usize,
     /// Total partitions in the snapshot.
@@ -65,6 +73,11 @@ pub struct TableSnapshot {
     epoch: u64,
     partitions: Vec<SnapshotPartition>,
     total_rows: u64,
+    /// Pin on the on-disk generation backing this snapshot, when it was
+    /// persisted through a [`crate::TieredStore`]. Holding the snapshot
+    /// holds the generation directory alive; the last drop after the
+    /// generation is superseded garbage-collects it.
+    generation: Option<Arc<Generation>>,
 }
 
 impl TableSnapshot {
@@ -73,8 +86,11 @@ impl TableSnapshot {
     /// the assignment came from.
     ///
     /// This is the physical-reorganization work the background thread
-    /// performs (read → re-route → regroup), minus the disk write: the
-    /// engine serves from memory, [`crate::DiskStore`] covers persistence.
+    /// performs (read → re-route → regroup), minus the disk write. In
+    /// [`crate::TieredStore`]-backed (tiered) serving the reorganizer
+    /// additionally persists the built snapshot as the next on-disk
+    /// generation before publishing it, so the write + fsync cost of the
+    /// rewrite is measured on the same run.
     ///
     /// # Panics
     /// Panics if `assignment` length differs from the base row count or a
@@ -98,10 +114,12 @@ impl TableSnapshot {
             .zip(meta)
             .map(|(rows, meta)| {
                 let data = Arc::new(base.project_rows(&rows));
+                let bytes = data.memory_bytes() as u64;
                 SnapshotPartition {
                     rows: rows.into(),
                     data,
                     meta,
+                    bytes,
                 }
             })
             .collect();
@@ -111,7 +129,36 @@ impl TableSnapshot {
             epoch: 0,
             partitions,
             total_rows: base.num_rows() as u64,
+            generation: None,
         }
+    }
+
+    /// Reassemble a snapshot from already-materialized partitions — the
+    /// recovery path of [`crate::TieredStore::open`].
+    pub(crate) fn from_parts(
+        layout: LayoutId,
+        name: String,
+        partitions: Vec<SnapshotPartition>,
+    ) -> Self {
+        let total_rows = partitions.iter().map(|p| p.rows.len() as u64).sum();
+        Self {
+            layout,
+            name,
+            epoch: 0,
+            partitions,
+            total_rows,
+            generation: None,
+        }
+    }
+
+    /// Attach the on-disk generation backing this snapshot and switch the
+    /// per-partition byte accounting to encoded file sizes.
+    pub(crate) fn attach_generation(&mut self, generation: Arc<Generation>, file_bytes: &[u64]) {
+        debug_assert_eq!(file_bytes.len(), self.partitions.len());
+        for (part, &bytes) in self.partitions.iter_mut().zip(file_bytes) {
+            part.bytes = bytes;
+        }
+        self.generation = Some(generation);
     }
 
     /// The layout this snapshot materializes.
@@ -145,6 +192,18 @@ impl TableSnapshot {
         self.total_rows
     }
 
+    /// Total scan footprint in bytes: Σ [`SnapshotPartition::bytes`] —
+    /// what a full (unpruned) scan of this snapshot reads.
+    pub fn total_bytes(&self) -> u64 {
+        self.partitions.iter().map(|p| p.bytes).sum()
+    }
+
+    /// The on-disk generation backing this snapshot, when it was persisted
+    /// through a [`crate::TieredStore`] (`None` for memory-only snapshots).
+    pub fn generation(&self) -> Option<&Arc<Generation>> {
+        self.generation.as_ref()
+    }
+
     /// Execute one predicate against the snapshot: prune partitions by
     /// metadata, scan the survivors row-by-row, and report the matching
     /// *global* row ids (ascending, so results are layout-independent).
@@ -159,6 +218,7 @@ impl TableSnapshot {
             }
             out.partitions_read += 1;
             out.rows_read += part.data.num_rows() as u64;
+            out.bytes_scanned += part.bytes;
             for local in 0..part.data.num_rows() {
                 if part.data.row_matches(local, predicate) {
                     out.matches.push(part.rows[local]);

@@ -1,0 +1,877 @@
+//! The disk tier of the serving path: snapshot *generations* persisted as
+//! directories, published by atomic rename, pinned by readers, and
+//! garbage-collected after the last unpin.
+//!
+//! A [`TieredStore`] owns a root directory holding one subdirectory per
+//! snapshot generation:
+//!
+//! ```text
+//! root/
+//!   gen-000001/              ← complete generation (commit = the rename)
+//!     MANIFEST               ← layout id/name, partition count, row count
+//!     part-00000.oreo        ← encoded partition (same format as DiskStore)
+//!     part-00000.rows        ← the partition's global row ids
+//!     ...
+//!   gen-000002.tmp/          ← in-flight aside rewrite (torn if we crash)
+//! ```
+//!
+//! The reorganizer writes the next generation *aside* into `gen-N.tmp/`,
+//! fsyncs every file and the directory, then commits with a single atomic
+//! `rename(gen-N.tmp, gen-N)` followed by an fsync of the root. Only after
+//! the rename does the serving snapshot pointer swap (the engine's
+//! `SnapshotCell::publish`), so a crash at any point leaves either the old
+//! generation serving (the `.tmp` is garbage) or the new one fully
+//! committed — never a half-visible layout.
+//!
+//! Every [`TableSnapshot`] persisted through the store holds an
+//! [`Arc<Generation>`] pin on its directory. When a generation is
+//! superseded it is *retired*; its directory is deleted when the last pin
+//! drops (readers still scanning the old layout keep it alive).
+//! [`TieredStore::open`] recovers the newest complete generation after a
+//! restart and cleans up torn `.tmp` directories and stale older
+//! generations.
+
+use crate::diskstore::open_partition_file;
+use crate::encode::{decode_u32_block, encode_u32_block, fnv1a};
+use crate::error::{Result, StorageError};
+use crate::format::write_partition;
+use crate::snapshot::{SnapshotPartition, TableSnapshot};
+use bytes::{Buf, BufMut, BytesMut};
+use oreo_query::Schema;
+use std::fs;
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const MANIFEST: &str = "MANIFEST";
+const MANIFEST_MAGIC: &str = "oreo-tiered v1";
+const ROWS_MAGIC: &[u8; 8] = b"OREOROWS";
+
+/// One on-disk snapshot generation: a committed `gen-N/` directory.
+///
+/// Held by `Arc` from every [`TableSnapshot`] it backs; once the store
+/// retires it (a newer generation committed) the directory is removed when
+/// the last `Arc` drops. A generation that was never retired — the current
+/// one — survives process exit, which is what makes the store durable.
+#[derive(Debug)]
+pub struct Generation {
+    number: u64,
+    dir: PathBuf,
+    bytes: u64,
+    retired: AtomicBool,
+}
+
+impl Generation {
+    /// The generation number `N` of the `gen-N/` directory (1-based).
+    pub fn number(&self) -> u64 {
+        self.number
+    }
+
+    /// The committed directory this generation lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Total bytes written for this generation (partition files, row-id
+    /// sidecars, and manifest).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn retire(&self) {
+        self.retired.store(true, Ordering::Release);
+    }
+}
+
+impl Drop for Generation {
+    fn drop(&mut self) {
+        if self.retired.load(Ordering::Acquire) {
+            let _ = fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+/// What one generation publish cost — the *empirical* reorganization write
+/// bill: bytes and wall-clock of persisting the aside rewrite (encode +
+/// write + fsync + atomic rename).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PublishReceipt {
+    /// The committed generation number.
+    pub generation: u64,
+    /// Bytes written (partition files + row-id sidecars + manifest).
+    pub bytes_written: u64,
+    /// Files written.
+    pub files: usize,
+    /// Wall-clock of the whole persist (write + fsync + rename + root
+    /// fsync).
+    pub wall: Duration,
+}
+
+/// What [`TieredStore::open`] found and cleaned up during recovery.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The complete generation recovered and now serving.
+    pub generation: u64,
+    /// Torn directories removed: in-flight `gen-N.tmp/` rewrites that never
+    /// committed, plus committed directories whose contents fail to decode.
+    pub torn_removed: Vec<PathBuf>,
+    /// Older complete generations removed (superseded before the restart
+    /// but still on disk because the process died holding pins).
+    pub stale_removed: Vec<PathBuf>,
+}
+
+/// The disk tier backing the serving path: every published
+/// [`TableSnapshot`] is persisted as a `gen-N/` directory, committed by
+/// atomic rename, pinned by readers, and garbage-collected after the last
+/// unpin.
+///
+/// # Example
+///
+/// ```
+/// use oreo_storage::{TableBuilder, TableSnapshot, TieredStore};
+/// use oreo_query::{ColumnType, Scalar, Schema};
+/// use std::sync::Arc;
+///
+/// let schema = Arc::new(Schema::from_pairs([("v", ColumnType::Int)]));
+/// let mut b = TableBuilder::new(Arc::clone(&schema));
+/// for i in 0..100i64 {
+///     b.push_row(&[Scalar::Int(i)]);
+/// }
+/// let table = b.finish();
+///
+/// let root = std::env::temp_dir().join(format!("tiered-doc-{}", std::process::id()));
+/// # let _ = std::fs::remove_dir_all(&root);
+///
+/// // Generation 1: the initial layout, persisted at engine start.
+/// let mut snap = TableSnapshot::build(&table, &vec![0; 100], 1, 0, "init");
+/// let (store, receipt) = TieredStore::create(&root, &mut snap).unwrap();
+/// assert_eq!(receipt.generation, 1);
+/// assert!(snap.generation().is_some());
+///
+/// // Generation 2: an aside rewrite, committed by atomic rename.
+/// let assignment: Vec<u32> = (0..100).map(|i| (i / 50) as u32).collect();
+/// let mut next = TableSnapshot::build(&table, &assignment, 2, 1, "halves");
+/// let receipt = store.publish(&mut next).unwrap();
+/// assert_eq!(receipt.generation, 2);
+/// assert!(receipt.bytes_written > 0);
+///
+/// // Gen 1 was retired; dropping its last pin removes the directory.
+/// drop(snap);
+/// assert!(!root.join("gen-000001").exists());
+///
+/// // The store reopens at the newest complete generation after a restart.
+/// drop(store);
+/// let (reopened, recovered, report) = TieredStore::open(&root, &schema).unwrap();
+/// assert_eq!(report.generation, 2);
+/// assert_eq!(recovered.num_partitions(), 2);
+/// assert_eq!(reopened.current().number(), 2);
+/// # drop(next); drop(recovered); drop(reopened);
+/// # let _ = std::fs::remove_dir_all(&root);
+/// ```
+#[derive(Debug)]
+pub struct TieredStore {
+    root: PathBuf,
+    schema: Arc<Schema>,
+    current: Mutex<Arc<Generation>>,
+}
+
+impl TieredStore {
+    /// Initialize a store at `root`, persisting `snapshot` as the next
+    /// generation.
+    ///
+    /// On a fresh root that is generation 1. On a root left behind by a
+    /// previous process the store *restarts* the sequence instead of
+    /// colliding with it: torn `gen-N.tmp/` rewrites are removed, the new
+    /// snapshot is committed as `max committed generation + 1`, and the
+    /// now-superseded older generations are cleaned up — so an engine can
+    /// be restarted on the same root indefinitely. (To *read* the last
+    /// committed generation instead of superseding it, use
+    /// [`TieredStore::open`] first.)
+    ///
+    /// The snapshot is mutated in place: its per-partition byte accounting
+    /// switches to encoded file sizes and it pins the new generation (see
+    /// [`TableSnapshot::generation`]).
+    pub fn create(root: &Path, snapshot: &mut TableSnapshot) -> Result<(Self, PublishReceipt)> {
+        assert!(
+            snapshot.num_partitions() > 0,
+            "snapshot must have at least one partition"
+        );
+        fs::create_dir_all(root)?;
+        let mut stale = Vec::new();
+        let mut next = 1;
+        for (kind, number, path) in list_root(root) {
+            match kind {
+                EntryKind::Torn => fs::remove_dir_all(&path)?,
+                EntryKind::Committed => {
+                    next = next.max(number + 1);
+                    stale.push(path);
+                }
+            }
+        }
+        let schema = Arc::clone(snapshot.partitions()[0].data.schema());
+        let (generation, receipt) = persist_generation(root, snapshot, next)?;
+        // The previous process's generations are superseded by the commit
+        // above; nothing in this process pins them.
+        for path in stale {
+            fs::remove_dir_all(&path)?;
+        }
+        let store = Self {
+            root: root.to_owned(),
+            schema,
+            current: Mutex::new(generation),
+        };
+        Ok((store, receipt))
+    }
+
+    /// Persist `snapshot` aside as the next generation and commit it by
+    /// atomic rename, then retire the previous generation (its directory is
+    /// deleted once the last reader unpins it).
+    ///
+    /// This is the write half of the paper's four-step rewrite, measured:
+    /// the returned [`PublishReceipt`] carries the bytes and wall-clock of
+    /// the persist, which the serving layer reports as the empirical α
+    /// alongside the measured switch delay Δ. Call the serving-plane
+    /// pointer swap (`SnapshotCell::publish`) only after this returns — the
+    /// rename is the durability point.
+    pub fn publish(&self, snapshot: &mut TableSnapshot) -> Result<PublishReceipt> {
+        let mut current = self.current.lock().expect("tiered store poisoned");
+        let number = current.number() + 1;
+        let (generation, receipt) = persist_generation(&self.root, snapshot, number)?;
+        let old = std::mem::replace(&mut *current, generation);
+        old.retire();
+        Ok(receipt)
+    }
+
+    /// Pin the current (newest committed) generation.
+    pub fn current(&self) -> Arc<Generation> {
+        Arc::clone(&self.current.lock().expect("tiered store poisoned"))
+    }
+
+    /// The root directory holding the generation subdirectories.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The schema of the stored table.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Generation directories currently on disk (committed `gen-N/` only),
+    /// ascending. Superseded generations linger here only while readers
+    /// still pin them.
+    pub fn generations_on_disk(&self) -> Vec<u64> {
+        let mut gens: Vec<u64> = list_root(&self.root)
+            .into_iter()
+            .filter_map(|(kind, number, _)| match kind {
+                EntryKind::Committed => Some(number),
+                EntryKind::Torn => None,
+            })
+            .collect();
+        gens.sort_unstable();
+        gens
+    }
+
+    /// Reopen a store after a restart: recover the newest *complete*
+    /// generation (commit point = the rename, so every `gen-N/` should
+    /// decode; one that does not is treated as torn), remove torn
+    /// `gen-N.tmp/` rewrites and stale older generations, and rebuild the
+    /// serving snapshot from the recovered files.
+    ///
+    /// Fails with [`StorageError::Corrupt`] if no complete generation
+    /// exists under `root`.
+    pub fn open(
+        root: &Path,
+        schema: &Arc<Schema>,
+    ) -> Result<(Self, TableSnapshot, RecoveryReport)> {
+        let mut report = RecoveryReport::default();
+        let mut committed: Vec<(u64, PathBuf)> = Vec::new();
+        for (kind, number, path) in list_root(root) {
+            match kind {
+                EntryKind::Torn => {
+                    fs::remove_dir_all(&path)?;
+                    report.torn_removed.push(path);
+                }
+                EntryKind::Committed => committed.push((number, path)),
+            }
+        }
+        committed.sort_unstable_by_key(|&(n, _)| std::cmp::Reverse(n));
+
+        let mut recovered: Option<(u64, TableSnapshot)> = None;
+        for (number, path) in committed {
+            if recovered.is_some() {
+                // Older than the recovered generation: superseded, clean up.
+                fs::remove_dir_all(&path)?;
+                report.stale_removed.push(path);
+                continue;
+            }
+            match load_generation(&path, schema) {
+                Ok(snapshot) => recovered = Some((number, snapshot)),
+                Err(_) => {
+                    // A committed directory that fails to decode (e.g. a
+                    // half-deleted GC victim): treat as torn and fall back.
+                    fs::remove_dir_all(&path)?;
+                    report.torn_removed.push(path);
+                }
+            }
+        }
+        let (number, mut snapshot) =
+            recovered.ok_or_else(|| StorageError::Corrupt("no complete generation".into()))?;
+        report.generation = number;
+
+        let dir = gen_dir(root, number);
+        let bytes = dir_bytes(&dir)?;
+        let generation = Arc::new(Generation {
+            number,
+            dir,
+            bytes,
+            retired: AtomicBool::new(false),
+        });
+        let file_bytes: Vec<u64> = snapshot
+            .partitions()
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                fs::metadata(generation.dir.join(part_file(i)))
+                    .map(|m| m.len())
+                    .unwrap_or(0)
+            })
+            .collect();
+        snapshot.attach_generation(Arc::clone(&generation), &file_bytes);
+        let store = Self {
+            root: root.to_owned(),
+            schema: Arc::clone(schema),
+            current: Mutex::new(generation),
+        };
+        Ok((store, snapshot, report))
+    }
+}
+
+enum EntryKind {
+    Committed,
+    Torn,
+}
+
+/// Classify the entries of a store root into committed `gen-N` directories
+/// and torn `gen-N.tmp` leftovers (anything else is ignored).
+fn list_root(root: &Path) -> Vec<(EntryKind, u64, PathBuf)> {
+    let Ok(entries) = fs::read_dir(root) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if !path.is_dir() {
+            continue;
+        }
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some(num) = name.strip_prefix("gen-") {
+            if let Some(num) = num.strip_suffix(".tmp") {
+                if num.parse::<u64>().is_ok() {
+                    out.push((EntryKind::Torn, 0, path));
+                }
+            } else if let Ok(n) = num.parse::<u64>() {
+                out.push((EntryKind::Committed, n, path));
+            }
+        }
+    }
+    out
+}
+
+fn gen_dir(root: &Path, number: u64) -> PathBuf {
+    root.join(format!("gen-{number:06}"))
+}
+
+fn part_file(index: usize) -> String {
+    format!("part-{index:05}.oreo")
+}
+
+fn rows_file(index: usize) -> String {
+    format!("part-{index:05}.rows")
+}
+
+/// Write `snapshot` under `root` as generation `number`: everything goes to
+/// `gen-N.tmp/` first (each file written + fsynced, then the directory
+/// fsynced), and the commit is one atomic rename to `gen-N/` followed by an
+/// fsync of `root`.
+fn persist_generation(
+    root: &Path,
+    snapshot: &mut TableSnapshot,
+    number: u64,
+) -> Result<(Arc<Generation>, PublishReceipt)> {
+    let started = Instant::now();
+    let tmp = root.join(format!("gen-{number:06}.tmp"));
+    if tmp.exists() {
+        fs::remove_dir_all(&tmp)?;
+    }
+    fs::create_dir_all(&tmp)?;
+
+    let mut bytes_written = 0u64;
+    let mut files = 0usize;
+    let mut file_bytes = Vec::with_capacity(snapshot.num_partitions());
+    for (i, part) in snapshot.partitions().iter().enumerate() {
+        let part_bytes = write_partition(&tmp.join(part_file(i)), &part.data)?;
+        bytes_written += part_bytes;
+        file_bytes.push(part_bytes);
+        bytes_written += write_rows(&tmp.join(rows_file(i)), &part.rows)?;
+        files += 2;
+    }
+    bytes_written += write_manifest(&tmp.join(MANIFEST), snapshot, number)?;
+    files += 1;
+    sync_dir(&tmp)?;
+
+    let dir = gen_dir(root, number);
+    // A committed directory can already sit at this number if an earlier
+    // publish renamed successfully but failed afterwards (e.g. on the root
+    // fsync) — the store never advanced, so the directory is an orphan no
+    // live Generation points to. Renaming onto a non-empty directory fails
+    // (ENOTEMPTY), which would wedge every later publish; clear it first.
+    if dir.exists() {
+        fs::remove_dir_all(&dir)?;
+    }
+    fs::rename(&tmp, &dir)?;
+    sync_dir(root)?;
+
+    let generation = Arc::new(Generation {
+        number,
+        dir,
+        bytes: bytes_written,
+        retired: AtomicBool::new(false),
+    });
+    snapshot.attach_generation(Arc::clone(&generation), &file_bytes);
+    let receipt = PublishReceipt {
+        generation: number,
+        bytes_written,
+        files,
+        wall: started.elapsed(),
+    };
+    Ok((generation, receipt))
+}
+
+/// Rebuild the serving snapshot from a committed generation directory.
+fn load_generation(dir: &Path, schema: &Arc<Schema>) -> Result<TableSnapshot> {
+    let (layout, name, k, total_rows) = read_manifest(&dir.join(MANIFEST))?;
+    let mut partitions = Vec::with_capacity(k);
+    for i in 0..k {
+        let (data, meta, _bytes) = open_partition_file(&dir.join(part_file(i)), schema)?;
+        let data = Arc::new(data);
+        let rows = read_rows(&dir.join(rows_file(i)))?;
+        if rows.len() != data.num_rows() {
+            return Err(StorageError::Corrupt(format!(
+                "partition {i}: {} row ids for {} rows",
+                rows.len(),
+                data.num_rows()
+            )));
+        }
+        partitions.push(SnapshotPartition {
+            rows: rows.into(),
+            data,
+            meta,
+            bytes: 0, // stamped by attach_generation
+        });
+    }
+    let snapshot = TableSnapshot::from_parts(layout, name, partitions);
+    if snapshot.total_rows() != total_rows {
+        return Err(StorageError::Corrupt(format!(
+            "generation holds {} rows, manifest says {total_rows}",
+            snapshot.total_rows()
+        )));
+    }
+    Ok(snapshot)
+}
+
+/// Write the global row ids of one partition:
+/// `"OREOROWS" | count u64 LE | u32 block | fnv1a-64 checksum`.
+fn write_rows(path: &Path, rows: &[u32]) -> Result<u64> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(ROWS_MAGIC);
+    buf.put_u64_le(rows.len() as u64);
+    encode_u32_block(&mut buf, rows);
+    let checksum = fnv1a(&buf);
+    buf.put_u64_le(checksum);
+    let mut file = fs::File::create(path)?;
+    file.write_all(&buf)?;
+    file.sync_all()?;
+    Ok(buf.len() as u64)
+}
+
+/// Read a sidecar written by [`write_rows`].
+fn read_rows(path: &Path) -> Result<Vec<u32>> {
+    let mut bytes = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < ROWS_MAGIC.len() + 8 + 8 {
+        return Err(StorageError::Corrupt("rows sidecar too short".into()));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+    if fnv1a(body) != stored {
+        return Err(StorageError::Corrupt("rows sidecar checksum".into()));
+    }
+    let mut buf = body;
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != ROWS_MAGIC {
+        return Err(StorageError::Corrupt("rows sidecar magic".into()));
+    }
+    let count = buf.get_u64_le() as usize;
+    let rows = decode_u32_block(&mut buf)?;
+    if rows.len() != count {
+        return Err(StorageError::Corrupt(format!(
+            "rows sidecar decoded {} ids, header says {count}",
+            rows.len()
+        )));
+    }
+    Ok(rows)
+}
+
+fn write_manifest(path: &Path, snapshot: &TableSnapshot, number: u64) -> Result<u64> {
+    let name = snapshot.name().replace(['\n', '\r'], " ");
+    let text = format!(
+        "{MANIFEST_MAGIC}\ngeneration={number}\nlayout={}\nname={name}\npartitions={}\nrows={}\n",
+        snapshot.layout(),
+        snapshot.num_partitions(),
+        snapshot.total_rows(),
+    );
+    let mut file = fs::File::create(path)?;
+    file.write_all(text.as_bytes())?;
+    file.sync_all()?;
+    Ok(text.len() as u64)
+}
+
+/// Parse a manifest into `(layout, name, partitions, rows)`.
+fn read_manifest(path: &Path) -> Result<(u64, String, usize, u64)> {
+    let text = fs::read_to_string(path)?;
+    let mut lines = text.lines();
+    if lines.next() != Some(MANIFEST_MAGIC) {
+        return Err(StorageError::Corrupt("bad manifest magic".into()));
+    }
+    let mut layout = None;
+    let mut name = None;
+    let mut partitions = None;
+    let mut rows = None;
+    for line in lines {
+        match line.split_once('=') {
+            Some(("layout", v)) => layout = v.parse().ok(),
+            Some(("name", v)) => name = Some(v.to_string()),
+            Some(("partitions", v)) => partitions = v.parse().ok(),
+            Some(("rows", v)) => rows = v.parse().ok(),
+            _ => {}
+        }
+    }
+    match (layout, name, partitions, rows) {
+        (Some(l), Some(n), Some(k), Some(r)) => Ok((l, n, k, r)),
+        _ => Err(StorageError::Corrupt("incomplete manifest".into())),
+    }
+}
+
+fn sync_dir(dir: &Path) -> Result<()> {
+    // Durability of the directory entries themselves (file creation and the
+    // commit rename). Some platforms cannot fsync a directory at all —
+    // that incapacity is tolerated (the data files are synced
+    // individually) — but a *real* I/O failure must surface: reporting a
+    // commit that never reached disk would break the "rename is the
+    // durability point" contract.
+    const EINVAL: i32 = 22; // what fsync(2) reports for unsyncable files
+    let file = match fs::File::open(dir) {
+        Ok(f) => f,
+        // Windows cannot open a directory without backup semantics (std
+        // reports PermissionDenied) — platform incapacity, not a failed
+        // sync; the data files were synced individually.
+        Err(e) if e.kind() == std::io::ErrorKind::PermissionDenied => return Ok(()),
+        Err(e) => return Err(e.into()),
+    };
+    match file.sync_all() {
+        Ok(()) => Ok(()),
+        Err(e)
+            if e.kind() == std::io::ErrorKind::Unsupported || e.raw_os_error() == Some(EINVAL) =>
+        {
+            Ok(())
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+fn dir_bytes(dir: &Path) -> Result<u64> {
+    let mut total = 0;
+    for entry in fs::read_dir(dir)?.flatten() {
+        total += entry.metadata()?.len();
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Table, TableBuilder};
+    use oreo_query::{Atom, ColumnType, Predicate, Scalar};
+
+    fn tmproot(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "oreo-tiered-{tag}-{}-{}",
+            std::process::id(),
+            rand::random::<u32>()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn table(n: i64) -> Table {
+        let s = Arc::new(Schema::from_pairs([
+            ("v", ColumnType::Int),
+            ("tag", ColumnType::Str),
+        ]));
+        let mut b = TableBuilder::new(Arc::clone(&s));
+        for i in 0..n {
+            b.push_row(&[
+                Scalar::Int(i),
+                Scalar::from(["a", "b", "c", "d"][(i % 4) as usize]),
+            ]);
+        }
+        b.finish()
+    }
+
+    fn between(lo: i64, hi: i64) -> Predicate {
+        Predicate::new(vec![Atom::Between {
+            col: 0,
+            low: Scalar::Int(lo),
+            high: Scalar::Int(hi),
+        }])
+    }
+
+    fn snap(t: &Table, k: usize, layout: u64) -> TableSnapshot {
+        let n = t.num_rows() as u32;
+        let per = n.div_ceil(k as u32).max(1);
+        let assignment: Vec<u32> = (0..n).map(|r| (r / per).min(k as u32 - 1)).collect();
+        TableSnapshot::build(t, &assignment, k, layout, format!("range{k}"))
+    }
+
+    #[test]
+    fn create_commits_generation_one_with_disk_byte_accounting() {
+        let t = table(400);
+        let root = tmproot("create");
+        let mut s = snap(&t, 4, 0);
+        let mem_bytes = s.total_bytes();
+        let (store, receipt) = TieredStore::create(&root, &mut s).unwrap();
+        assert_eq!(receipt.generation, 1);
+        assert_eq!(receipt.files, 9, "4 parts + 4 sidecars + manifest");
+        assert!(root.join("gen-000001").join(MANIFEST).exists());
+        assert_eq!(store.generations_on_disk(), vec![1]);
+        // byte accounting switched from memory to encoded-file sizes
+        assert_ne!(s.total_bytes(), mem_bytes);
+        assert!(s.total_bytes() > 0 && s.total_bytes() < receipt.bytes_written);
+        let scan = s.scan(&between(0, 99));
+        assert!(scan.bytes_scanned > 0);
+        drop(store);
+        drop(s);
+        // the current generation was never retired: it must survive
+        assert!(root.join("gen-000001").exists(), "durable current gen");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn publish_retires_old_generation_after_last_unpin() {
+        let t = table(300);
+        let root = tmproot("gc");
+        let mut s1 = snap(&t, 2, 0);
+        let (store, _) = TieredStore::create(&root, &mut s1).unwrap();
+        let pinned = s1.clone(); // a reader still scanning gen 1
+
+        let mut s2 = snap(&t, 3, 1);
+        let receipt = store.publish(&mut s2).unwrap();
+        assert_eq!(receipt.generation, 2);
+        assert_eq!(store.current().number(), 2);
+
+        // gen 1 is retired but still pinned by two snapshots
+        drop(s1);
+        assert!(root.join("gen-000001").exists(), "still pinned");
+        drop(pinned);
+        assert!(!root.join("gen-000001").exists(), "GC after last unpin");
+        assert_eq!(store.generations_on_disk(), vec![2]);
+        drop(store);
+        drop(s2);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn reopen_recovers_latest_complete_generation() {
+        let t = table(500);
+        let schema = Arc::clone(t.schema());
+        let root = tmproot("reopen");
+        let mut s1 = snap(&t, 4, 7);
+        let (store, _) = TieredStore::create(&root, &mut s1).unwrap();
+        drop(store);
+        drop(s1); // process "exits" — gen 1 never retired
+
+        let (store, recovered, report) = TieredStore::open(&root, &schema).unwrap();
+        assert_eq!(report.generation, 1);
+        assert!(report.torn_removed.is_empty());
+        assert!(report.stale_removed.is_empty());
+        assert_eq!(recovered.layout(), 7);
+        assert_eq!(recovered.name(), "range4");
+        assert_eq!(recovered.num_partitions(), 4);
+        assert_eq!(recovered.total_rows(), 500);
+        // global row ids survived the round trip
+        assert_eq!(recovered.row_cover(), (0..500u32).collect::<Vec<_>>());
+        // scans on the recovered snapshot match a direct filter
+        let pred = between(120, 130);
+        let expected: Vec<u32> = (0..500u32)
+            .filter(|&r| t.row_matches(r as usize, &pred))
+            .collect();
+        let scan = recovered.scan(&pred);
+        assert_eq!(scan.matches, expected);
+        assert!(scan.partitions_read < 4, "recovered metadata still prunes");
+        assert!(scan.bytes_scanned > 0);
+        drop(store);
+        drop(recovered);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// The satellite's crash test: die between fsync and rename (a fully
+    /// written `gen-2.tmp/` that never committed), reopen, and the old
+    /// generation serves while the torn directory is cleaned up.
+    #[test]
+    fn torn_publish_is_cleaned_up_and_old_generation_serves() {
+        let t = table(400);
+        let schema = Arc::clone(t.schema());
+        let root = tmproot("torn");
+        let mut s1 = snap(&t, 2, 3);
+        let (store, _) = TieredStore::create(&root, &mut s1).unwrap();
+        drop(store);
+        drop(s1);
+
+        // Simulate the kill: replay persist_generation up to (not including)
+        // the rename by copying gen 1's files into gen-000002.tmp.
+        let torn = root.join("gen-000002.tmp");
+        fs::create_dir_all(&torn).unwrap();
+        for entry in fs::read_dir(root.join("gen-000001")).unwrap().flatten() {
+            fs::copy(entry.path(), torn.join(entry.file_name())).unwrap();
+        }
+        assert!(torn.exists());
+
+        let (store, recovered, report) = TieredStore::open(&root, &schema).unwrap();
+        assert_eq!(report.generation, 1, "old generation serves");
+        assert_eq!(report.torn_removed, vec![torn.clone()]);
+        assert!(!torn.exists(), "torn rewrite cleaned up");
+        assert_eq!(recovered.row_cover(), (0..400u32).collect::<Vec<_>>());
+        drop(store);
+        drop(recovered);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// A committed directory whose contents are corrupt is treated as torn:
+    /// recovery falls back to the next older complete generation.
+    #[test]
+    fn corrupt_committed_generation_falls_back() {
+        let t = table(300);
+        let schema = Arc::clone(t.schema());
+        let root = tmproot("corrupt");
+        let mut s1 = snap(&t, 2, 0);
+        let (store, _) = TieredStore::create(&root, &mut s1).unwrap();
+        drop(store);
+
+        // Fabricate a "newer" generation with a corrupt partition file.
+        let bad = root.join("gen-000002");
+        fs::create_dir_all(&bad).unwrap();
+        for entry in fs::read_dir(root.join("gen-000001")).unwrap().flatten() {
+            fs::copy(entry.path(), bad.join(entry.file_name())).unwrap();
+        }
+        let victim = bad.join(part_file(0));
+        let mut bytes = fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&victim, bytes).unwrap();
+
+        let (store, recovered, report) = TieredStore::open(&root, &schema).unwrap();
+        assert_eq!(report.generation, 1);
+        assert_eq!(report.torn_removed, vec![bad.clone()]);
+        assert!(!bad.exists());
+        assert_eq!(recovered.total_rows(), 300);
+        drop(s1);
+        drop(store);
+        drop(recovered);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn reopen_removes_stale_older_generations() {
+        let t = table(200);
+        let schema = Arc::clone(t.schema());
+        let root = tmproot("stale");
+        let mut s1 = snap(&t, 2, 0);
+        let (store, _) = TieredStore::create(&root, &mut s1).unwrap();
+        let mut s2 = snap(&t, 4, 1);
+        store.publish(&mut s2).unwrap();
+        // Simulate dying while a reader still pinned gen 1: leak the pin so
+        // the retired directory is never deleted.
+        std::mem::forget(s1);
+        drop(store);
+        drop(s2);
+        assert!(root.join("gen-000001").exists());
+
+        let (store, recovered, report) = TieredStore::open(&root, &schema).unwrap();
+        assert_eq!(report.generation, 2);
+        assert_eq!(report.stale_removed, vec![root.join("gen-000001")]);
+        assert!(!root.join("gen-000001").exists());
+        assert_eq!(recovered.num_partitions(), 4);
+        drop(store);
+        drop(recovered);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// `create` on a root left behind by a previous process must not
+    /// collide with its generations: the sequence continues past the
+    /// survivor and the superseded directories are cleaned up.
+    #[test]
+    fn create_on_existing_root_continues_the_sequence() {
+        let t = table(200);
+        let root = tmproot("recreate");
+        let mut s1 = snap(&t, 2, 0);
+        let (store, r1) = TieredStore::create(&root, &mut s1).unwrap();
+        assert_eq!(r1.generation, 1);
+        drop(store);
+        drop(s1); // process "exits"; gen-000001 survives
+
+        // also leave a torn rewrite behind
+        fs::create_dir_all(root.join("gen-000002.tmp")).unwrap();
+
+        let mut s2 = snap(&t, 4, 1);
+        let (store, r2) = TieredStore::create(&root, &mut s2).unwrap();
+        assert_eq!(r2.generation, 2, "sequence continues past the survivor");
+        assert!(!root.join("gen-000001").exists(), "superseded gen removed");
+        assert!(!root.join("gen-000002.tmp").exists(), "torn dir removed");
+        assert_eq!(store.generations_on_disk(), vec![2]);
+        drop(store);
+        drop(s2);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn open_on_empty_root_is_an_error() {
+        let root = tmproot("empty");
+        fs::create_dir_all(&root).unwrap();
+        let schema = Arc::new(Schema::from_pairs([("v", ColumnType::Int)]));
+        let err = TieredStore::open(&root, &schema).unwrap_err();
+        assert!(err.to_string().contains("no complete generation"));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn rows_sidecar_round_trips_and_detects_corruption() {
+        let root = tmproot("rows");
+        fs::create_dir_all(&root).unwrap();
+        let path = root.join("r.rows");
+        let rows: Vec<u32> = (0..997).map(|i| i * 3 % 1000).collect();
+        write_rows(&path, &rows).unwrap();
+        assert_eq!(read_rows(&path).unwrap(), rows);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        fs::write(&path, bytes).unwrap();
+        assert!(read_rows(&path).is_err());
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

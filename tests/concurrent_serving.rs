@@ -6,7 +6,7 @@
 use oreo::core::OreoConfig;
 use oreo::engine::{DelaySemantics, Engine, EngineConfig};
 use oreo::sim::{default_spec, make_generator, run_policy, PolicySetup, Technique};
-use oreo::storage::{SnapshotCell, TableSnapshot};
+use oreo::storage::{SnapshotCell, TableSnapshot, TieredStore};
 use oreo::workload::{tpch_bundle, StreamConfig};
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -117,6 +117,68 @@ fn concurrent_scans_during_reorg_return_sequential_row_sets() {
         assert!(w.wall >= w.build, "window excludes its own build time?");
         assert_eq!(w.rows, 3_000, "rebuild moved a partial table");
     }
+}
+
+/// Disk-tiered serving changes *where* snapshots live (every publish
+/// commits a `gen-N/` directory before the pointer swap), not *what* the
+/// bookkeeping decides: a single-worker tiered FIFO engine replays
+/// `oreo-sim`'s ledger decisions exactly, while the same run also measures
+/// the rewrite's byte/wall-clock bill (the empirical α inputs) and
+/// recovers its last committed generation after a restart.
+#[test]
+fn tiered_engine_replays_sim_ledger_and_recovers_generation() {
+    let seed = 3;
+    let bundle = tpch_bundle(4_000, 1);
+    let stream = bundle.stream(StreamConfig {
+        total_queries: 600,
+        segments: 4,
+        seed: 2,
+        ..Default::default()
+    });
+
+    let setup = PolicySetup::new(bundle.clone(), Technique::QdTree, config(seed));
+    let mut sequential = setup.oreo();
+    let sim = run_policy(&mut sequential, &stream.queries, 0);
+
+    let root = std::env::temp_dir().join(format!("oreo-itest-tiered-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let engine = Engine::start(
+        Arc::clone(&bundle.table),
+        default_spec(&bundle, config(seed).partitions, seed),
+        make_generator(Technique::QdTree, &bundle),
+        config(seed),
+        EngineConfig::sequential_parity().tiered(&root),
+    );
+    for q in &stream.queries {
+        engine.submit(q.clone());
+    }
+    engine.drain();
+    let stats = engine.shutdown();
+
+    // the acceptance criterion: tiered FIFO replays the ledger exactly
+    assert_eq!(stats.ledger, sim.ledger, "tiered ledger diverged");
+    assert_eq!(stats.switches, sim.switches, "switch decisions diverged");
+
+    // the same run produced the empirical-α inputs
+    assert!(stats.switches >= 1, "stream never reorganized");
+    assert!(stats.bytes_scanned > 0);
+    for w in &stats.windows {
+        assert!(w.bytes_written > 0, "rewrite persisted nothing");
+    }
+    assert!(stats.empirical_alpha().is_some(), "α not measurable");
+
+    // restart: the last committed generation recovers with the full table
+    let (store, recovered, report) =
+        TieredStore::open(&root, bundle.table.schema()).expect("reopen");
+    assert_eq!(report.generation, 1 + stats.snapshots_published);
+    assert_eq!(recovered.total_rows(), bundle.table.num_rows() as u64);
+    assert_eq!(
+        recovered.row_cover(),
+        (0..bundle.table.num_rows() as u32).collect::<Vec<_>>()
+    );
+    drop(store);
+    drop(recovered);
+    std::fs::remove_dir_all(&root).unwrap();
 }
 
 /// Randomized pin/publish interleavings never lose or duplicate partitions:

@@ -20,8 +20,17 @@
 //! two ledgers are *identical* — concurrency (and the disk tier) changes
 //! the serving plane, never the bookkeeping.
 //!
+//! Tiered scans travel through a fixed-capacity **buffer pool**
+//! (`--buffer-pool-mb N`, default 64): partition pages are fetched from
+//! disk on misses and served from memory on hits, the run reports
+//! hit/miss/eviction counters plus the cold-vs-warm α̂ split (α̂ from
+//! measured disk throughput vs. from pool-hit throughput), and the JSON
+//! report carries hit-rate and qps per cell so a capacity sweep plots
+//! qps-vs-capacity directly.
+//!
 //! Flags: `--quick` (reduced scale), `--tiered` (disk-tiered serving),
-//! `--json <path>` (machine-readable report for cross-PR trajectories).
+//! `--buffer-pool-mb <n>` (tiered page-cache capacity), `--json <path>`
+//! (machine-readable report for cross-PR trajectories).
 
 use oreo_bench::common::{
     default_config, json_path_arg, make_stream, write_json_report, Json, Scale,
@@ -68,12 +77,23 @@ fn cleanup(mode: &ServeMode) {
     }
 }
 
+/// Parse `--buffer-pool-mb <n>` (default 64 MiB).
+fn parse_pool_mb() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--buffer-pool-mb")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
 fn run_cell(
     bundle: &oreo_workload::DatasetBundle,
     stream: &QueryStream,
     workers: usize,
     background_reorg: bool,
     tiered: bool,
+    pool_mb: u64,
     seed: u64,
 ) -> (ThroughputReport, EngineStats) {
     let config = default_config(seed);
@@ -88,7 +108,8 @@ fn run_cell(
         EngineConfig::default()
             .with_workers(workers)
             .with_background_reorg(background_reorg)
-            .with_mode(mode.clone()),
+            .with_mode(mode.clone())
+            .with_buffer_pool_bytes(pool_mb * 1024 * 1024),
     );
     let started = Instant::now();
     for q in &stream.queries {
@@ -122,6 +143,14 @@ fn run_cell(
         bytes_scanned: stats.bytes_scanned,
         reorg_bytes_written: stats.reorg_bytes_written(),
         alpha_empirical: stats.empirical_alpha().unwrap_or(0.0),
+        alpha_cold: stats.alpha_cold().unwrap_or(0.0),
+        alpha_warm: stats.alpha_warm().unwrap_or(0.0),
+        pool_hits: stats.pool.map_or(0, |p| p.hits),
+        pool_misses: stats.pool.map_or(0, |p| p.misses),
+        pool_evictions: stats.pool.map_or(0, |p| p.evictions),
+        pool_hit_rate: stats.pool_hit_rate(),
+        io_cold_bytes: stats.io_cold_bytes,
+        io_cached_bytes: stats.io_cached_bytes,
         total_cost: stats.ledger.total(),
     };
     (report, stats)
@@ -130,6 +159,7 @@ fn run_cell(
 fn main() {
     let scale = Scale::from_args();
     let tiered = std::env::args().any(|a| a == "--tiered");
+    let pool_mb = parse_pool_mb();
     let json_path = json_path_arg();
     let seed = 3;
     let queries = serving_queries(scale);
@@ -140,7 +170,11 @@ fn main() {
         scale.label(),
         scale.rows(),
         queries,
-        if tiered { "tiered" } else { "memory" },
+        if tiered {
+            format!("tiered, {pool_mb} MiB buffer pool")
+        } else {
+            "memory".into()
+        },
         std::thread::available_parallelism().map_or(0, |n| n.get()),
     );
     println!();
@@ -161,7 +195,9 @@ fn main() {
         default_spec(&bundle, default_config(seed).partitions, seed),
         make_generator(Technique::QdTree, &bundle),
         default_config(seed),
-        EngineConfig::sequential_parity().with_mode(parity_mode.clone()),
+        EngineConfig::sequential_parity()
+            .with_mode(parity_mode.clone())
+            .with_buffer_pool_bytes(pool_mb * 1024 * 1024),
     );
     for q in &stream.queries {
         parity_engine.submit(q.clone());
@@ -191,7 +227,7 @@ fn main() {
     let mut alpha_cells: Vec<(usize, EngineStats)> = Vec::new();
     for &workers in &WORKER_COUNTS {
         for reorg in [true, false] {
-            let (report, stats) = run_cell(&bundle, &stream, workers, reorg, tiered, seed);
+            let (report, stats) = run_cell(&bundle, &stream, workers, reorg, tiered, pool_mb, seed);
             println!(
                 "[workers={} {}] {:>7} qps, p50 {:>6} µs, p99 {:>7} µs, {} switches, {} reorgs, \
                  mean Δ = {} queries / {}s",
@@ -236,6 +272,19 @@ fn main() {
                     "[workers={workers}] empirical α not measurable (no completed rewrite)"
                 ),
             }
+            let pool = stats.pool.unwrap_or_default();
+            println!(
+                "[workers={workers}]   buffer pool: {} hits / {} misses ({:.1}% hit rate), \
+                 {} evictions; scan bytes cold {} / cached {}; α̂ cold = {}, α̂ warm = {}",
+                pool.hits,
+                pool.misses,
+                stats.pool_hit_rate() * 100.0,
+                pool.evictions,
+                stats.io_cold_bytes,
+                stats.io_cached_bytes,
+                stats.alpha_cold().map_or("-".into(), |a| fmt_f(a, 1)),
+                stats.alpha_warm().map_or("-".into(), |a| fmt_f(a, 1)),
+            );
         }
         println!();
     }
@@ -300,6 +349,28 @@ fn main() {
                             Json::Null
                         },
                     ),
+                    (
+                        "alpha_cold",
+                        if r.alpha_cold > 0.0 {
+                            Json::from(r.alpha_cold)
+                        } else {
+                            Json::Null
+                        },
+                    ),
+                    (
+                        "alpha_warm",
+                        if r.alpha_warm > 0.0 {
+                            Json::from(r.alpha_warm)
+                        } else {
+                            Json::Null
+                        },
+                    ),
+                    ("pool_hits", Json::from(r.pool_hits)),
+                    ("pool_misses", Json::from(r.pool_misses)),
+                    ("pool_evictions", Json::from(r.pool_evictions)),
+                    ("pool_hit_rate", Json::from(r.pool_hit_rate)),
+                    ("io_cold_bytes", Json::from(r.io_cold_bytes)),
+                    ("io_cached_bytes", Json::from(r.io_cached_bytes)),
                     ("total_cost", Json::from(r.total_cost)),
                 ])
             })
@@ -310,6 +381,14 @@ fn main() {
             (
                 "serve_mode",
                 Json::from(if tiered { "tiered" } else { "memory" }),
+            ),
+            (
+                "buffer_pool_mb",
+                if tiered {
+                    Json::from(pool_mb)
+                } else {
+                    Json::Null
+                },
             ),
             ("dataset", Json::from(bundle.name)),
             ("rows", Json::from(scale.rows())),

@@ -75,6 +75,16 @@ impl CostLedger {
 /// * background reorganizations (bytes written + wall-clock of the aside
 ///   rewrite, fsync and commit included), the α numerator.
 ///
+/// Scans come in two temperatures. [`AlphaEstimator::record_scan`] records
+/// a **warm** sample — a memory-resident or buffer-pool-served scan.
+/// [`AlphaEstimator::record_cold_scan`] records a scan whose bytes came
+/// mostly from disk (buffer-pool misses). Table I's denominator is a
+/// *disk* full scan, so [`AlphaEstimator::alpha`] extrapolates from the
+/// cold throughput whenever cold samples exist and only falls back to the
+/// warm (memory-bandwidth-shaped) throughput without them;
+/// [`AlphaEstimator::alpha_cold`] / [`AlphaEstimator::alpha_warm`] expose
+/// the two readings separately.
+///
 /// # Example
 ///
 /// ```
@@ -91,9 +101,12 @@ impl CostLedger {
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct AlphaEstimator {
     table_bytes: u64,
-    scan_bytes: u64,
-    scan_seconds: f64,
-    scans: u64,
+    warm_bytes: u64,
+    warm_seconds: f64,
+    warm_scans: u64,
+    cold_bytes: u64,
+    cold_seconds: f64,
+    cold_scans: u64,
     reorg_bytes: u64,
     reorg_seconds: f64,
     reorgs: u64,
@@ -108,12 +121,21 @@ impl AlphaEstimator {
         }
     }
 
-    /// Record one served query: bytes of the partitions read (after
-    /// pruning) and the scan's wall-clock seconds.
+    /// Record one served *warm* query (memory-resident or buffer-pool-hit
+    /// scan): bytes of the partitions read (after pruning) and the scan's
+    /// wall-clock seconds.
     pub fn record_scan(&mut self, bytes: u64, seconds: f64) {
-        self.scan_bytes += bytes;
-        self.scan_seconds += seconds;
-        self.scans += 1;
+        self.warm_bytes += bytes;
+        self.warm_seconds += seconds;
+        self.warm_scans += 1;
+    }
+
+    /// Record one served *cold* query — a scan whose bytes came mostly
+    /// from disk (buffer-pool misses).
+    pub fn record_cold_scan(&mut self, bytes: u64, seconds: f64) {
+        self.cold_bytes += bytes;
+        self.cold_seconds += seconds;
+        self.cold_scans += 1;
     }
 
     /// Record one completed reorganization: bytes written by the aside
@@ -124,17 +146,34 @@ impl AlphaEstimator {
         self.reorgs += 1;
     }
 
-    /// Measured scan throughput in bytes/second (`None` until a scan with
-    /// nonzero bytes and time has been recorded).
+    /// Combined (warm + cold) scan throughput in bytes/second (`None` until
+    /// a scan with nonzero bytes and time has been recorded).
     pub fn scan_bytes_per_second(&self) -> Option<f64> {
-        (self.scan_bytes > 0 && self.scan_seconds > 0.0)
-            .then(|| self.scan_bytes as f64 / self.scan_seconds)
+        let bytes = self.warm_bytes + self.cold_bytes;
+        let seconds = self.warm_seconds + self.cold_seconds;
+        (bytes > 0 && seconds > 0.0).then(|| bytes as f64 / seconds)
     }
 
-    /// Extrapolated wall-clock of one *full* table scan at the measured
-    /// throughput — the α denominator.
+    /// Cold-scan throughput in bytes/second (`None` without cold samples).
+    pub fn cold_scan_bytes_per_second(&self) -> Option<f64> {
+        (self.cold_bytes > 0 && self.cold_seconds > 0.0)
+            .then(|| self.cold_bytes as f64 / self.cold_seconds)
+    }
+
+    /// Warm-scan throughput in bytes/second (`None` without warm samples).
+    pub fn warm_scan_bytes_per_second(&self) -> Option<f64> {
+        (self.warm_bytes > 0 && self.warm_seconds > 0.0)
+            .then(|| self.warm_bytes as f64 / self.warm_seconds)
+    }
+
+    /// Extrapolated wall-clock of one *full* table scan — the α
+    /// denominator. Uses the cold (disk) throughput when cold samples
+    /// exist; otherwise falls back to the combined throughput, which for a
+    /// memory-resident run means α̂ is extrapolated from memory bandwidth
+    /// (the pre-buffer-pool behavior).
     pub fn full_scan_seconds(&self) -> Option<f64> {
-        self.scan_bytes_per_second()
+        self.cold_scan_bytes_per_second()
+            .or_else(|| self.scan_bytes_per_second())
             .map(|bps| self.table_bytes as f64 / bps)
     }
 
@@ -150,10 +189,30 @@ impl AlphaEstimator {
     }
 
     /// The empirical α: mean reorganization time over extrapolated
-    /// full-scan time. `None` until both sides have samples.
+    /// full-scan time (cold-preferring, see
+    /// [`AlphaEstimator::full_scan_seconds`]). `None` until both sides
+    /// have samples.
     pub fn alpha(&self) -> Option<f64> {
         match (self.mean_reorg_seconds(), self.full_scan_seconds()) {
             (Some(reorg), Some(scan)) if scan > 0.0 => Some(reorg / scan),
+            _ => None,
+        }
+    }
+
+    /// α extrapolated from the cold (disk) scan throughput only — the
+    /// honest Table I reading. `None` without cold samples or rewrites.
+    pub fn alpha_cold(&self) -> Option<f64> {
+        match (self.mean_reorg_seconds(), self.cold_scan_bytes_per_second()) {
+            (Some(reorg), Some(bps)) if bps > 0.0 => Some(reorg / (self.table_bytes as f64 / bps)),
+            _ => None,
+        }
+    }
+
+    /// α extrapolated from the warm (memory/pool-hit) scan throughput —
+    /// the optimistic reading a fully cached working set would see.
+    pub fn alpha_warm(&self) -> Option<f64> {
+        match (self.mean_reorg_seconds(), self.warm_scan_bytes_per_second()) {
+            (Some(reorg), Some(bps)) if bps > 0.0 => Some(reorg / (self.table_bytes as f64 / bps)),
             _ => None,
         }
     }
@@ -163,19 +222,24 @@ impl AlphaEstimator {
         self.table_bytes
     }
 
-    /// Scans recorded.
+    /// Scans recorded (warm + cold).
     pub fn scans(&self) -> u64 {
-        self.scans
+        self.warm_scans + self.cold_scans
     }
 
-    /// Total bytes scanned across recorded queries.
+    /// Cold scans recorded.
+    pub fn cold_scans(&self) -> u64 {
+        self.cold_scans
+    }
+
+    /// Total bytes scanned across recorded queries (warm + cold).
     pub fn scan_bytes(&self) -> u64 {
-        self.scan_bytes
+        self.warm_bytes + self.cold_bytes
     }
 
-    /// Total scan wall-clock seconds across recorded queries.
+    /// Total scan wall-clock seconds across recorded queries (warm + cold).
     pub fn scan_seconds(&self) -> f64 {
-        self.scan_seconds
+        self.warm_seconds + self.cold_seconds
     }
 
     /// Reorganizations recorded.
@@ -228,6 +292,33 @@ mod tests {
         assert!((a.alpha().unwrap() - 100.0).abs() < 1e-9);
         assert_eq!(a.reorgs(), 2);
         assert_eq!(a.mean_reorg_bytes(), Some(2_000_000.0));
+    }
+
+    #[test]
+    fn cold_scans_dominate_alpha_when_present() {
+        let mut a = AlphaEstimator::new(1_000_000);
+        // warm: 1 GB/s; cold: 100 MB/s — a 10x temperature gap
+        a.record_scan(1_000_000, 0.001);
+        a.record_cold_scan(1_000_000, 0.01);
+        a.record_reorg(1_000_000, 1.0);
+        // denominator uses the cold throughput: full scan = 0.01 s → α = 100
+        assert!((a.alpha().unwrap() - 100.0).abs() < 1e-9);
+        assert!((a.alpha_cold().unwrap() - 100.0).abs() < 1e-9);
+        // the warm reading is 10x larger (scan looks 10x cheaper)
+        assert!((a.alpha_warm().unwrap() - 1000.0).abs() < 1e-9);
+        assert_eq!(a.scans(), 2);
+        assert_eq!(a.cold_scans(), 1);
+        assert_eq!(a.scan_bytes(), 2_000_000);
+    }
+
+    #[test]
+    fn warm_only_runs_fall_back_to_combined_throughput() {
+        let mut a = AlphaEstimator::new(1_000_000);
+        a.record_scan(500_000, 0.005); // 100 MB/s
+        a.record_reorg(1_000_000, 0.8);
+        assert!((a.alpha().unwrap() - 80.0).abs() < 1e-6);
+        assert_eq!(a.alpha_cold(), None, "no cold samples");
+        assert!((a.alpha_warm().unwrap() - 80.0).abs() < 1e-6);
     }
 
     #[test]

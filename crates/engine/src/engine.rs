@@ -21,7 +21,10 @@ use crate::reorg::{materialize, ReorgRequest, ReorgWindow};
 use oreo_core::{AlphaEstimator, CostLedger, Oreo, OreoConfig};
 use oreo_layout::{LayoutGenerator, SharedSpec};
 use oreo_query::Query;
-use oreo_storage::{LayoutId, SnapshotCell, SnapshotScan, Table, TableSnapshot, TieredStore};
+use oreo_storage::{
+    BufferPool, BufferPoolConfig, LayoutId, PoolStats, SnapshotCell, SnapshotScan, Table,
+    TableSnapshot, TieredStore,
+};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
@@ -93,6 +96,11 @@ pub struct EngineConfig {
     pub delay: DelaySemantics,
     /// Snapshot persistence: memory-only or disk-tiered.
     pub mode: ServeMode,
+    /// Buffer-pool capacity for [`ServeMode::Tiered`] scans, in bytes.
+    /// Tiered scans read partition pages through a pool of this size
+    /// (cold misses hit the disk, warm hits are served from memory);
+    /// ignored in [`ServeMode::Memory`].
+    pub buffer_pool_bytes: u64,
 }
 
 impl Default for EngineConfig {
@@ -104,6 +112,7 @@ impl Default for EngineConfig {
             background_reorg: true,
             delay: DelaySemantics::Measured,
             mode: ServeMode::Memory,
+            buffer_pool_bytes: oreo_storage::bufpool::DEFAULT_CAPACITY_BYTES,
         }
     }
 }
@@ -141,6 +150,12 @@ impl EngineConfig {
     /// Shorthand for [`ServeMode::Tiered`] rooted at `root`.
     pub fn tiered(self, root: impl Into<PathBuf>) -> Self {
         self.with_mode(ServeMode::Tiered { root: root.into() })
+    }
+
+    /// Sets the tiered-scan buffer-pool capacity in bytes.
+    pub fn with_buffer_pool_bytes(mut self, bytes: u64) -> Self {
+        self.buffer_pool_bytes = bytes;
+        self
     }
 
     fn effective_shards(&self) -> usize {
@@ -206,6 +221,8 @@ struct Shared {
     cell: SnapshotCell,
     /// The disk tier, in [`ServeMode::Tiered`] runs.
     tiered: Option<TieredStore>,
+    /// Page cache over the disk tier, in [`ServeMode::Tiered`] runs.
+    pool: Option<Arc<BufferPool>>,
     queue: ShardedQueue<Job>,
     config: EngineConfig,
     /// Queries whose bookkeeping completed (drives measured-Δ windows).
@@ -224,6 +241,20 @@ struct WorkerStats {
     rows_matched: u64,
     bytes_scanned: u64,
     scan_seconds: f64,
+    /// Scans whose bytes came mostly from disk (pool misses), and their
+    /// byte/second volumes — the cold α̂ calibration bucket.
+    cold_scans: u64,
+    cold_scan_bytes: u64,
+    cold_scan_seconds: f64,
+    /// Memory-resident or pool-hit scans — the warm bucket.
+    warm_scan_bytes: u64,
+    warm_scan_seconds: f64,
+    /// Page bytes read from disk / served from the pool across scans.
+    io_cold_bytes: u64,
+    io_cached_bytes: u64,
+    /// Pooled scans that failed (I/O or corruption) and fell back to the
+    /// in-memory snapshot scan.
+    scan_io_errors: u64,
 }
 
 /// Aggregate statistics returned by [`Engine::shutdown`].
@@ -256,13 +287,32 @@ pub struct EngineStats {
     pub rows_scanned: u64,
     /// Rows matched across all scans.
     pub rows_matched: u64,
-    /// Bytes of the partitions read across all scans (in-memory bytes in
-    /// [`ServeMode::Memory`], encoded on-disk bytes in
-    /// [`ServeMode::Tiered`]).
+    /// Bytes read across all scans: in-memory partition bytes in
+    /// [`ServeMode::Memory`], page bytes actually fetched through the
+    /// buffer pool in [`ServeMode::Tiered`].
     pub bytes_scanned: u64,
     /// Wall-clock seconds spent inside snapshot scans, summed across
     /// workers.
     pub scan_seconds: f64,
+    /// Cold-classified scans (bytes mostly from disk), with their byte and
+    /// wall-clock volumes — the disk-throughput calibration for α̂.
+    pub cold_scans: u64,
+    /// Bytes of cold-classified scans.
+    pub cold_scan_bytes: u64,
+    /// Wall-clock seconds of cold-classified scans.
+    pub cold_scan_seconds: f64,
+    /// Bytes of warm-classified scans (memory-resident or pool-served).
+    pub warm_scan_bytes: u64,
+    /// Wall-clock seconds of warm-classified scans.
+    pub warm_scan_seconds: f64,
+    /// Page bytes read from disk across all pooled scans.
+    pub io_cold_bytes: u64,
+    /// Page bytes served from the buffer pool across all pooled scans.
+    pub io_cached_bytes: u64,
+    /// Buffer-pool counters at shutdown (`None` in [`ServeMode::Memory`]).
+    pub pool: Option<PoolStats>,
+    /// Pooled scans that failed and fell back to the in-memory path.
+    pub scan_io_errors: u64,
     /// Bytes a full (unpruned) scan of the final snapshot reads — the α
     /// denominator's table size.
     pub table_bytes: u64,
@@ -313,17 +363,23 @@ impl EngineStats {
     }
 
     /// The run's measurements assembled into the cost-model accumulator:
-    /// every scan calibrates the substrate's read throughput, every
-    /// *persisted* rewrite contributes its bytes + wall-clock (build +
-    /// write). Memory-only rewrites (`bytes_written == 0`) are excluded —
-    /// Table I's α is the cost of the physical rewrite, and a build-only
-    /// ratio would silently under-report it by the whole disk persist.
+    /// every scan calibrates the substrate's read throughput — cold
+    /// (disk-dominated) and warm (memory/pool-served) scans feed separate
+    /// buckets, so α̂ extrapolates a full *disk* scan from the cold
+    /// throughput instead of from memory bandwidth — and every *persisted*
+    /// rewrite contributes its bytes + wall-clock (build + write).
+    /// Memory-only rewrites (`bytes_written == 0`) are excluded — Table
+    /// I's α is the cost of the physical rewrite, and a build-only ratio
+    /// would silently under-report it by the whole disk persist.
     pub fn alpha_estimator(&self) -> AlphaEstimator {
         let mut est = AlphaEstimator::new(self.table_bytes);
-        if self.queries > 0 {
-            // Workers aggregate; feed the totals as one sample per query on
-            // average — the estimator only uses the byte/second ratios.
-            est.record_scan(self.bytes_scanned, self.scan_seconds);
+        // Workers aggregate; feed each temperature bucket as one sample —
+        // the estimator only uses the byte/second ratios.
+        if self.cold_scan_seconds > 0.0 {
+            est.record_cold_scan(self.cold_scan_bytes, self.cold_scan_seconds);
+        }
+        if self.warm_scan_seconds > 0.0 {
+            est.record_scan(self.warm_scan_bytes, self.warm_scan_seconds);
         }
         for w in self.windows.iter().filter(|w| w.bytes_written > 0) {
             est.record_reorg(w.bytes_written, (w.build + w.write).as_secs_f64());
@@ -336,14 +392,36 @@ impl EngineStats {
     /// same query stream. `None` until the run has both persisted rewrites
     /// and non-pruned scans — in particular, always `None` in
     /// [`ServeMode::Memory`] (no physical rewrite to bill), and `None`
-    /// when any tiered publish failed mid-run: the degraded snapshots
-    /// serve with in-memory byte accounting, so the scan-throughput
+    /// when any tiered publish or pooled scan failed mid-run: the degraded
+    /// scans serve with in-memory byte accounting, so the scan-throughput
     /// calibration would mix units and the ratio would be wrong.
     pub fn empirical_alpha(&self) -> Option<f64> {
-        if !self.tiered_errors.is_empty() {
+        if !self.tiered_errors.is_empty() || self.scan_io_errors > 0 {
             return None;
         }
         self.alpha_estimator().alpha()
+    }
+
+    /// α̂ from the cold (disk) scan throughput only; `None` without cold
+    /// scans or under the degradations that void [`Self::empirical_alpha`].
+    pub fn alpha_cold(&self) -> Option<f64> {
+        if !self.tiered_errors.is_empty() || self.scan_io_errors > 0 {
+            return None;
+        }
+        self.alpha_estimator().alpha_cold()
+    }
+
+    /// α̂ from the warm (pool-hit / memory) scan throughput only.
+    pub fn alpha_warm(&self) -> Option<f64> {
+        if !self.tiered_errors.is_empty() || self.scan_io_errors > 0 {
+            return None;
+        }
+        self.alpha_estimator().alpha_warm()
+    }
+
+    /// Buffer-pool hit rate over the run (0.0 without a pool).
+    pub fn pool_hit_rate(&self) -> f64 {
+        self.pool.map_or(0.0, |p| p.hit_rate())
     }
 }
 
@@ -391,6 +469,12 @@ impl Engine {
                 Some(store)
             }
         };
+        let pool = tiered.as_ref().map(|_| {
+            Arc::new(BufferPool::new(BufferPoolConfig {
+                capacity_bytes: config.buffer_pool_bytes,
+                ..BufferPoolConfig::default()
+            }))
+        });
         let effective_shards = config.effective_shards();
         let background_reorg = config.background_reorg;
         let worker_count = config.workers.max(1);
@@ -398,6 +482,7 @@ impl Engine {
             core: Mutex::new(core),
             cell: SnapshotCell::new(initial_snapshot),
             tiered,
+            pool,
             queue: ShardedQueue::new(effective_shards),
             config,
             observed: AtomicU64::new(0),
@@ -453,6 +538,13 @@ impl Engine {
                             None => (Duration::ZERO, 0, 0),
                         };
                         shared2.cell.publish(snapshot);
+                        // The superseded generation's pages will never be
+                        // requested again under a new snapshot (keys carry
+                        // the generation number); drop them eagerly so
+                        // retired layouts stop occupying pool capacity.
+                        if let (Some(pool), true) = (&shared2.pool, generation > 1) {
+                            pool.invalidate_generation(generation - 1);
+                        }
                         shared2.snapshots_published.fetch_add(1, Ordering::Relaxed);
                         if shared2.config.delay == DelaySemantics::Measured {
                             shared2
@@ -557,6 +649,12 @@ impl Engine {
         self.shared.tiered.as_ref()
     }
 
+    /// The buffer pool tiered scans read through, in [`ServeMode::Tiered`]
+    /// runs.
+    pub fn pool(&self) -> Option<&Arc<BufferPool>> {
+        self.shared.pool.as_ref()
+    }
+
     /// Snapshot of the bookkeeping ledger.
     pub fn ledger(&self) -> CostLedger {
         *self.shared.core.lock().expect("core poisoned").ledger()
@@ -572,17 +670,22 @@ impl Engine {
     pub fn shutdown(mut self) -> EngineStats {
         self.shared.queue.close();
         let mut latencies = Vec::new();
-        let mut rows_scanned = 0;
-        let mut rows_matched = 0;
-        let mut bytes_scanned = 0;
-        let mut scan_seconds = 0.0;
+        let mut totals = WorkerStats::default();
         for handle in self.workers.drain(..) {
             let stats = handle.join().expect("worker panicked");
             latencies.extend(stats.latencies_us);
-            rows_scanned += stats.rows_scanned;
-            rows_matched += stats.rows_matched;
-            bytes_scanned += stats.bytes_scanned;
-            scan_seconds += stats.scan_seconds;
+            totals.rows_scanned += stats.rows_scanned;
+            totals.rows_matched += stats.rows_matched;
+            totals.bytes_scanned += stats.bytes_scanned;
+            totals.scan_seconds += stats.scan_seconds;
+            totals.cold_scans += stats.cold_scans;
+            totals.cold_scan_bytes += stats.cold_scan_bytes;
+            totals.cold_scan_seconds += stats.cold_scan_seconds;
+            totals.warm_scan_bytes += stats.warm_scan_bytes;
+            totals.warm_scan_seconds += stats.warm_scan_seconds;
+            totals.io_cold_bytes += stats.io_cold_bytes;
+            totals.io_cached_bytes += stats.io_cached_bytes;
+            totals.scan_io_errors += stats.scan_io_errors;
         }
         let (windows, tiered_errors) = match self.reorg.take() {
             Some(handle) => handle.join().expect("reorganizer panicked"),
@@ -607,10 +710,19 @@ impl Engine {
             snapshots_published: self.shared.snapshots_published.load(Ordering::Relaxed),
             windows,
             tiered_errors,
-            rows_scanned,
-            rows_matched,
-            bytes_scanned,
-            scan_seconds,
+            rows_scanned: totals.rows_scanned,
+            rows_matched: totals.rows_matched,
+            bytes_scanned: totals.bytes_scanned,
+            scan_seconds: totals.scan_seconds,
+            cold_scans: totals.cold_scans,
+            cold_scan_bytes: totals.cold_scan_bytes,
+            cold_scan_seconds: totals.cold_scan_seconds,
+            warm_scan_bytes: totals.warm_scan_bytes,
+            warm_scan_seconds: totals.warm_scan_seconds,
+            io_cold_bytes: totals.io_cold_bytes,
+            io_cached_bytes: totals.io_cached_bytes,
+            pool: self.shared.pool.as_ref().map(|p| p.stats()),
+            scan_io_errors: totals.scan_io_errors,
             table_bytes,
             mode: self.shared.config.mode.clone(),
             final_physical: core.physical_layout(),
@@ -636,16 +748,51 @@ fn worker_loop(
 ) -> WorkerStats {
     let mut stats = WorkerStats::default();
     while let Some(batch) = shared.queue.pop_batch(home, shared.config.batch) {
-        // Phase 1 — scans against a pinned snapshot, no locks held.
+        // Phase 1 — scans against a pinned snapshot, no locks held. In
+        // tiered serving the scan reads partition pages through the buffer
+        // pool (real disk I/O on misses); a pooled scan that fails degrades
+        // to the in-memory snapshot and is excluded from α̂ calibration.
         let mut scanned = Vec::with_capacity(batch.len());
         for job in batch {
             let picked = Instant::now();
             let snapshot = shared.cell.pin();
-            let scan = snapshot.scan(&job.query.predicate);
-            stats.scan_seconds += picked.elapsed().as_secs_f64();
+            let scan = match (&shared.pool, snapshot.generation()) {
+                (Some(pool), Some(_)) => match snapshot.scan_pooled(&job.query.predicate, pool) {
+                    Ok(scan) => scan,
+                    Err(e) => {
+                        stats.scan_io_errors += 1;
+                        // A persistent fault (unreadable file, bad disk)
+                        // would otherwise print once per queued query;
+                        // the full count lands in scan_io_errors.
+                        if stats.scan_io_errors == 1 {
+                            eprintln!(
+                                "oreo-worker-{home}: pooled scan failed: {e} (memory \
+                                 fallback; further errors counted silently)"
+                            );
+                        }
+                        snapshot.scan(&job.query.predicate)
+                    }
+                },
+                _ => snapshot.scan(&job.query.predicate),
+            };
+            let elapsed = picked.elapsed().as_secs_f64();
+            stats.scan_seconds += elapsed;
             stats.rows_scanned += scan.rows_read;
             stats.rows_matched += scan.matches.len() as u64;
             stats.bytes_scanned += scan.bytes_scanned;
+            stats.io_cold_bytes += scan.io_cold_bytes;
+            stats.io_cached_bytes += scan.io_cached_bytes;
+            // Temperature classification: a scan is "cold" when the
+            // majority of its page bytes came from disk. Memory scans
+            // (no pooled I/O at all) are warm by definition.
+            if scan.io_cold_bytes > 0 && scan.io_cold_bytes >= scan.io_cached_bytes {
+                stats.cold_scans += 1;
+                stats.cold_scan_bytes += scan.bytes_scanned;
+                stats.cold_scan_seconds += elapsed;
+            } else {
+                stats.warm_scan_bytes += scan.bytes_scanned;
+                stats.warm_scan_seconds += elapsed;
+            }
             scanned.push((job, picked, scan, snapshot.layout(), snapshot.epoch()));
         }
 

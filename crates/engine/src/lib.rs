@@ -21,7 +21,12 @@
 //! and the run reports an empirical α — the measured rewrite cost over the
 //! extrapolated full-scan cost ([`EngineStats::empirical_alpha`]) — from
 //! the same stream that measures Δ, restoring Table I and §VI-D5 to one
-//! experiment.
+//! experiment. Tiered scans read partition pages through a fixed-capacity
+//! [`oreo_storage::BufferPool`] ([`EngineConfig::buffer_pool_bytes`]):
+//! pool misses are real disk reads, hits are served from memory, and the
+//! cold/warm split feeds [`EngineStats::alpha_cold`] /
+//! [`EngineStats::alpha_warm`] so α̂ is extrapolated from measured *disk*
+//! throughput instead of memory bandwidth.
 //!
 //! Bookkeeping (D-UMTS counters, layout-manager admission, the cost ledger)
 //! is fed through the same [`oreo_core::Oreo`] code path as the sequential

@@ -119,15 +119,33 @@ pub struct ThroughputReport {
     pub mean_delta_queries: f64,
     /// Mean measured reorganization window Δ, in seconds.
     pub mean_delta_s: f64,
-    /// Bytes of the partitions read across all scans (in-memory bytes in
-    /// memory mode, encoded file bytes in tiered mode).
+    /// Bytes read across all scans (in-memory bytes in memory mode, page
+    /// bytes fetched through the buffer pool in tiered mode).
     pub bytes_scanned: u64,
     /// Bytes written by aside rewrites (0 in memory mode).
     pub reorg_bytes_written: u64,
     /// Empirical α measured on this run — mean aside-rewrite wall-clock
     /// over extrapolated full-scan wall-clock (0 when not measurable,
-    /// e.g. no completed rewrite).
+    /// e.g. no completed rewrite). Cold-preferring: extrapolated from
+    /// disk-throughput samples when the run produced any.
     pub alpha_empirical: f64,
+    /// α̂ from cold (disk) scan throughput only (0 when not measurable).
+    pub alpha_cold: f64,
+    /// α̂ from warm (pool-hit / memory) scan throughput (0 when not
+    /// measurable).
+    pub alpha_warm: f64,
+    /// Buffer-pool page hits over the run (0 in memory mode).
+    pub pool_hits: u64,
+    /// Buffer-pool page misses over the run (0 in memory mode).
+    pub pool_misses: u64,
+    /// Buffer-pool evictions over the run (0 in memory mode).
+    pub pool_evictions: u64,
+    /// Pool hits over total page requests, 0.0..=1.0 (0 in memory mode).
+    pub pool_hit_rate: f64,
+    /// Page bytes read from disk across scans (0 in memory mode).
+    pub io_cold_bytes: u64,
+    /// Page bytes served from the pool across scans (0 in memory mode).
+    pub io_cached_bytes: u64,
     /// Total ledger cost (query + reorg, logical units).
     pub total_cost: f64,
 }
@@ -148,6 +166,7 @@ impl ThroughputReport {
             "Δ(queries)",
             "Δ(s)",
             "α̂",
+            "hit%",
         ]
     }
 
@@ -167,6 +186,11 @@ impl ThroughputReport {
             fmt_f(self.mean_delta_s, 3),
             if self.alpha_empirical > 0.0 {
                 fmt_f(self.alpha_empirical, 1)
+            } else {
+                "-".into()
+            },
+            if self.pool_hits + self.pool_misses > 0 {
+                fmt_f(self.pool_hit_rate * 100.0, 1)
             } else {
                 "-".into()
             },
@@ -213,6 +237,11 @@ mod tests {
             bytes_scanned: 1 << 20,
             reorg_bytes_written: 1 << 19,
             alpha_empirical: 72.4,
+            alpha_cold: 72.4,
+            alpha_warm: 410.0,
+            pool_hits: 900,
+            pool_misses: 100,
+            pool_hit_rate: 0.9,
             ..Default::default()
         };
         assert_eq!(r.table_row().len(), ThroughputReport::table_headers().len());
@@ -221,9 +250,11 @@ mod tests {
         assert!(rendered.contains("tiered"));
         assert!(rendered.contains("2512"));
         assert!(rendered.contains("72.4"));
-        // an unmeasured α renders as "-"
+        assert!(rendered.contains("90.0"), "hit rate rendered as percent");
+        // an unmeasured α (and an absent pool) render as "-"
         let none = ThroughputReport::default();
         assert_eq!(*none.table_row().last().unwrap(), "-");
+        assert_eq!(none.table_row()[11], "-");
     }
 
     #[test]

@@ -1,0 +1,613 @@
+//! A fixed-capacity, page-granular buffer pool over the disk tier's
+//! partition files.
+//!
+//! Tiered serving reads column payloads from `gen-N/part-*.oreo` files in
+//! fixed-size **pages** — the block-transfer unit of the external-memory
+//! cost model. The pool caches pages keyed by `(generation, file, page)`
+//! with CLOCK (second-chance) eviction, so a warm working set is served
+//! from memory while cold reads hit the disk, and both are *counted*:
+//! hit/miss/eviction totals plus cold (disk) and cached (pool) byte
+//! volumes feed the cold-vs-warm α̂ split in the serving reports.
+//!
+//! Integration with generation pinning: every read takes the
+//! [`Generation`] pin itself, so a page can only be fetched while its
+//! backing directory is alive, and page keys carry the generation number,
+//! so pages of a superseded generation can never satisfy a read against
+//! its successor. [`BufferPool::invalidate_generation`] drops a retired
+//! generation's pages eagerly (the engine calls it at publish time) so a
+//! garbage-collected generation does not squat in the pool. Within one
+//! multi-page fetch the touched frames are **pinned** against eviction and
+//! unpinned when the range is assembled.
+
+use crate::error::{Result, StorageError};
+use crate::tiered::Generation;
+use bytes::Bytes;
+use std::collections::HashMap;
+use std::fs;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default page size: 64 KiB, a common buffer-manager block size.
+pub const DEFAULT_PAGE_BYTES: usize = 64 * 1024;
+
+/// Default pool capacity: 64 MiB.
+pub const DEFAULT_CAPACITY_BYTES: u64 = 64 * 1024 * 1024;
+
+/// Sizing knobs for a [`BufferPool`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BufferPoolConfig {
+    /// Total budget for resident pages, in bytes. The pool holds at most
+    /// `max(1, capacity_bytes / page_bytes)` pages.
+    pub capacity_bytes: u64,
+    /// Page size in bytes (the unit of I/O and eviction).
+    pub page_bytes: usize,
+}
+
+impl Default for BufferPoolConfig {
+    fn default() -> Self {
+        Self {
+            capacity_bytes: DEFAULT_CAPACITY_BYTES,
+            page_bytes: DEFAULT_PAGE_BYTES,
+        }
+    }
+}
+
+impl BufferPoolConfig {
+    /// A default-page-size pool with the given capacity in mebibytes.
+    pub fn with_capacity_mb(mb: u64) -> Self {
+        Self {
+            capacity_bytes: mb * 1024 * 1024,
+            ..Self::default()
+        }
+    }
+
+    fn max_pages(&self) -> usize {
+        ((self.capacity_bytes / self.page_bytes.max(1) as u64) as usize).max(1)
+    }
+}
+
+/// Identity of one cached page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct PageKey {
+    /// On-disk generation number the page belongs to.
+    generation: u64,
+    /// Partition-file index within the generation.
+    file: u32,
+    /// Page number within the file (`offset / page_bytes`).
+    page: u32,
+}
+
+#[derive(Debug)]
+struct Frame {
+    key: PageKey,
+    data: Bytes,
+    /// CLOCK reference bit: set on every hit, cleared by the sweep hand.
+    referenced: bool,
+    /// Readers currently assembling a range from this frame; pinned frames
+    /// are never evicted.
+    pins: u32,
+}
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    map: HashMap<PageKey, usize>,
+    frames: Vec<Option<Frame>>,
+    free: Vec<usize>,
+    hand: usize,
+}
+
+/// Counters snapshot of a [`BufferPool`] (monotone over the pool's life).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Page requests served from the pool.
+    pub hits: u64,
+    /// Page requests that went to disk.
+    pub misses: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+    /// Bytes read from disk (page-granular, the cold volume).
+    pub cold_bytes: u64,
+    /// Bytes served from resident pages (the cached volume).
+    pub cached_bytes: u64,
+    /// Pages invalidated because their generation was superseded.
+    pub invalidated: u64,
+    /// Pages resident when the snapshot was taken.
+    pub pages_resident: u64,
+    /// Configured capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Configured page size in bytes.
+    pub page_bytes: u64,
+}
+
+impl PoolStats {
+    /// Hits over total page requests (0.0 before any request).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Byte accounting of one ranged read through the pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReadStats {
+    /// Page bytes fetched from disk for this read.
+    pub cold_bytes: u64,
+    /// Page bytes served from the pool for this read.
+    pub cached_bytes: u64,
+}
+
+/// A fixed-capacity page cache over generation partition files with CLOCK
+/// eviction. See the [module docs](self) for the design.
+#[derive(Debug)]
+pub struct BufferPool {
+    config: BufferPoolConfig,
+    inner: Mutex<PoolInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    cold_bytes: AtomicU64,
+    cached_bytes: AtomicU64,
+    invalidated: AtomicU64,
+}
+
+impl BufferPool {
+    /// An empty pool with the given sizing.
+    pub fn new(config: BufferPoolConfig) -> Self {
+        assert!(config.page_bytes > 0, "page size must be positive");
+        Self {
+            config,
+            inner: Mutex::new(PoolInner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            cold_bytes: AtomicU64::new(0),
+            cached_bytes: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+        }
+    }
+
+    /// The pool's sizing configuration.
+    pub fn config(&self) -> BufferPoolConfig {
+        self.config
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> PoolStats {
+        let pages_resident = {
+            let inner = self.inner.lock().expect("buffer pool poisoned");
+            inner.map.len() as u64
+        };
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            cold_bytes: self.cold_bytes.load(Ordering::Relaxed),
+            cached_bytes: self.cached_bytes.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+            pages_resident,
+            capacity_bytes: self.config.capacity_bytes,
+            page_bytes: self.config.page_bytes as u64,
+        }
+    }
+
+    /// Read `offset..offset + len` of `path` (partition file `file` of the
+    /// pinned `generation`) through the pool, returning the assembled bytes
+    /// plus this read's cold/cached byte split.
+    ///
+    /// The generation pin in the signature is the safety contract: the
+    /// backing file cannot be garbage-collected while the caller holds it,
+    /// and the pages cached here are keyed under `generation.number()` so a
+    /// later generation can never be served stale bytes.
+    pub fn read_range(
+        &self,
+        generation: &Generation,
+        file: u32,
+        path: &Path,
+        offset: u64,
+        len: u64,
+    ) -> Result<(Vec<u8>, ReadStats)> {
+        let mut out = vec![0u8; len as usize];
+        let mut stats = ReadStats::default();
+        if len == 0 {
+            return Ok((out, stats));
+        }
+        let page_bytes = self.config.page_bytes as u64;
+        let first = offset / page_bytes;
+        let last = (offset + len - 1) / page_bytes;
+        let mut reader: Option<fs::File> = None;
+        let mut pinned: Vec<PageKey> = Vec::with_capacity((last - first + 1) as usize);
+        let result = (|| -> Result<()> {
+            for page in first..=last {
+                let key = PageKey {
+                    generation: generation.number(),
+                    file,
+                    page: u32::try_from(page).map_err(|_| {
+                        StorageError::Corrupt(format!("page index {page} exceeds u32"))
+                    })?,
+                };
+                // A retired generation's pages were invalidated at publish
+                // time; admitting new ones here would let them squat in
+                // the pool until process exit (nothing invalidates the
+                // generation a second time). In-flight readers of retired
+                // generations read through without caching.
+                let cacheable = !generation.is_retired();
+                let (data, cold, inserted) = self.fetch_page(key, path, &mut reader, cacheable)?;
+                if inserted {
+                    pinned.push(key);
+                }
+                if cold {
+                    stats.cold_bytes += data.len() as u64;
+                } else {
+                    stats.cached_bytes += data.len() as u64;
+                }
+                // Copy the overlap of this page into the output range.
+                let page_start = page * page_bytes;
+                let copy_from = offset.max(page_start);
+                let copy_to = (offset + len).min(page_start + data.len() as u64);
+                if copy_to <= copy_from {
+                    return Err(StorageError::Corrupt(format!(
+                        "page {page} of {} too short for range {offset}+{len}",
+                        path.display()
+                    )));
+                }
+                let src = &data[(copy_from - page_start) as usize..(copy_to - page_start) as usize];
+                out[(copy_from - offset) as usize..(copy_to - offset) as usize]
+                    .copy_from_slice(src);
+            }
+            Ok(())
+        })();
+        // Unpin everything we touched, whether or not assembly succeeded,
+        // then settle back under capacity (a single read larger than the
+        // whole pool over-commits transiently; at rest the bound holds).
+        {
+            let mut inner = self.inner.lock().expect("buffer pool poisoned");
+            for key in &pinned {
+                if let Some(&slot) = inner.map.get(key) {
+                    if let Some(frame) = inner.frames[slot].as_mut() {
+                        frame.pins = frame.pins.saturating_sub(1);
+                    }
+                }
+            }
+            self.enforce_capacity(&mut inner);
+        }
+        result?;
+        self.cold_bytes
+            .fetch_add(stats.cold_bytes, Ordering::Relaxed);
+        self.cached_bytes
+            .fetch_add(stats.cached_bytes, Ordering::Relaxed);
+        Ok((out, stats))
+    }
+
+    /// Fetch one page, through the cache or from disk. The returned flags
+    /// are `(data, cold, pinned)`: `cold` is `true` when the page came
+    /// from disk (a miss); `pinned` is `true` when the page sits in a
+    /// frame the caller must unpin (`cacheable: false` misses read
+    /// through without touching the cache).
+    fn fetch_page(
+        &self,
+        key: PageKey,
+        path: &Path,
+        reader: &mut Option<fs::File>,
+        cacheable: bool,
+    ) -> Result<(Bytes, bool, bool)> {
+        // Fast path: cache hit.
+        {
+            let mut inner = self.inner.lock().expect("buffer pool poisoned");
+            if let Some(&slot) = inner.map.get(&key) {
+                let frame = inner.frames[slot].as_mut().expect("mapped frame");
+                frame.referenced = true;
+                frame.pins += 1;
+                let data = frame.data.clone();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((data, false, true));
+            }
+        }
+        // Miss: read the page from disk without holding the pool lock.
+        let file = match reader {
+            Some(f) => f,
+            None => {
+                *reader = Some(fs::File::open(path)?);
+                reader.as_mut().expect("just set")
+            }
+        };
+        let page_bytes = self.config.page_bytes;
+        file.seek(SeekFrom::Start(key.page as u64 * page_bytes as u64))?;
+        let mut data = vec![0u8; page_bytes];
+        let mut filled = 0;
+        while filled < page_bytes {
+            let n = file.read(&mut data[filled..])?;
+            if n == 0 {
+                break;
+            }
+            filled += n;
+        }
+        data.truncate(filled);
+        let data = Bytes::from(data);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if !cacheable {
+            return Ok((data, true, false));
+        }
+
+        // Insert (another thread may have raced us; keep whichever landed).
+        let mut inner = self.inner.lock().expect("buffer pool poisoned");
+        if let Some(&slot) = inner.map.get(&key) {
+            let frame = inner.frames[slot].as_mut().expect("mapped frame");
+            frame.referenced = true;
+            frame.pins += 1;
+            return Ok((frame.data.clone(), true, true));
+        }
+        let slot = self.allocate_slot(&mut inner);
+        inner.map.insert(key, slot);
+        inner.frames[slot] = Some(Frame {
+            key,
+            data: data.clone(),
+            referenced: true,
+            pins: 1,
+        });
+        Ok((data, true, true))
+    }
+
+    /// Find a slot for a new frame: reuse a free slot, evict with CLOCK, or
+    /// (when every frame is pinned) grow past capacity rather than fail.
+    fn allocate_slot(&self, inner: &mut PoolInner) -> usize {
+        if let Some(slot) = inner.free.pop() {
+            return slot;
+        }
+        if inner.frames.len() < self.config.max_pages() {
+            inner.frames.push(None);
+            return inner.frames.len() - 1;
+        }
+        // CLOCK sweep: clear reference bits for one revolution; evict the
+        // first unreferenced, unpinned frame. Two revolutions guarantee a
+        // victim unless everything is pinned.
+        let n = inner.frames.len();
+        for _ in 0..2 * n {
+            let slot = inner.hand;
+            inner.hand = (inner.hand + 1) % n;
+            match inner.frames[slot].as_mut() {
+                Some(frame) if frame.pins > 0 => continue,
+                Some(frame) if frame.referenced => frame.referenced = false,
+                Some(frame) => {
+                    let key = frame.key;
+                    inner.map.remove(&key);
+                    inner.frames[slot] = None;
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    return slot;
+                }
+                None => return slot,
+            }
+        }
+        // Everything pinned (capacity smaller than one in-flight read):
+        // over-commit rather than deadlock.
+        inner.frames.push(None);
+        inner.frames.len() - 1
+    }
+
+    /// Evict unpinned frames until the resident count is back within the
+    /// configured page budget (CLOCK order). Frames pinned by concurrent
+    /// reads are skipped; they are re-checked by whichever read unpins
+    /// them last.
+    fn enforce_capacity(&self, inner: &mut PoolInner) {
+        let max = self.config.max_pages();
+        let n = inner.frames.len();
+        if n == 0 {
+            return;
+        }
+        let mut sweeps = 0;
+        while inner.map.len() > max && sweeps < 2 * n {
+            sweeps += 1;
+            let slot = inner.hand;
+            inner.hand = (inner.hand + 1) % n;
+            match inner.frames[slot].as_mut() {
+                Some(frame) if frame.pins > 0 => continue,
+                Some(frame) if frame.referenced => frame.referenced = false,
+                Some(frame) => {
+                    let key = frame.key;
+                    inner.map.remove(&key);
+                    inner.frames[slot] = None;
+                    inner.free.push(slot);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => continue,
+            }
+        }
+    }
+
+    /// Drop every cached page of `generation` (called when the generation
+    /// is superseded, so retired layouts stop occupying pool capacity and a
+    /// GC'd directory leaves nothing behind). Pages pinned by in-flight
+    /// reads stay alive through their readers' `Bytes` handles; the frames
+    /// themselves are removed.
+    pub fn invalidate_generation(&self, generation: u64) {
+        let mut inner = self.inner.lock().expect("buffer pool poisoned");
+        let victims: Vec<PageKey> = inner
+            .map
+            .keys()
+            .filter(|k| k.generation == generation)
+            .copied()
+            .collect();
+        for key in victims {
+            if let Some(slot) = inner.map.remove(&key) {
+                inner.frames[slot] = None;
+                inner.free.push(slot);
+                self.invalidated.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::TableSnapshot;
+    use crate::table::{Table, TableBuilder};
+    use crate::tiered::TieredStore;
+    use oreo_query::{Atom, ColumnType, Predicate, Scalar, Schema};
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    fn tmproot(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "oreo-bufpool-{tag}-{}-{}",
+            std::process::id(),
+            rand::random::<u32>()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn table(n: i64) -> Table {
+        let s = Arc::new(Schema::from_pairs([
+            ("v", ColumnType::Int),
+            ("tag", ColumnType::Str),
+        ]));
+        let mut b = TableBuilder::new(Arc::clone(&s));
+        for i in 0..n {
+            b.push_row(&[
+                Scalar::Int(i),
+                Scalar::from(["a", "b", "c", "d"][(i % 4) as usize]),
+            ]);
+        }
+        b.finish()
+    }
+
+    fn snap(t: &Table, k: usize) -> TableSnapshot {
+        let n = t.num_rows() as u32;
+        let per = n.div_ceil(k as u32).max(1);
+        let assignment: Vec<u32> = (0..n).map(|r| (r / per).min(k as u32 - 1)).collect();
+        TableSnapshot::build(t, &assignment, k, 0, "range")
+    }
+
+    fn between(lo: i64, hi: i64) -> Predicate {
+        Predicate::new(vec![Atom::Between {
+            col: 0,
+            low: Scalar::Int(lo),
+            high: Scalar::Int(hi),
+        }])
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted_and_rereads_hit() {
+        let t = table(2_000);
+        let root = tmproot("counters");
+        let mut s = snap(&t, 4);
+        let (store, _) = TieredStore::create(&root, &mut s).unwrap();
+        let pool = BufferPool::new(BufferPoolConfig {
+            capacity_bytes: 1 << 20,
+            page_bytes: 256,
+        });
+        let pred = between(0, 499);
+        let cold = s.scan_pooled(&pred, &pool).unwrap();
+        assert!(cold.io_cold_bytes > 0, "first scan reads from disk");
+        assert_eq!(cold.io_cached_bytes, 0);
+        let warm = s.scan_pooled(&pred, &pool).unwrap();
+        assert_eq!(warm.matches, cold.matches);
+        assert_eq!(warm.io_cold_bytes, 0, "second scan is fully cached");
+        assert!(warm.io_cached_bytes > 0);
+        let stats = pool.stats();
+        assert!(stats.hits > 0 && stats.misses > 0);
+        assert!(stats.hit_rate() > 0.0 && stats.hit_rate() < 1.0);
+        assert_eq!(stats.evictions, 0, "capacity fits the working set");
+        // matches agree with the in-memory scan
+        assert_eq!(cold.matches, s.scan(&pred).matches);
+        drop(store);
+        drop(s);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn tiny_capacity_evicts_with_clock_and_stays_correct() {
+        let t = table(4_000);
+        let root = tmproot("evict");
+        let mut s = snap(&t, 4);
+        let (store, _) = TieredStore::create(&root, &mut s).unwrap();
+        // 2 pages of 128 bytes: far smaller than any column payload, so
+        // every multi-page read over-commits, evicts, and re-reads.
+        let pool = BufferPool::new(BufferPoolConfig {
+            capacity_bytes: 256,
+            page_bytes: 128,
+        });
+        for lo in [0i64, 1_000, 2_000, 0, 1_000] {
+            let pred = between(lo, lo + 900);
+            let scan = s.scan_pooled(&pred, &pool).unwrap();
+            assert_eq!(scan.matches, s.scan(&pred).matches, "lo={lo}");
+        }
+        let stats = pool.stats();
+        assert!(stats.evictions > 0, "tiny pool must evict");
+        assert!(
+            stats.pages_resident * stats.page_bytes <= stats.capacity_bytes,
+            "pool settled back under capacity: {} pages of {}",
+            stats.pages_resident,
+            stats.page_bytes
+        );
+        drop(store);
+        drop(s);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// The satellite's GC-safety test: pages of a superseded generation are
+    /// never served to its successor (keys carry the generation number) and
+    /// are dropped from the pool when the generation is invalidated, so a
+    /// garbage-collected directory leaves nothing behind.
+    #[test]
+    fn superseded_generation_pages_never_serve_after_gc() {
+        let t = table(3_000);
+        let root = tmproot("gc");
+        let mut s1 = snap(&t, 2);
+        let (store, _) = TieredStore::create(&root, &mut s1).unwrap();
+        let pool = BufferPool::new(BufferPoolConfig {
+            capacity_bytes: 1 << 20,
+            page_bytes: 512,
+        });
+        let pred = between(100, 2_500);
+        let expected = s1.scan(&pred).matches;
+        let g1 = s1.scan_pooled(&pred, &pool).unwrap();
+        assert_eq!(g1.matches, expected);
+        assert!(pool.stats().pages_resident > 0);
+
+        // Publish generation 2 with a different partitioning, invalidate
+        // gen 1's pages (what the engine does at publish), then GC gen 1.
+        let mut s2 = snap(&t, 3);
+        let receipt = store.publish(&mut s2).unwrap();
+        pool.invalidate_generation(receipt.generation - 1);
+        assert_eq!(pool.stats().pages_resident, 0, "gen-1 pages dropped");
+        assert!(pool.stats().invalidated > 0);
+        // An in-flight reader of the retired generation reads through
+        // without re-admitting its pages — nothing invalidates gen 1 a
+        // second time, so re-admission would squat until process exit.
+        let retired = s1.scan_pooled(&pred, &pool).unwrap();
+        assert_eq!(retired.matches, expected);
+        assert!(retired.io_cold_bytes > 0);
+        assert_eq!(
+            pool.stats().pages_resident,
+            0,
+            "retired generation must not re-enter the pool"
+        );
+        drop(s1); // last pin: gen-000001 is garbage-collected
+        assert!(!root.join("gen-000001").exists());
+
+        // Scans against gen 2 must miss (cold) and return gen 2's truth —
+        // nothing cached under gen 1 can satisfy them.
+        let g2 = s2.scan_pooled(&pred, &pool).unwrap();
+        assert_eq!(g2.matches, expected);
+        assert!(g2.io_cold_bytes > 0, "gen 2 pages were not pre-cached");
+        drop(store);
+        drop(s2);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn memory_only_snapshot_refuses_pooled_scan() {
+        let t = table(100);
+        let s = snap(&t, 2);
+        let pool = BufferPool::new(BufferPoolConfig::default());
+        let err = s.scan_pooled(&between(0, 10), &pool).unwrap_err();
+        assert!(err.to_string().contains("no on-disk generation"), "{err}");
+    }
+}

@@ -9,7 +9,7 @@
 use crate::column::Column;
 use crate::column::DictBuilder;
 use crate::error::{Result, StorageError};
-use crate::format::{read_partition, write_partition};
+use crate::format::{read_partition, read_partition_footer, write_partition_with_meta};
 use crate::partition::{build_metadata, PartitionMetadata};
 use crate::table::Table;
 use oreo_query::{Query, Schema};
@@ -66,11 +66,12 @@ impl DiskStore {
             groups[bid as usize].push(row as u32);
         }
 
+        let metadata = build_metadata(table, assignment, k);
         let mut partitions = Vec::with_capacity(k);
-        for (bid, rows) in groups.iter().enumerate() {
+        for ((bid, rows), meta) in groups.iter().enumerate().zip(&metadata) {
             let part = table.project_rows(rows);
             let path = dir.join(format!("part-{bid:05}.oreo"));
-            let bytes = write_partition(&path, &part)?;
+            let (bytes, _footer) = write_partition_with_meta(&path, &part, meta)?;
             partitions.push(PartitionHandle {
                 path,
                 rows: rows.len() as u64,
@@ -78,7 +79,6 @@ impl DiskStore {
             });
         }
 
-        let metadata = build_metadata(table, assignment, k);
         Ok(Self {
             dir: dir.to_owned(),
             schema: Arc::clone(table.schema()),
@@ -90,36 +90,81 @@ impl DiskStore {
     /// Open an existing partition directory (one written by
     /// [`DiskStore::create`], or a [`crate::TieredStore`] generation
     /// directory, whose `part-*.oreo` files use the same format): list the
-    /// partition files in name order, decode each to rebuild row counts and
-    /// pruning metadata, and return a scannable store.
+    /// partition files, verify their indices are contiguous from zero, and
+    /// rebuild row counts plus pruning metadata **from the file footers** —
+    /// no column data is decoded, so opening a multi-GB store costs a few
+    /// footer reads. Legacy files without a footer fall back to a full
+    /// decode per file.
+    ///
+    /// A missing middle partition (say `part-00001.oreo` deleted out of
+    /// three) is a hole in the table, not a smaller table: it fails with
+    /// [`StorageError::Corrupt`] instead of silently serving partial data.
     pub fn open(dir: &Path, schema: &Arc<Schema>) -> Result<Self> {
-        let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
-            .flatten()
-            .map(|e| e.path())
-            .filter(|p| {
-                p.extension().is_some_and(|x| x == "oreo")
-                    && p.file_name()
-                        .and_then(|n| n.to_str())
-                        .is_some_and(|n| n.starts_with("part-"))
-            })
-            .collect();
-        paths.sort();
-        if paths.is_empty() {
+        let mut indexed: Vec<(usize, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(dir)?.flatten() {
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(stem) = name
+                .strip_prefix("part-")
+                .and_then(|n| n.strip_suffix(".oreo"))
+            else {
+                continue;
+            };
+            let index: usize = stem.parse().map_err(|_| {
+                StorageError::Corrupt(format!("unexpected partition file name {name}"))
+            })?;
+            indexed.push((index, path));
+        }
+        indexed.sort_unstable_by_key(|&(index, _)| index);
+        if indexed.is_empty() {
             return Err(StorageError::Corrupt(format!(
                 "no partition files under {}",
                 dir.display()
             )));
         }
-        let mut partitions = Vec::with_capacity(paths.len());
-        let mut metadata = Vec::with_capacity(paths.len());
-        for path in paths {
-            let (table, meta, bytes) = open_partition_file(&path, schema)?;
-            metadata.push(meta);
-            partitions.push(PartitionHandle {
-                bytes,
-                path,
-                rows: table.num_rows() as u64,
-            });
+        for (expected, (index, path)) in indexed.iter().enumerate() {
+            if *index != expected {
+                return Err(StorageError::Corrupt(format!(
+                    "partition files not contiguous: expected part-{expected:05}.oreo, \
+                     found {}",
+                    path.display()
+                )));
+            }
+        }
+        let mut partitions = Vec::with_capacity(indexed.len());
+        let mut metadata = Vec::with_capacity(indexed.len());
+        for (_, path) in indexed {
+            match read_partition_footer(&path)? {
+                Some(footer) => {
+                    if footer.meta.columns.len() != schema.len() {
+                        return Err(StorageError::Corrupt(format!(
+                            "{} covers {} columns, schema expects {}",
+                            path.display(),
+                            footer.meta.columns.len(),
+                            schema.len()
+                        )));
+                    }
+                    let bytes = fs::metadata(&path)?.len();
+                    metadata.push(footer.meta);
+                    partitions.push(PartitionHandle {
+                        bytes,
+                        path,
+                        rows: footer.nrows,
+                    });
+                }
+                None => {
+                    // Legacy (version-1) file: no footer, full decode.
+                    let (table, meta, bytes) = open_partition_file(&path, schema)?;
+                    metadata.push(meta);
+                    partitions.push(PartitionHandle {
+                        bytes,
+                        path,
+                        rows: table.num_rows() as u64,
+                    });
+                }
+            }
         }
         Ok(Self {
             dir: dir.to_owned(),
@@ -433,6 +478,86 @@ mod tests {
         assert!(err.to_string().contains("BID 7"));
         store.destroy().unwrap();
         let _ = fs::remove_dir_all(dir2);
+    }
+
+    /// The headline-satellite regression test: opening a written store
+    /// rebuilds row counts and pruning metadata from file footers alone —
+    /// zero partition decodes — and the store still scans and prunes.
+    #[test]
+    fn open_is_footer_only_no_decode() {
+        let t = table(2_000);
+        let assignment: Vec<u32> = (0..2_000).map(|i| (i / 500) as u32).collect();
+        let dir = tmpdir("footeropen");
+        let store = DiskStore::create(&dir, &t, &assignment, 4).unwrap();
+        let total_bytes = store.total_bytes();
+        drop(store);
+
+        let before = crate::format::partition_decodes();
+        let reopened = DiskStore::open(&dir, t.schema()).unwrap();
+        assert_eq!(
+            crate::format::partition_decodes(),
+            before,
+            "open must not decode any partition payload"
+        );
+        assert_eq!(reopened.num_partitions(), 4);
+        assert_eq!(reopened.total_rows(), 2_000);
+        assert_eq!(reopened.total_bytes(), total_bytes);
+        // recovered metadata prunes exactly like freshly built metadata
+        let q = QueryBuilder::new(t.schema()).between("ts", 0, 499).build();
+        let stats = reopened.scan(&q).unwrap();
+        assert_eq!(stats.partitions_read, 1);
+        assert_eq!(stats.partitions_skipped, 3);
+        assert_eq!(stats.rows_matched, 500);
+        reopened.destroy().unwrap();
+    }
+
+    /// A deleted middle partition is a hole in the table, not a smaller
+    /// table: `open` must refuse instead of silently serving partial data.
+    #[test]
+    fn open_detects_missing_middle_partition() {
+        let t = table(900);
+        let assignment: Vec<u32> = (0..900).map(|i| (i / 300) as u32).collect();
+        let dir = tmpdir("hole");
+        let store = DiskStore::create(&dir, &t, &assignment, 3).unwrap();
+        drop(store);
+        fs::remove_file(dir.join("part-00001.oreo")).unwrap();
+        let err = DiskStore::open(&dir, t.schema()).unwrap_err();
+        assert!(
+            err.to_string().contains("not contiguous"),
+            "expected contiguity error, got: {err}"
+        );
+        // an unparseable partition file name is rejected too
+        fs::write(dir.join("part-bogus.oreo"), b"junk").unwrap();
+        let err = DiskStore::open(&dir, t.schema()).unwrap_err();
+        assert!(err.to_string().contains("unexpected partition file name"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Seed stores written before the footer existed (format v1) still
+    /// open — via the legacy full-decode path.
+    #[test]
+    fn open_legacy_v1_store_falls_back_to_decode() {
+        let t = table(600);
+        let dir = tmpdir("v1compat");
+        // fabricate a 2-partition v1 store by hand
+        for (bid, range) in [(0u32, 0..300u32), (1u32, 300..600u32)] {
+            let rows: Vec<u32> = range.collect();
+            let part = t.project_rows(&rows);
+            let bytes = crate::format::encode_partition_v1(&part);
+            fs::write(dir.join(format!("part-{bid:05}.oreo")), &bytes).unwrap();
+        }
+        let before = crate::format::partition_decodes();
+        let store = DiskStore::open(&dir, t.schema()).unwrap();
+        assert!(
+            crate::format::partition_decodes() > before,
+            "v1 files require the decode fallback"
+        );
+        assert_eq!(store.total_rows(), 600);
+        let q = QueryBuilder::new(t.schema()).between("ts", 0, 299).build();
+        let stats = store.scan(&q).unwrap();
+        assert_eq!(stats.partitions_read, 1);
+        assert_eq!(stats.rows_matched, 300);
+        store.destroy().unwrap();
     }
 
     #[test]

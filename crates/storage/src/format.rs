@@ -6,37 +6,206 @@
 //! | nrows u64 LE                                                 |
 //! | column 0: tag u8 | payload_len u64 LE | payload bytes        |
 //! | column 1: ...                                                |
-//! | fnv1a-64 checksum of everything above (u64 LE)               |
+//! | footer:  ncols u16 LE | nrows u64 LE                         |
+//! |   per column: tag u8 | offset u64 | len u64 | fnv1a u64      |
+//! |   pruning metadata (see [`crate::partition::encode_metadata`])|
+//! | footer fnv1a u64 | footer offset u64 | "OREOFTR2" (8B)       |
 //! +--------------------------------------------------------------+
 //! ```
 //!
 //! Column payloads use the compressed encodings from [`crate::encode`]:
 //! int/timestamp → delta-zigzag varints; float → raw LE; string → dictionary
 //! (string list) + RLE-or-bitpacked codes.
+//!
+//! Version 2 (above) ends in a self-describing **footer**: per-column
+//! payload extents with their own checksums — the *page index* pooled scans
+//! use to fetch only the byte ranges a predicate touches — plus the
+//! partition's pruning metadata, so [`crate::DiskStore::open`] can reopen a
+//! store from a few footer bytes per file instead of decoding every
+//! partition. Version 1 files (no footer, one whole-file checksum) are
+//! still readable; [`read_partition_footer`] reports them as `None` and
+//! callers fall back to a full decode.
 
 use crate::column::{Column, DictColumn};
 use crate::encode::*;
 use crate::error::{Result, StorageError};
+use crate::partition::{build_metadata, decode_metadata, encode_metadata, PartitionMetadata};
 use crate::table::Table;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use oreo_query::Schema;
 use std::fs;
-use std::io::{Read, Write};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"OREOPART";
-const VERSION: u16 = 1;
+const VERSION_V1: u16 = 1;
+const VERSION: u16 = 2;
+const FOOTER_MAGIC: &[u8; 8] = b"OREOFTR2";
+/// Fixed-size header: magic + version + ncols + nrows.
+const HEADER_LEN: usize = 8 + 2 + 2 + 8;
+/// Fixed-size tail: footer checksum + footer offset + footer magic.
+const TAIL_LEN: usize = 8 + 8 + 8;
+/// Per-column in-stream prefix: tag byte + payload length.
+const COL_PREFIX: u64 = 1 + 8;
 
 const TAG_INT: u8 = 0;
 const TAG_FLOAT: u8 = 1;
 const TAG_STR: u8 = 2;
 
-/// Serialize a table (one partition's rows) into the on-disk byte format.
-pub fn encode_partition(table: &Table) -> Bytes {
-    let mut buf = BytesMut::with_capacity(table.memory_bytes() / 2 + 64);
+/// Count of partition-payload decodes (full or projected) performed by this
+/// process. Diagnostic only: restart-path tests assert that opening a
+/// footer-indexed store performs **zero** decodes — the fix for the
+/// decode-everything-on-open behavior flagged in the ROADMAP.
+static DECODES: AtomicU64 = AtomicU64::new(0);
+
+/// Total partition-payload decodes ([`decode_partition`] +
+/// [`decode_partition_projected`]) since process start.
+pub fn partition_decodes() -> u64 {
+    DECODES.load(Ordering::Relaxed)
+}
+
+/// Location of one column's encoded payload inside a partition file: the
+/// page-index entry a pooled scan uses to fetch only the byte ranges (and
+/// hence pages) its predicate touches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ColumnExtent {
+    /// Column encoding tag.
+    pub tag: u8,
+    /// Absolute byte offset of the payload in the file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// FNV-1a checksum of the payload bytes.
+    pub checksum: u64,
+}
+
+impl ColumnExtent {
+    /// Decode this column from its payload bytes (as fetched from
+    /// `offset..offset + len` of the file), verifying length, checksum, and
+    /// the expected row count. `col` only labels errors.
+    pub fn decode(&self, payload: &[u8], nrows: usize, col: usize) -> Result<Column> {
+        if payload.len() as u64 != self.len {
+            return Err(StorageError::Corrupt(format!(
+                "column {col}: fetched {} payload bytes, extent says {}",
+                payload.len(),
+                self.len
+            )));
+        }
+        if fnv1a(payload) != self.checksum {
+            return Err(StorageError::Corrupt(format!(
+                "column {col}: payload checksum mismatch"
+            )));
+        }
+        let mut buf = payload;
+        let column = decode_column_payload(self.tag, &mut buf, col)?;
+        if column.len() != nrows {
+            return Err(StorageError::Corrupt(format!(
+                "column {col} has {} rows, expected {nrows}",
+                column.len()
+            )));
+        }
+        Ok(column)
+    }
+}
+
+/// The self-describing tail of a version-2 partition file: row count,
+/// per-column payload extents (the page index), and the pruning metadata
+/// built at write time — everything a store needs to reopen without
+/// touching column data.
+#[derive(Clone, Debug)]
+pub struct PartitionFooter {
+    /// Rows in the partition.
+    pub nrows: u64,
+    /// Per-column payload extents, indexed by column id.
+    pub columns: Vec<ColumnExtent>,
+    /// The partition's pruning metadata (ranges + distinct sets).
+    pub meta: PartitionMetadata,
+}
+
+/// Serialize a table (one partition's rows) with explicit pruning metadata
+/// (the footer copy), returning the encoded bytes and the footer that was
+/// embedded — the writer's page index, so callers need not re-read it.
+pub fn encode_partition_with_meta(
+    table: &Table,
+    meta: &PartitionMetadata,
+) -> (Bytes, PartitionFooter) {
+    let mut buf = BytesMut::with_capacity(table.memory_bytes() / 2 + 256);
     buf.put_slice(MAGIC);
     buf.put_u16_le(VERSION);
+    buf.put_u16_le(table.num_columns() as u16);
+    buf.put_u64_le(table.num_rows() as u64);
+    let mut extents = Vec::with_capacity(table.num_columns());
+    for column in table.columns() {
+        let mut payload = BytesMut::new();
+        let tag = match column {
+            Column::Int(values) => {
+                encode_i64_block(&mut payload, values);
+                TAG_INT
+            }
+            Column::Float(values) => {
+                encode_f64_block(&mut payload, values);
+                TAG_FLOAT
+            }
+            Column::Str(dict) => {
+                encode_str_list(&mut payload, dict.dict());
+                encode_u32_block(&mut payload, dict.codes());
+                TAG_STR
+            }
+        };
+        buf.put_u8(tag);
+        buf.put_u64_le(payload.len() as u64);
+        extents.push(ColumnExtent {
+            tag,
+            offset: buf.len() as u64,
+            len: payload.len() as u64,
+            checksum: fnv1a(&payload),
+        });
+        buf.put_slice(&payload);
+    }
+    let footer_off = buf.len() as u64;
+    let mut footer = BytesMut::new();
+    footer.put_u16_le(table.num_columns() as u16);
+    footer.put_u64_le(table.num_rows() as u64);
+    for e in &extents {
+        footer.put_u8(e.tag);
+        footer.put_u64_le(e.offset);
+        footer.put_u64_le(e.len);
+        footer.put_u64_le(e.checksum);
+    }
+    encode_metadata(&mut footer, meta);
+    let footer_sum = fnv1a(&footer);
+    buf.put_slice(&footer);
+    buf.put_u64_le(footer_sum);
+    buf.put_u64_le(footer_off);
+    buf.put_slice(FOOTER_MAGIC);
+    (
+        buf.freeze(),
+        PartitionFooter {
+            nrows: table.num_rows() as u64,
+            columns: extents,
+            meta: meta.clone(),
+        },
+    )
+}
+
+/// Serialize a table (one partition's rows) into the on-disk byte format,
+/// building the footer's pruning metadata from the rows themselves.
+pub fn encode_partition(table: &Table) -> Bytes {
+    let meta = build_metadata(table, &vec![0; table.num_rows()], 1)
+        .pop()
+        .expect("k=1 metadata");
+    encode_partition_with_meta(table, &meta).0
+}
+
+/// Serialize in the legacy version-1 layout (no footer, one whole-file
+/// checksum). Kept only so compatibility tests can fabricate files written
+/// before the page index existed; new files are always version 2.
+pub fn encode_partition_v1(table: &Table) -> Bytes {
+    let mut buf = BytesMut::with_capacity(table.memory_bytes() / 2 + 64);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION_V1);
     buf.put_u16_le(table.num_columns() as u16);
     buf.put_u64_le(table.num_rows() as u64);
     for column in table.columns() {
@@ -65,10 +234,185 @@ pub fn encode_partition(table: &Table) -> Bytes {
     buf.freeze()
 }
 
-/// Parse bytes produced by [`encode_partition`] back into a table.
-/// The schema is supplied externally (it is store-level, not per-file).
+/// Whether `bytes` carries a version-2 footer (trailing footer magic).
+fn has_footer(bytes: &[u8]) -> bool {
+    bytes.len() >= HEADER_LEN + TAIL_LEN && &bytes[bytes.len() - 8..] == FOOTER_MAGIC
+}
+
+/// Decode the shared per-column payload encoding. Advances `buf` past the
+/// payload it consumes; `col` only labels errors.
+fn decode_column_payload(tag: u8, buf: &mut &[u8], col: usize) -> Result<Column> {
+    match tag {
+        TAG_INT => Ok(Column::Int(decode_i64_block(buf)?)),
+        TAG_FLOAT => Ok(Column::Float(decode_f64_block(buf)?)),
+        TAG_STR => {
+            let dict = decode_str_list(buf)?;
+            let codes = decode_u32_block(buf)?;
+            if codes.iter().any(|&c| c as usize >= dict.len()) {
+                return Err(StorageError::Corrupt(format!(
+                    "dictionary code out of range in column {col}"
+                )));
+            }
+            Ok(Column::Str(DictColumn::from_parts(dict, codes)))
+        }
+        other => Err(StorageError::Corrupt(format!("unknown column tag {other}"))),
+    }
+}
+
+/// Parse and checksum-verify a footer body (`bytes[footer_off..tail]`).
+/// `footer_off` bounds the payload extents: every extent must lie between
+/// the header and the footer.
+fn parse_footer_body(body: &[u8], footer_off: u64) -> Result<PartitionFooter> {
+    let mut buf = body;
+    if buf.remaining() < 2 + 8 {
+        return Err(StorageError::Corrupt("footer shorter than counts".into()));
+    }
+    let ncols = buf.get_u16_le() as usize;
+    let nrows = buf.get_u64_le();
+    let mut columns = Vec::with_capacity(ncols);
+    for col in 0..ncols {
+        if buf.remaining() < 1 + 8 + 8 + 8 {
+            return Err(StorageError::Corrupt(format!(
+                "footer truncated at column {col}"
+            )));
+        }
+        let extent = ColumnExtent {
+            tag: buf.get_u8(),
+            offset: buf.get_u64_le(),
+            len: buf.get_u64_le(),
+            checksum: buf.get_u64_le(),
+        };
+        let end = extent
+            .offset
+            .checked_add(extent.len)
+            .ok_or_else(|| StorageError::Corrupt("extent overflows".into()))?;
+        if extent.offset < HEADER_LEN as u64 + COL_PREFIX || end > footer_off {
+            return Err(StorageError::Corrupt(format!(
+                "column {col} extent {}..{end} outside data region",
+                extent.offset
+            )));
+        }
+        columns.push(extent);
+    }
+    let meta = decode_metadata(&mut buf)?;
+    if buf.has_remaining() {
+        return Err(StorageError::Corrupt("trailing bytes after footer".into()));
+    }
+    if meta.columns.len() != ncols {
+        return Err(StorageError::Corrupt(format!(
+            "footer metadata covers {} columns, directory has {ncols}",
+            meta.columns.len()
+        )));
+    }
+    Ok(PartitionFooter {
+        nrows,
+        columns,
+        meta,
+    })
+}
+
+/// Locate, checksum-verify, and parse the footer of an in-memory v2 file.
+fn parse_footer(bytes: &[u8]) -> Result<(PartitionFooter, u64)> {
+    debug_assert!(has_footer(bytes));
+    let tail = &bytes[bytes.len() - TAIL_LEN..];
+    let stored_sum = u64::from_le_bytes(tail[0..8].try_into().expect("8 bytes"));
+    let footer_off = u64::from_le_bytes(tail[8..16].try_into().expect("8 bytes"));
+    if footer_off < HEADER_LEN as u64 || footer_off > (bytes.len() - TAIL_LEN) as u64 {
+        return Err(StorageError::Corrupt(format!(
+            "footer offset {footer_off} out of range"
+        )));
+    }
+    let body = &bytes[footer_off as usize..bytes.len() - TAIL_LEN];
+    if fnv1a(body) != stored_sum {
+        return Err(StorageError::Corrupt("footer checksum mismatch".into()));
+    }
+    Ok((parse_footer_body(body, footer_off)?, footer_off))
+}
+
+/// Validate a v2 file's header and in-stream column prefixes against its
+/// parsed footer: header fields must agree with the footer's, extents must
+/// tile the data region exactly, and every in-stream `tag | len` prefix
+/// must match its extent — so any byte of the file is covered by a
+/// checksum or a cross-check and single-byte corruption never passes.
+fn check_v2_layout(
+    schema: &Arc<Schema>,
+    bytes: &[u8],
+    footer: &PartitionFooter,
+    footer_off: u64,
+) -> Result<()> {
+    let mut buf = &bytes[..HEADER_LEN];
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(StorageError::Corrupt("bad magic".into()));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(StorageError::Corrupt(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let ncols = buf.get_u16_le() as usize;
+    let nrows = buf.get_u64_le();
+    if ncols != schema.len() {
+        return Err(StorageError::Corrupt(format!(
+            "file has {ncols} columns, schema expects {}",
+            schema.len()
+        )));
+    }
+    if ncols != footer.columns.len() || nrows != footer.nrows {
+        return Err(StorageError::Corrupt("header disagrees with footer".into()));
+    }
+    let mut cursor = HEADER_LEN as u64;
+    for (col, extent) in footer.columns.iter().enumerate() {
+        if extent.offset != cursor + COL_PREFIX {
+            return Err(StorageError::Corrupt(format!(
+                "column {col} payload at {}, expected {}",
+                extent.offset,
+                cursor + COL_PREFIX
+            )));
+        }
+        let prefix = &bytes[cursor as usize..extent.offset as usize];
+        let tag = prefix[0];
+        let len = u64::from_le_bytes(prefix[1..9].try_into().expect("8 bytes"));
+        if tag != extent.tag || len != extent.len {
+            return Err(StorageError::Corrupt(format!(
+                "column {col} in-stream prefix disagrees with footer"
+            )));
+        }
+        cursor = extent.offset + extent.len;
+    }
+    if cursor != footer_off {
+        return Err(StorageError::Corrupt(
+            "data region does not end at footer".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Parse bytes produced by [`encode_partition`] (or the legacy v1 layout)
+/// back into a table. The schema is supplied externally (it is store-level,
+/// not per-file).
 pub fn decode_partition(schema: &Arc<Schema>, bytes: &[u8]) -> Result<Table> {
-    if bytes.len() < MAGIC.len() + 2 + 2 + 8 + 8 {
+    DECODES.fetch_add(1, Ordering::Relaxed);
+    if has_footer(bytes) {
+        let (footer, footer_off) = parse_footer(bytes)?;
+        check_v2_layout(schema, bytes, &footer, footer_off)?;
+        let nrows = footer.nrows as usize;
+        let mut columns = Vec::with_capacity(footer.columns.len());
+        for (col, extent) in footer.columns.iter().enumerate() {
+            let payload = &bytes[extent.offset as usize..(extent.offset + extent.len) as usize];
+            columns.push(extent.decode(payload, nrows, col)?);
+        }
+        Ok(Table::new(Arc::clone(schema), columns))
+    } else {
+        decode_partition_v1(schema, bytes)
+    }
+}
+
+/// Legacy whole-file-checksum decode path for version-1 files.
+fn decode_partition_v1(schema: &Arc<Schema>, bytes: &[u8]) -> Result<Table> {
+    if bytes.len() < HEADER_LEN + 8 {
         return Err(StorageError::Corrupt("file shorter than header".into()));
     }
     let (body, tail) = bytes.split_at(bytes.len() - 8);
@@ -84,7 +428,7 @@ pub fn decode_partition(schema: &Arc<Schema>, bytes: &[u8]) -> Result<Table> {
         return Err(StorageError::Corrupt("bad magic".into()));
     }
     let version = buf.get_u16_le();
-    if version != VERSION {
+    if version != VERSION_V1 {
         return Err(StorageError::Corrupt(format!(
             "unsupported version {version}"
         )));
@@ -113,21 +457,7 @@ pub fn decode_partition(schema: &Arc<Schema>, bytes: &[u8]) -> Result<Table> {
             )));
         }
         let mut payload = &buf[..len];
-        let column = match tag {
-            TAG_INT => Column::Int(decode_i64_block(&mut payload)?),
-            TAG_FLOAT => Column::Float(decode_f64_block(&mut payload)?),
-            TAG_STR => {
-                let dict = decode_str_list(&mut payload)?;
-                let codes = decode_u32_block(&mut payload)?;
-                if codes.iter().any(|&c| c as usize >= dict.len()) {
-                    return Err(StorageError::Corrupt(format!(
-                        "dictionary code out of range in column {col}"
-                    )));
-                }
-                Column::Str(DictColumn::from_parts(dict, codes))
-            }
-            other => return Err(StorageError::Corrupt(format!("unknown column tag {other}"))),
-        };
+        let column = decode_column_payload(tag, &mut payload, col)?;
         if column.len() != nrows {
             return Err(StorageError::Corrupt(format!(
                 "column {col} has {} rows, header says {nrows}",
@@ -140,11 +470,14 @@ pub fn decode_partition(schema: &Arc<Schema>, bytes: &[u8]) -> Result<Table> {
     Ok(Table::new(Arc::clone(schema), columns))
 }
 
-/// Write a partition file (buffered, durably synced) and return the number
-/// of bytes written. Reorganization in real systems persists its output;
-/// the fsync is part of the physical reorganization cost Table I measures.
-pub fn write_partition(path: &Path, table: &Table) -> Result<u64> {
-    let bytes = encode_partition(table);
+/// Write a partition file (buffered, durably synced) with explicit footer
+/// metadata, returning the bytes written and the embedded footer.
+pub fn write_partition_with_meta(
+    path: &Path,
+    table: &Table,
+    meta: &PartitionMetadata,
+) -> Result<(u64, PartitionFooter)> {
+    let (bytes, footer) = encode_partition_with_meta(table, meta);
     let file = fs::File::create(path)?;
     let mut w = std::io::BufWriter::new(file);
     w.write_all(&bytes)?;
@@ -152,7 +485,17 @@ pub fn write_partition(path: &Path, table: &Table) -> Result<u64> {
     w.into_inner()
         .map_err(|e| StorageError::Io(e.into_error()))?
         .sync_all()?;
-    Ok(bytes.len() as u64)
+    Ok((bytes.len() as u64, footer))
+}
+
+/// Write a partition file (buffered, durably synced) and return the number
+/// of bytes written. Reorganization in real systems persists its output;
+/// the fsync is part of the physical reorganization cost Table I measures.
+pub fn write_partition(path: &Path, table: &Table) -> Result<u64> {
+    let meta = build_metadata(table, &vec![0; table.num_rows()], 1)
+        .pop()
+        .expect("k=1 metadata");
+    write_partition_with_meta(path, table, &meta).map(|(bytes, _)| bytes)
 }
 
 /// Read a partition file written by [`write_partition`].
@@ -163,10 +506,41 @@ pub fn read_partition(path: &Path, schema: &Arc<Schema>) -> Result<Table> {
     decode_partition(schema, &bytes)
 }
 
+/// Read only the footer of a partition file: two small reads (tail + footer
+/// body), no column decode. Returns `Ok(None)` for legacy version-1 files,
+/// which carry no footer — callers fall back to a full decode.
+pub fn read_partition_footer(path: &Path) -> Result<Option<PartitionFooter>> {
+    let mut file = fs::File::open(path)?;
+    let file_len = file.metadata()?.len();
+    if file_len < (HEADER_LEN + TAIL_LEN) as u64 {
+        return Ok(None);
+    }
+    let mut tail = [0u8; TAIL_LEN];
+    file.seek(SeekFrom::End(-(TAIL_LEN as i64)))?;
+    file.read_exact(&mut tail)?;
+    if &tail[16..24] != FOOTER_MAGIC {
+        return Ok(None);
+    }
+    let stored_sum = u64::from_le_bytes(tail[0..8].try_into().expect("8 bytes"));
+    let footer_off = u64::from_le_bytes(tail[8..16].try_into().expect("8 bytes"));
+    if footer_off < HEADER_LEN as u64 || footer_off > file_len - TAIL_LEN as u64 {
+        return Err(StorageError::Corrupt(format!(
+            "footer offset {footer_off} out of range"
+        )));
+    }
+    let mut body = vec![0u8; (file_len - TAIL_LEN as u64 - footer_off) as usize];
+    file.seek(SeekFrom::Start(footer_off))?;
+    file.read_exact(&mut body)?;
+    if fnv1a(&body) != stored_sum {
+        return Err(StorageError::Corrupt("footer checksum mismatch".into()));
+    }
+    Ok(Some(parse_footer_body(&body, footer_off)?))
+}
+
 /// Column-projected read: decode only `cols` (any order, deduplicated by
-/// the caller), skipping other payloads via their length prefixes — the
-/// column pruning every columnar engine performs. Returns the partition's
-/// row count plus `(column id, decoded column)` pairs.
+/// the caller), skipping other payloads via the footer's page index (v2) or
+/// their length prefixes (legacy v1). Returns the partition's row count
+/// plus `(column id, decoded column)` pairs.
 pub fn read_partition_projected(
     path: &Path,
     schema: &Arc<Schema>,
@@ -184,7 +558,29 @@ pub fn decode_partition_projected(
     bytes: &[u8],
     cols: &[usize],
 ) -> Result<(usize, Vec<(usize, Column)>)> {
-    if bytes.len() < MAGIC.len() + 2 + 2 + 8 + 8 {
+    DECODES.fetch_add(1, Ordering::Relaxed);
+    if has_footer(bytes) {
+        let (footer, footer_off) = parse_footer(bytes)?;
+        check_v2_layout(schema, bytes, &footer, footer_off)?;
+        let nrows = footer.nrows as usize;
+        let mut out = Vec::with_capacity(cols.len());
+        for (col, extent) in footer.columns.iter().enumerate() {
+            if cols.contains(&col) {
+                let payload = &bytes[extent.offset as usize..(extent.offset + extent.len) as usize];
+                out.push((col, extent.decode(payload, nrows, col)?));
+            }
+        }
+        return Ok((nrows, out));
+    }
+    decode_partition_projected_v1(schema, bytes, cols)
+}
+
+fn decode_partition_projected_v1(
+    schema: &Arc<Schema>,
+    bytes: &[u8],
+    cols: &[usize],
+) -> Result<(usize, Vec<(usize, Column)>)> {
+    if bytes.len() < HEADER_LEN + 8 {
         return Err(StorageError::Corrupt("file shorter than header".into()));
     }
     let (body, tail) = bytes.split_at(bytes.len() - 8);
@@ -199,7 +595,7 @@ pub fn decode_partition_projected(
         return Err(StorageError::Corrupt("bad magic".into()));
     }
     let version = buf.get_u16_le();
-    if version != VERSION {
+    if version != VERSION_V1 {
         return Err(StorageError::Corrupt(format!(
             "unsupported version {version}"
         )));
@@ -229,21 +625,7 @@ pub fn decode_partition_projected(
         }
         if cols.contains(&col) {
             let mut payload = &buf[..len];
-            let column = match tag {
-                TAG_INT => Column::Int(decode_i64_block(&mut payload)?),
-                TAG_FLOAT => Column::Float(decode_f64_block(&mut payload)?),
-                TAG_STR => {
-                    let dict = decode_str_list(&mut payload)?;
-                    let codes = decode_u32_block(&mut payload)?;
-                    if codes.iter().any(|&c| c as usize >= dict.len()) {
-                        return Err(StorageError::Corrupt(format!(
-                            "dictionary code out of range in column {col}"
-                        )));
-                    }
-                    Column::Str(DictColumn::from_parts(dict, codes))
-                }
-                other => return Err(StorageError::Corrupt(format!("unknown column tag {other}"))),
-            };
+            let column = decode_column_payload(tag, &mut payload, col)?;
             if column.len() != nrows {
                 return Err(StorageError::Corrupt(format!(
                     "column {col} has {} rows, header says {nrows}",
@@ -296,6 +678,61 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v1_round_trip() {
+        let t = sample_table();
+        let bytes = encode_partition_v1(&t);
+        let back = decode_partition(t.schema(), &bytes).unwrap();
+        assert_eq!(back.num_rows(), 500);
+        for col in 0..t.num_columns() {
+            assert_eq!(back.scalar(123, col), t.scalar(123, col));
+        }
+        // projected reads work on v1 files too
+        let (nrows, cols) = decode_partition_projected(t.schema(), &bytes, &[1, 3]).unwrap();
+        assert_eq!(nrows, 500);
+        assert_eq!(cols.len(), 2);
+    }
+
+    #[test]
+    fn footer_carries_extents_and_metadata() {
+        let t = sample_table();
+        let (bytes, footer) = encode_partition_with_meta(
+            &t,
+            &build_metadata(&t, &vec![0; t.num_rows()], 1).pop().unwrap(),
+        );
+        assert_eq!(footer.nrows, 500);
+        assert_eq!(footer.columns.len(), 4);
+        // extents point at real payloads: decoding each one yields the column
+        for (col, extent) in footer.columns.iter().enumerate() {
+            let payload = &bytes[extent.offset as usize..(extent.offset + extent.len) as usize];
+            let column = extent.decode(payload, 500, col).unwrap();
+            assert_eq!(column.len(), 500);
+        }
+        // the footer's metadata prunes like freshly built metadata
+        assert_eq!(footer.meta.rows, 500.0);
+        assert_eq!(
+            footer.meta,
+            build_metadata(&t, &vec![0; t.num_rows()], 1).pop().unwrap()
+        );
+    }
+
+    #[test]
+    fn read_footer_is_header_only_and_v1_has_none() {
+        let t = sample_table();
+        let dir = std::env::temp_dir().join(format!("oreo-footer-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let v2 = dir.join("v2.oreo");
+        write_partition(&v2, &t).unwrap();
+        let before = partition_decodes();
+        let footer = read_partition_footer(&v2).unwrap().expect("v2 footer");
+        assert_eq!(partition_decodes(), before, "footer read must not decode");
+        assert_eq!(footer.nrows, 500);
+        let v1 = dir.join("v1.oreo");
+        fs::write(&v1, encode_partition_v1(&t)).unwrap();
+        assert!(read_partition_footer(&v1).unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn file_round_trip() {
         let t = sample_table();
         let dir = std::env::temp_dir().join(format!("oreo-fmt-{}", std::process::id()));
@@ -333,10 +770,6 @@ mod tests {
         let t = sample_table();
         let mut bytes = encode_partition(&t).to_vec();
         bytes[0] = b'X';
-        // fix up the checksum so only the magic is wrong
-        let n = bytes.len();
-        let sum = fnv1a(&bytes[..n - 8]);
-        bytes[n - 8..].copy_from_slice(&sum.to_le_bytes());
         let err = decode_partition(t.schema(), &bytes).unwrap_err();
         assert!(err.to_string().contains("bad magic"), "{err}");
     }

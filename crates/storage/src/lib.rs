@@ -2,7 +2,7 @@
 //!
 //! The partitioned columnar storage substrate OREO optimizes over.
 //!
-//! Five layers:
+//! Six layers:
 //!
 //! 1. **In-memory tables** ([`Table`], [`Column`]) — immutable columnar data
 //!    with typed columns (`i64`, `f64`, dictionary strings) used by the
@@ -25,7 +25,14 @@
 //!    and recovered on restart. Backing the serving path with this tier
 //!    makes the measured α of Table I and the measured Δ of the engine
 //!    observables of the *same* run.
+//! 6. **A buffer pool** ([`BufferPool`]) — a fixed-capacity, page-granular
+//!    cache over generation partition files with CLOCK eviction. Tiered
+//!    scans ([`TableSnapshot::scan_pooled`]) fetch only the pages their
+//!    predicate's columns touch, so scan cost is *real* block transfers —
+//!    split into cold (disk) and cached (pool) bytes — instead of bytes
+//!    merely accounted at file sizes.
 
+pub mod bufpool;
 pub mod column;
 pub mod diskstore;
 pub mod encode;
@@ -37,9 +44,11 @@ pub mod snapshot;
 pub mod table;
 pub mod tiered;
 
+pub use bufpool::{BufferPool, BufferPoolConfig, PoolStats, ReadStats};
 pub use column::{atom_matches_ref, Column, DictBuilder, DictColumn, ValueRef};
 pub use diskstore::{concat_tables, DiskStore, PartitionHandle, ScanStats};
 pub use error::{Result, StorageError};
+pub use format::{ColumnExtent, PartitionFooter};
 pub use layout_model::{cost_vector_distance, LayoutId, LayoutModel};
 pub use partition::{
     build_metadata, build_metadata_capped, PartitionMetadata, DEFAULT_DISTINCT_CAP,

@@ -6,7 +6,9 @@
 //! set, which prunes `IN`/`=` filters much more sharply than a string range.
 
 use crate::column::Column;
+use crate::encode::{get_varint, put_varint, unzigzag, zigzag, DecodeError};
 use crate::table::Table;
+use bytes::{Buf, BufMut};
 use oreo_query::{Predicate, Scalar};
 use std::collections::BTreeSet;
 
@@ -206,6 +208,136 @@ pub fn build_metadata_capped(
         .collect()
 }
 
+// ------------------------------------------------------- metadata codec --
+//
+// Partition files (format version 2) persist their pruning metadata in the
+// footer so a store can reopen header-only: row counts, ranges, and
+// distinct sets come from a few hundred footer bytes instead of a full
+// decode of every partition (the ROADMAP-flagged double decode at restart).
+
+const SCALAR_INT: u8 = 0;
+const SCALAR_FLOAT: u8 = 1;
+const SCALAR_STR: u8 = 2;
+
+fn put_scalar(buf: &mut impl BufMut, s: &Scalar) {
+    match s {
+        Scalar::Int(v) => {
+            buf.put_u8(SCALAR_INT);
+            put_varint(buf, zigzag(*v));
+        }
+        Scalar::Float(v) => {
+            buf.put_u8(SCALAR_FLOAT);
+            buf.put_f64_le(*v);
+        }
+        Scalar::Str(v) => {
+            buf.put_u8(SCALAR_STR);
+            put_varint(buf, v.len() as u64);
+            buf.put_slice(v.as_bytes());
+        }
+    }
+}
+
+fn need(buf: &impl Buf, n: usize, what: &str) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        return Err(DecodeError(format!(
+            "truncated metadata: need {n} more bytes for {what}"
+        )));
+    }
+    Ok(())
+}
+
+fn get_scalar(buf: &mut impl Buf) -> Result<Scalar, DecodeError> {
+    need(buf, 1, "scalar tag")?;
+    match buf.get_u8() {
+        SCALAR_INT => Ok(Scalar::Int(unzigzag(get_varint(buf)?))),
+        SCALAR_FLOAT => {
+            need(buf, 8, "float scalar")?;
+            Ok(Scalar::Float(buf.get_f64_le()))
+        }
+        SCALAR_STR => {
+            let len = get_varint(buf)? as usize;
+            need(buf, len, "string scalar")?;
+            let mut bytes = vec![0u8; len];
+            buf.copy_to_slice(&mut bytes);
+            String::from_utf8(bytes)
+                .map(Scalar::Str)
+                .map_err(|_| DecodeError("invalid UTF-8 in metadata scalar".into()))
+        }
+        tag => Err(DecodeError(format!("unknown scalar tag {tag}"))),
+    }
+}
+
+/// Serialize pruning metadata into a partition-file footer: the row count,
+/// then per column a flags byte, the optional `[min, max]` range, and the
+/// optional distinct set.
+pub fn encode_metadata(buf: &mut impl BufMut, meta: &PartitionMetadata) {
+    buf.put_f64_le(meta.rows);
+    put_varint(buf, meta.columns.len() as u64);
+    for col in &meta.columns {
+        let mut flags = 0u8;
+        if col.range.is_some() {
+            flags |= 1;
+        }
+        if col.distinct.is_some() {
+            flags |= 2;
+        }
+        buf.put_u8(flags);
+        if let Some((lo, hi)) = &col.range {
+            put_scalar(buf, lo);
+            put_scalar(buf, hi);
+        }
+        if let Some(set) = &col.distinct {
+            put_varint(buf, set.len() as u64);
+            for s in set {
+                put_scalar(buf, s);
+            }
+        }
+    }
+}
+
+/// Parse metadata produced by [`encode_metadata`].
+pub fn decode_metadata(buf: &mut impl Buf) -> Result<PartitionMetadata, DecodeError> {
+    need(buf, 8, "metadata row count")?;
+    let rows = buf.get_f64_le();
+    if !rows.is_finite() || rows < 0.0 {
+        return Err(DecodeError(format!("invalid metadata row count {rows}")));
+    }
+    let ncols = get_varint(buf)? as usize;
+    if ncols > u16::MAX as usize {
+        return Err(DecodeError(format!("metadata claims {ncols} columns")));
+    }
+    let mut columns = Vec::with_capacity(ncols);
+    for col in 0..ncols {
+        need(buf, 1, "metadata flags")?;
+        let flags = buf.get_u8();
+        if flags & !3 != 0 {
+            return Err(DecodeError(format!(
+                "unknown metadata flags {flags:#x} for column {col}"
+            )));
+        }
+        let range = if flags & 1 != 0 {
+            Some((get_scalar(buf)?, get_scalar(buf)?))
+        } else {
+            None
+        };
+        let distinct = if flags & 2 != 0 {
+            let n = get_varint(buf)? as usize;
+            if n > 1 << 20 {
+                return Err(DecodeError(format!("distinct set of {n} values")));
+            }
+            let mut set = BTreeSet::new();
+            for _ in 0..n {
+                set.insert(get_scalar(buf)?);
+            }
+            Some(set)
+        } else {
+            None
+        };
+        columns.push(ColumnStats { range, distinct });
+    }
+    Ok(PartitionMetadata { rows, columns })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +419,38 @@ mod tests {
         let meta = build_metadata(&t, &assignment, 2);
         assert_eq!(meta[1].rows, 0.0);
         assert!(!meta[1].may_match(&Predicate::always_true()));
+    }
+
+    #[test]
+    fn metadata_codec_round_trips() {
+        let t = table();
+        let assignment: Vec<u32> = (0..100).map(|i| (i >= 50) as u32).collect();
+        for meta in build_metadata(&t, &assignment, 2) {
+            let mut buf = bytes::BytesMut::new();
+            encode_metadata(&mut buf, &meta);
+            let mut r: &[u8] = &buf;
+            let back = decode_metadata(&mut r).unwrap();
+            assert_eq!(back, meta);
+            assert_eq!(r.len(), 0, "codec must consume exactly its bytes");
+        }
+        // degraded (range-only) metadata round-trips too
+        let capped = build_metadata_capped(&t, &vec![0u32; 100], 1, 1);
+        let mut buf = bytes::BytesMut::new();
+        encode_metadata(&mut buf, &capped[0]);
+        let mut r: &[u8] = &buf;
+        assert_eq!(decode_metadata(&mut r).unwrap(), capped[0]);
+    }
+
+    #[test]
+    fn metadata_codec_rejects_truncation() {
+        let t = table();
+        let meta = build_metadata(&t, &vec![0u32; 100], 1).pop().unwrap();
+        let mut buf = bytes::BytesMut::new();
+        encode_metadata(&mut buf, &meta);
+        for cut in [0, 4, 9, buf.len() / 2, buf.len() - 1] {
+            let mut r: &[u8] = &buf[..cut];
+            assert!(decode_metadata(&mut r).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

@@ -13,10 +13,13 @@
 //! switch decision and the moment [`SnapshotCell::publish`] lands, during
 //! which queries are still served by the old layout.
 
+use crate::bufpool::BufferPool;
+use crate::error::{Result, StorageError};
+use crate::format::ColumnExtent;
 use crate::layout_model::{LayoutId, LayoutModel};
 use crate::partition::{build_metadata, PartitionMetadata};
 use crate::table::Table;
-use crate::tiered::Generation;
+use crate::tiered::{part_file, Generation};
 use oreo_query::Predicate;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -35,6 +38,10 @@ pub struct SnapshotPartition {
     /// memory-resident snapshot, the encoded partition-file size once the
     /// snapshot is backed by a [`crate::TieredStore`] generation.
     pub bytes: u64,
+    /// Per-column payload extents in the partition's on-disk file — the
+    /// page index pooled scans use. Present once the snapshot is backed by
+    /// a footer-indexed generation file; `None` for memory-only snapshots.
+    pub extents: Option<Arc<[ColumnExtent]>>,
 }
 
 /// Result of scanning a snapshot with one predicate.
@@ -51,6 +58,12 @@ pub struct SnapshotScan {
     pub partitions_read: usize,
     /// Total partitions in the snapshot.
     pub partitions_total: usize,
+    /// Page bytes this scan read from disk (buffer-pool misses). Zero for
+    /// memory-resident scans.
+    pub io_cold_bytes: u64,
+    /// Page bytes this scan served from the buffer pool (hits). Zero for
+    /// memory-resident scans.
+    pub io_cached_bytes: u64,
 }
 
 impl SnapshotScan {
@@ -120,6 +133,7 @@ impl TableSnapshot {
                     data,
                     meta,
                     bytes,
+                    extents: None,
                 }
             })
             .collect();
@@ -151,12 +165,18 @@ impl TableSnapshot {
         }
     }
 
-    /// Attach the on-disk generation backing this snapshot and switch the
-    /// per-partition byte accounting to encoded file sizes.
-    pub(crate) fn attach_generation(&mut self, generation: Arc<Generation>, file_bytes: &[u64]) {
-        debug_assert_eq!(file_bytes.len(), self.partitions.len());
-        for (part, &bytes) in self.partitions.iter_mut().zip(file_bytes) {
+    /// Attach the on-disk generation backing this snapshot: switch the
+    /// per-partition byte accounting to encoded file sizes and record each
+    /// partition's page index (column payload extents) for pooled scans.
+    pub(crate) fn attach_generation(
+        &mut self,
+        generation: Arc<Generation>,
+        files: Vec<(u64, Option<Arc<[ColumnExtent]>>)>,
+    ) {
+        debug_assert_eq!(files.len(), self.partitions.len());
+        for (part, (bytes, extents)) in self.partitions.iter_mut().zip(files) {
             part.bytes = bytes;
+            part.extents = extents;
         }
         self.generation = Some(generation);
     }
@@ -227,6 +247,80 @@ impl TableSnapshot {
         }
         out.matches.sort_unstable();
         out
+    }
+
+    /// Execute one predicate against the snapshot's *on-disk* generation
+    /// through a [`BufferPool`]: prune partitions by metadata, then for
+    /// each surviving partition fetch only the pages covering the
+    /// predicate's column payloads, decode, and evaluate row by row.
+    ///
+    /// Returns exactly the matches [`TableSnapshot::scan`] returns, but the
+    /// bytes actually travel through the pool: `bytes_scanned` counts the
+    /// page bytes touched and `io_cold_bytes` / `io_cached_bytes` split
+    /// them into disk reads and pool hits — the block-transfer accounting
+    /// the cost model's scan side needs to be honest about.
+    ///
+    /// Fails if the snapshot is not backed by a footer-indexed generation
+    /// (memory-only snapshots, or generations written before the page
+    /// index existed) or on I/O/corruption errors; callers degrade to the
+    /// in-memory [`TableSnapshot::scan`].
+    pub fn scan_pooled(&self, predicate: &Predicate, pool: &BufferPool) -> Result<SnapshotScan> {
+        let generation = self
+            .generation
+            .as_ref()
+            .ok_or_else(|| StorageError::Corrupt("snapshot has no on-disk generation".into()))?;
+        let mut cols = predicate.columns();
+        if cols.is_empty() {
+            cols.push(0);
+        }
+        let mut out = SnapshotScan {
+            partitions_total: self.partitions.len(),
+            ..Default::default()
+        };
+        for (index, part) in self.partitions.iter().enumerate() {
+            if !part.meta.may_match(predicate) {
+                continue;
+            }
+            let extents = part.extents.as_ref().ok_or_else(|| {
+                StorageError::Corrupt(format!("partition {index} has no page index"))
+            })?;
+            out.partitions_read += 1;
+            let nrows = part.rows.len();
+            out.rows_read += nrows as u64;
+            let path = generation.dir().join(part_file(index));
+            let mut decoded = Vec::with_capacity(cols.len());
+            for &col in &cols {
+                let extent = extents.get(col).ok_or_else(|| {
+                    StorageError::Corrupt(format!(
+                        "column {col} missing from partition {index} page index"
+                    ))
+                })?;
+                let (payload, io) =
+                    pool.read_range(generation, index as u32, &path, extent.offset, extent.len)?;
+                out.io_cold_bytes += io.cold_bytes;
+                out.io_cached_bytes += io.cached_bytes;
+                out.bytes_scanned += io.cold_bytes + io.cached_bytes;
+                decoded.push((col, extent.decode(&payload, nrows, col)?));
+            }
+            let lookup = |col: usize| {
+                decoded
+                    .iter()
+                    .find(|(c, _)| *c == col)
+                    .map(|(_, column)| column)
+                    .expect("projected column present")
+            };
+            for local in 0..nrows {
+                let hit = predicate
+                    .atoms()
+                    .iter()
+                    .all(|a| crate::column::atom_matches_ref(a, lookup(a.col()).get(local)));
+                if hit {
+                    out.matches.push(part.rows[local]);
+                }
+            }
+        }
+        out.matches.sort_unstable();
+        Ok(out)
     }
 
     /// The metadata-only [`LayoutModel`] view of this snapshot (exact, since
@@ -414,6 +508,52 @@ mod tests {
                     .filter(|&r| t.row_matches(r as usize, &pred))
                     .collect();
                 prop_assert_eq!(snap.scan(&pred).matches, expected);
+            }
+
+            /// Pooled (page-granular, disk-backed) scans return exactly
+            /// what in-memory scans return, for random layouts, page
+            /// sizes, pool capacities, and predicates — cold and warm.
+            #[test]
+            fn pooled_scan_equals_memory_scan(
+                n in 1usize..100,
+                k in 1usize..5,
+                seedish in proptest::collection::vec(0u32..5, 1..100),
+                page_pow in 5u32..12,   // 32 B .. 2 KiB pages
+                cap_pages in 1u64..32,
+                lo in -10i64..110,
+                span in 0i64..60,
+            ) {
+                let t = table(n as i64);
+                let assignment: Vec<u32> = (0..n)
+                    .map(|i| seedish[i % seedish.len()] % k as u32)
+                    .collect();
+                let mut snap = TableSnapshot::build(&t, &assignment, k, 0, "p");
+                let root = std::env::temp_dir().join(format!(
+                    "oreo-snap-prop-{}-{}",
+                    std::process::id(),
+                    rand::random::<u64>()
+                ));
+                let (store, _) = crate::tiered::TieredStore::create(&root, &mut snap).unwrap();
+                let page_bytes = 1usize << page_pow;
+                let pool = crate::bufpool::BufferPool::new(crate::bufpool::BufferPoolConfig {
+                    capacity_bytes: cap_pages * page_bytes as u64,
+                    page_bytes,
+                });
+                let pred = between(0, lo, lo + span);
+                let mem = snap.scan(&pred);
+                for round in 0..2 {  // cold pass, then (possibly) warm
+                    let pooled = snap.scan_pooled(&pred, &pool).unwrap();
+                    prop_assert_eq!(&pooled.matches, &mem.matches, "round {}", round);
+                    prop_assert_eq!(pooled.rows_read, mem.rows_read);
+                    prop_assert_eq!(pooled.partitions_read, mem.partitions_read);
+                    prop_assert_eq!(
+                        pooled.io_cold_bytes + pooled.io_cached_bytes,
+                        pooled.bytes_scanned
+                    );
+                }
+                drop(store);
+                drop(snap);
+                let _ = std::fs::remove_dir_all(&root);
             }
         }
     }

@@ -34,7 +34,9 @@
 use crate::diskstore::open_partition_file;
 use crate::encode::{decode_u32_block, encode_u32_block, fnv1a};
 use crate::error::{Result, StorageError};
-use crate::format::write_partition;
+use crate::format::{
+    read_partition, read_partition_footer, write_partition_with_meta, ColumnExtent,
+};
 use crate::snapshot::{SnapshotPartition, TableSnapshot};
 use bytes::{Buf, BufMut, BytesMut};
 use oreo_query::Schema;
@@ -82,6 +84,15 @@ impl Generation {
 
     fn retire(&self) {
         self.retired.store(true, Ordering::Release);
+    }
+
+    /// Whether this generation has been superseded by a newer commit.
+    /// Retired generations still serve their pinned readers, but caches
+    /// (the buffer pool) must not admit new pages for them — the pool was
+    /// already invalidated at publish time, and re-admitted pages would
+    /// squat in it until process exit.
+    pub fn is_retired(&self) -> bool {
+        self.retired.load(Ordering::Acquire)
     }
 }
 
@@ -238,7 +249,18 @@ impl TieredStore {
     pub fn publish(&self, snapshot: &mut TableSnapshot) -> Result<PublishReceipt> {
         let mut current = self.current.lock().expect("tiered store poisoned");
         let number = current.number() + 1;
-        let (generation, receipt) = persist_generation(&self.root, snapshot, number)?;
+        let (generation, receipt) = match persist_generation(&self.root, snapshot, number) {
+            Ok(committed) => committed,
+            Err(e) => {
+                // A publish that dies after writing some partition files
+                // leaves a `gen-N.tmp/` behind; only `open`/`create` used
+                // to clean those, so a long-running engine retrying
+                // publishes would leak disk. Sweep every stale `.tmp`
+                // (best-effort) before surfacing the error.
+                sweep_tmp_entries(&self.root);
+                return Err(e);
+            }
+        };
         let old = std::mem::replace(&mut *current, generation);
         old.retire();
         Ok(receipt)
@@ -329,17 +351,18 @@ impl TieredStore {
             bytes,
             retired: AtomicBool::new(false),
         });
-        let file_bytes: Vec<u64> = snapshot
+        let files: Vec<(u64, Option<Arc<[ColumnExtent]>>)> = snapshot
             .partitions()
             .iter()
             .enumerate()
-            .map(|(i, _)| {
-                fs::metadata(generation.dir.join(part_file(i)))
+            .map(|(i, part)| {
+                let file_bytes = fs::metadata(generation.dir.join(part_file(i)))
                     .map(|m| m.len())
-                    .unwrap_or(0)
+                    .unwrap_or(0);
+                (file_bytes, part.extents.clone())
             })
             .collect();
-        snapshot.attach_generation(Arc::clone(&generation), &file_bytes);
+        snapshot.attach_generation(Arc::clone(&generation), files);
         let store = Self {
             root: root.to_owned(),
             schema: Arc::clone(schema),
@@ -386,7 +409,35 @@ fn gen_dir(root: &Path, number: u64) -> PathBuf {
     root.join(format!("gen-{number:06}"))
 }
 
-fn part_file(index: usize) -> String {
+/// Best-effort removal of every stale `gen-*.tmp` entry under `root`
+/// (directories *or* stray files): leftovers of publishes that failed
+/// partway. `open`/`create` clean these on restart; `publish` calls this
+/// on failure so a long-running engine never accumulates them.
+fn sweep_tmp_entries(root: &Path) {
+    let Ok(entries) = fs::read_dir(root) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let is_tmp = name
+            .strip_prefix("gen-")
+            .and_then(|n| n.strip_suffix(".tmp"))
+            .is_some_and(|n| n.parse::<u64>().is_ok());
+        if !is_tmp {
+            continue;
+        }
+        if path.is_dir() {
+            let _ = fs::remove_dir_all(&path);
+        } else {
+            let _ = fs::remove_file(&path);
+        }
+    }
+}
+
+pub(crate) fn part_file(index: usize) -> String {
     format!("part-{index:05}.oreo")
 }
 
@@ -412,11 +463,15 @@ fn persist_generation(
 
     let mut bytes_written = 0u64;
     let mut files = 0usize;
-    let mut file_bytes = Vec::with_capacity(snapshot.num_partitions());
+    let mut file_info: Vec<(u64, Option<Arc<[ColumnExtent]>>)> =
+        Vec::with_capacity(snapshot.num_partitions());
     for (i, part) in snapshot.partitions().iter().enumerate() {
-        let part_bytes = write_partition(&tmp.join(part_file(i)), &part.data)?;
+        // The snapshot's pruning metadata goes into the file footer, so a
+        // restart recovers it (and the page index) without decoding data.
+        let (part_bytes, footer) =
+            write_partition_with_meta(&tmp.join(part_file(i)), &part.data, &part.meta)?;
         bytes_written += part_bytes;
-        file_bytes.push(part_bytes);
+        file_info.push((part_bytes, Some(Arc::from(footer.columns))));
         bytes_written += write_rows(&tmp.join(rows_file(i)), &part.rows)?;
         files += 2;
     }
@@ -442,7 +497,7 @@ fn persist_generation(
         bytes: bytes_written,
         retired: AtomicBool::new(false),
     });
-    snapshot.attach_generation(Arc::clone(&generation), &file_bytes);
+    snapshot.attach_generation(Arc::clone(&generation), file_info);
     let receipt = PublishReceipt {
         generation: number,
         bytes_written,
@@ -457,7 +512,21 @@ fn load_generation(dir: &Path, schema: &Arc<Schema>) -> Result<TableSnapshot> {
     let (layout, name, k, total_rows) = read_manifest(&dir.join(MANIFEST))?;
     let mut partitions = Vec::with_capacity(k);
     for i in 0..k {
-        let (data, meta, _bytes) = open_partition_file(&dir.join(part_file(i)), schema)?;
+        let path = dir.join(part_file(i));
+        // Footer-indexed files recover pruning metadata and the page index
+        // from the footer (one decode for the data); legacy v1 files fall
+        // back to rebuilding metadata from the decoded rows.
+        let (data, meta, extents) = match read_partition_footer(&path)? {
+            Some(footer) => {
+                let data = read_partition(&path, schema)?;
+                let extents: Arc<[ColumnExtent]> = Arc::from(footer.columns);
+                (data, footer.meta, Some(extents))
+            }
+            None => {
+                let (data, meta, _bytes) = open_partition_file(&path, schema)?;
+                (data, meta, None)
+            }
+        };
         let data = Arc::new(data);
         let rows = read_rows(&dir.join(rows_file(i)))?;
         if rows.len() != data.num_rows() {
@@ -472,6 +541,7 @@ fn load_generation(dir: &Path, schema: &Arc<Schema>) -> Result<TableSnapshot> {
             data,
             meta,
             bytes: 0, // stamped by attach_generation
+            extents,
         });
     }
     let snapshot = TableSnapshot::from_parts(layout, name, partitions);
@@ -846,6 +916,45 @@ mod tests {
         assert_eq!(store.generations_on_disk(), vec![2]);
         drop(store);
         drop(s2);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// The tmp-sweep satellite: a publish that fails partway must not
+    /// leave `gen-*.tmp` leftovers behind — neither its own nor older
+    /// strays — and the store must keep serving and accept a retry.
+    #[test]
+    fn failed_publish_sweeps_stale_tmp_entries() {
+        let t = table(300);
+        let root = tmproot("sweep");
+        let mut s1 = snap(&t, 2, 0);
+        let (store, _) = TieredStore::create(&root, &mut s1).unwrap();
+
+        // a stray tmp dir from some earlier crashed publish
+        fs::create_dir_all(root.join("gen-000099.tmp")).unwrap();
+        fs::write(root.join("gen-000099.tmp").join("part-00000.oreo"), b"x").unwrap();
+        // wedge the next publish: its tmp path exists as a *file*, so the
+        // pre-write cleanup (remove_dir_all) fails partway into persist
+        fs::write(root.join("gen-000002.tmp"), b"wedge").unwrap();
+
+        let mut s2 = snap(&t, 3, 1);
+        assert!(store.publish(&mut s2).is_err(), "wedged publish must fail");
+        let leftovers: Vec<String> = fs::read_dir(&root)
+            .unwrap()
+            .flatten()
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp entries leaked: {leftovers:?}");
+        assert_eq!(store.current().number(), 1, "old generation still serves");
+
+        // with the wedge swept, the retry commits
+        let mut s3 = snap(&t, 3, 1);
+        let receipt = store.publish(&mut s3).unwrap();
+        assert_eq!(receipt.generation, 2);
+        drop(store);
+        drop(s1);
+        drop(s2);
+        drop(s3);
         fs::remove_dir_all(&root).unwrap();
     }
 

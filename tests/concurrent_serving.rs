@@ -167,6 +167,22 @@ fn tiered_engine_replays_sim_ledger_and_recovers_generation() {
     }
     assert!(stats.empirical_alpha().is_some(), "α not measurable");
 
+    // tiered scans really travel through the buffer pool: pages were
+    // requested, the stream re-touches partitions so some of them hit,
+    // and no pooled scan fell back to the in-memory path
+    let pool = stats.pool.expect("tiered run has a buffer pool");
+    assert!(pool.misses > 0, "no page was ever read from disk");
+    assert!(pool.hits > 0, "warm stream should re-hit pooled pages");
+    assert!(stats.io_cold_bytes > 0 && stats.io_cached_bytes > 0);
+    assert_eq!(
+        stats.bytes_scanned,
+        stats.io_cold_bytes + stats.io_cached_bytes,
+        "tiered byte accounting must equal pooled page traffic"
+    );
+    assert_eq!(stats.scan_io_errors, 0, "pooled scans degraded");
+    assert!(stats.pool_hit_rate() > 0.0);
+    assert!(stats.alpha_warm().is_some(), "warm α̂ missing");
+
     // restart: the last committed generation recovers with the full table
     let (store, recovered, report) =
         TieredStore::open(&root, bundle.table.schema()).expect("reopen");

@@ -1,0 +1,210 @@
+//! Vectorized scan-kernel microbenchmark: chunked selection-vector
+//! evaluation ([`oreo_storage::kernel`]) vs the row-at-a-time interpreter
+//! it replaced, on the in-memory and buffer-pooled scan paths.
+//!
+//! Variants (all over the same TPC-H lineitem table and the same Q6-style
+//! multi-atom predicate):
+//!
+//! * `memory_rowwise` / `memory_vectorized` — memory-resident snapshot.
+//! * `pooled_warm_rowwise` / `pooled_warm_vectorized` — disk-backed
+//!   generation through a buffer pool large enough to hold the predicate's
+//!   column payloads (every page a pool hit after the warmup scan).
+//! * `pooled_cold_vectorized` — a fresh (empty) pool per scan: decode and
+//!   page-fetch cost dominates, bounding what kernel speedups can buy.
+//!
+//! `--json <path>` writes a machine-readable report (rows/sec per variant
+//! plus vectorized-over-interpreted speedups); CI gates on the pool-warm
+//! speedup staying ≥ 2×.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oreo_bench::common::{json_path_arg, write_json_report, Json};
+use oreo_query::{Predicate, QueryBuilder};
+use oreo_storage::{BufferPool, BufferPoolConfig, SnapshotScan, TableSnapshot, TieredStore};
+use oreo_workload::tpch;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Partitions in the benchmark layout (round-robin, so nothing prunes and
+/// every scan pays full predicate-evaluation cost).
+const PARTITIONS: u32 = 16;
+
+/// One measured variant: name, sustained throughput, mean per-scan time.
+struct Measurement {
+    name: &'static str,
+    rows_per_sec: f64,
+    mean_scan_us: f64,
+}
+
+/// Time `iters` runs of `scan`, verifying each run returns `expected`
+/// matches, and convert to rows/sec over the full (unpruned) table.
+fn measure(
+    name: &'static str,
+    rows: usize,
+    iters: usize,
+    expected: &[u32],
+    mut scan: impl FnMut() -> SnapshotScan,
+) -> Measurement {
+    // Warmup run, doubling as the correctness oracle check.
+    let first = scan();
+    assert_eq!(
+        first.matches, expected,
+        "{name}: scan disagrees with the oracle row set"
+    );
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(scan());
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let m = Measurement {
+        name,
+        rows_per_sec: (rows * iters) as f64 / elapsed,
+        mean_scan_us: elapsed / iters as f64 * 1e6,
+    };
+    println!(
+        "{:<24} {:>12.0} rows/sec  ({:>8.1} µs/scan, {} matches)",
+        m.name,
+        m.rows_per_sec,
+        m.mean_scan_us,
+        expected.len()
+    );
+    m
+}
+
+/// The Q6-style benchmark predicate: int range + float range + int bound +
+/// string set — one kernel per physical column representation.
+fn bench_predicate(table: &oreo_storage::Table) -> Predicate {
+    QueryBuilder::new(table.schema())
+        .between("l_shipdate", 1000, 1365)
+        .between("l_discount", 0.02, 0.07)
+        .lt("l_quantity", 24)
+        .in_set("l_shipmode", ["AIR", "TRUCK", "MAIL"])
+        .build_predicate()
+}
+
+fn scan_kernels(c: &mut Criterion) {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows: usize = if quick { 60_000 } else { 200_000 };
+    let iters = if quick { 20 } else { 30 };
+
+    let table = tpch::tpch_table(rows, 1);
+    let pred = bench_predicate(&table);
+    let assignment: Vec<u32> = (0..rows).map(|i| i as u32 % PARTITIONS).collect();
+    let snap = TableSnapshot::build(&table, &assignment, PARTITIONS as usize, 0, "bench");
+    let expected = snap.scan_rowwise(&pred).matches;
+
+    println!(
+        "== scan_kernels: {rows} rows, {PARTITIONS} partitions, 4-atom predicate, \
+         {} matches ==",
+        expected.len()
+    );
+
+    // Criterion latency lines for the two memory variants.
+    c.bench_function("scan_memory_rowwise", |b| {
+        b.iter(|| black_box(snap.scan_rowwise(&pred)))
+    });
+    c.bench_function("scan_memory_vectorized", |b| {
+        b.iter(|| black_box(snap.scan(&pred)))
+    });
+
+    let mem_rowwise = measure("memory_rowwise", rows, iters, &expected, || {
+        snap.scan_rowwise(&pred)
+    });
+    let mem_vectorized = measure("memory_vectorized", rows, iters, &expected, || {
+        snap.scan(&pred)
+    });
+
+    // Disk-backed snapshot for the pooled variants.
+    let root = std::env::temp_dir().join(format!(
+        "oreo-scan-kernels-{}-{}",
+        std::process::id(),
+        rand::random::<u64>()
+    ));
+    let mut tiered_snap =
+        TableSnapshot::build(&table, &assignment, PARTITIONS as usize, 0, "bench");
+    let (store, _) = TieredStore::create(&root, &mut tiered_snap).expect("create tiered store");
+    let warm_pool = BufferPool::new(BufferPoolConfig::default());
+
+    let warm_rowwise = measure("pooled_warm_rowwise", rows, iters, &expected, || {
+        tiered_snap
+            .scan_pooled_rowwise(&pred, &warm_pool)
+            .expect("pooled scan")
+    });
+    let warm_vectorized = measure("pooled_warm_vectorized", rows, iters, &expected, || {
+        tiered_snap
+            .scan_pooled(&pred, &warm_pool)
+            .expect("pooled scan")
+    });
+    let cold_iters = if quick { 3 } else { 5 };
+    let cold_vectorized = measure(
+        "pooled_cold_vectorized",
+        rows,
+        cold_iters,
+        &expected,
+        || {
+            let cold_pool = BufferPool::new(BufferPoolConfig::default());
+            tiered_snap
+                .scan_pooled(&pred, &cold_pool)
+                .expect("pooled scan")
+        },
+    );
+
+    let kernel_scan = snap.scan(&pred);
+    let speedup_memory = mem_vectorized.rows_per_sec / mem_rowwise.rows_per_sec;
+    let speedup_pooled_warm = warm_vectorized.rows_per_sec / warm_rowwise.rows_per_sec;
+    println!(
+        "vectorized speedup: {speedup_memory:.2}x memory, {speedup_pooled_warm:.2}x pool-warm \
+         ({} chunks, {} rows short-circuited per scan)",
+        kernel_scan.chunks_evaluated, kernel_scan.rows_short_circuited
+    );
+
+    if let Some(path) = json_path_arg() {
+        let variants = [
+            &mem_rowwise,
+            &mem_vectorized,
+            &warm_rowwise,
+            &warm_vectorized,
+            &cold_vectorized,
+        ];
+        let doc = Json::obj([
+            ("benchmark", Json::from("scan_kernels")),
+            ("rows", Json::from(rows)),
+            ("partitions", Json::from(PARTITIONS as u64)),
+            ("predicate_atoms", Json::from(4u64)),
+            ("matches", Json::from(expected.len())),
+            (
+                "variants",
+                Json::Arr(
+                    variants
+                        .iter()
+                        .map(|m| {
+                            Json::obj([
+                                ("name", Json::from(m.name)),
+                                ("rows_per_sec", Json::from(m.rows_per_sec)),
+                                ("mean_scan_us", Json::from(m.mean_scan_us)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("speedup_memory", Json::from(speedup_memory)),
+            ("speedup_pooled_warm", Json::from(speedup_pooled_warm)),
+            ("chunks_evaluated", Json::from(kernel_scan.chunks_evaluated)),
+            (
+                "rows_short_circuited",
+                Json::from(kernel_scan.rows_short_circuited),
+            ),
+        ]);
+        write_json_report(&path, &doc);
+    }
+
+    drop(store);
+    drop(tiered_snap);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = scan_kernels
+);
+criterion_main!(benches);

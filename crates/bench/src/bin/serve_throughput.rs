@@ -151,6 +151,8 @@ fn run_cell(
         pool_hit_rate: stats.pool_hit_rate(),
         io_cold_bytes: stats.io_cold_bytes,
         io_cached_bytes: stats.io_cached_bytes,
+        chunks_evaluated: stats.chunks_evaluated,
+        rows_short_circuited: stats.rows_short_circuited,
         total_cost: stats.ledger.total(),
     };
     (report, stats)
@@ -371,6 +373,8 @@ fn main() {
                     ("pool_hit_rate", Json::from(r.pool_hit_rate)),
                     ("io_cold_bytes", Json::from(r.io_cold_bytes)),
                     ("io_cached_bytes", Json::from(r.io_cached_bytes)),
+                    ("chunks_evaluated", Json::from(r.chunks_evaluated)),
+                    ("rows_short_circuited", Json::from(r.rows_short_circuited)),
                     ("total_cost", Json::from(r.total_cost)),
                 ])
             })

@@ -93,6 +93,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--noise-threshold",
     "--confidence-level",
     "--nresamples",
+    // oreo-bench extension: JSON report output path (see
+    // `oreo_bench::common::json_path_arg`).
+    "--json",
 ];
 
 impl Default for Criterion {

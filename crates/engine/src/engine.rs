@@ -255,6 +255,10 @@ struct WorkerStats {
     /// Pooled scans that failed (I/O or corruption) and fell back to the
     /// in-memory snapshot scan.
     scan_io_errors: u64,
+    /// Vectorized-kernel work: 1024-row chunks evaluated and rows the
+    /// adaptive AND order skipped later kernels for.
+    chunks_evaluated: u64,
+    rows_short_circuited: u64,
 }
 
 /// Aggregate statistics returned by [`Engine::shutdown`].
@@ -313,6 +317,12 @@ pub struct EngineStats {
     pub pool: Option<PoolStats>,
     /// Pooled scans that failed and fell back to the in-memory path.
     pub scan_io_errors: u64,
+    /// 1024-row chunks the vectorized scan kernels evaluated across all
+    /// scans.
+    pub chunks_evaluated: u64,
+    /// Rows for which the adaptive AND order skipped at least one later
+    /// kernel (already filtered out by a cheaper atom).
+    pub rows_short_circuited: u64,
     /// Bytes a full (unpruned) scan of the final snapshot reads — the α
     /// denominator's table size.
     pub table_bytes: u64,
@@ -686,6 +696,8 @@ impl Engine {
             totals.io_cold_bytes += stats.io_cold_bytes;
             totals.io_cached_bytes += stats.io_cached_bytes;
             totals.scan_io_errors += stats.scan_io_errors;
+            totals.chunks_evaluated += stats.chunks_evaluated;
+            totals.rows_short_circuited += stats.rows_short_circuited;
         }
         let (windows, tiered_errors) = match self.reorg.take() {
             Some(handle) => handle.join().expect("reorganizer panicked"),
@@ -723,6 +735,8 @@ impl Engine {
             io_cached_bytes: totals.io_cached_bytes,
             pool: self.shared.pool.as_ref().map(|p| p.stats()),
             scan_io_errors: totals.scan_io_errors,
+            chunks_evaluated: totals.chunks_evaluated,
+            rows_short_circuited: totals.rows_short_circuited,
             table_bytes,
             mode: self.shared.config.mode.clone(),
             final_physical: core.physical_layout(),
@@ -782,6 +796,8 @@ fn worker_loop(
             stats.bytes_scanned += scan.bytes_scanned;
             stats.io_cold_bytes += scan.io_cold_bytes;
             stats.io_cached_bytes += scan.io_cached_bytes;
+            stats.chunks_evaluated += scan.chunks_evaluated;
+            stats.rows_short_circuited += scan.rows_short_circuited;
             // Temperature classification: a scan is "cold" when the
             // majority of its page bytes came from disk. Memory scans
             // (no pooled I/O at all) are warm by definition.

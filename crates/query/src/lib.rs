@@ -14,11 +14,13 @@
 //!   distinct sets), which is how `eval_skipped` — the cost oracle of the
 //!   whole framework — is computed without touching data.
 
+pub mod compile;
 pub mod predicate;
 pub mod query;
 pub mod schema;
 pub mod value;
 
+pub use compile::{Bound, ColumnPlan, ColumnPredicate, CompiledPredicate};
 pub use predicate::{Atom, CompareOp, Predicate};
 pub use query::{Query, QueryBuilder, TemplateId};
 pub use schema::{ColId, ColumnDef, Schema};

@@ -146,6 +146,11 @@ pub struct ThroughputReport {
     pub io_cold_bytes: u64,
     /// Page bytes served from the pool across scans (0 in memory mode).
     pub io_cached_bytes: u64,
+    /// 1024-row chunks the vectorized scan kernels evaluated across scans.
+    pub chunks_evaluated: u64,
+    /// Rows the adaptive AND order skipped later kernels for (already
+    /// rejected by a cheaper atom).
+    pub rows_short_circuited: u64,
     /// Total ledger cost (query + reorg, logical units).
     pub total_cost: f64,
 }

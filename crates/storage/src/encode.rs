@@ -89,6 +89,14 @@ pub fn encode_i64_block(buf: &mut impl BufMut, values: &[i64]) {
 pub fn decode_i64_block(buf: &mut impl Buf) -> Result<Vec<i64>> {
     let count = get_varint(buf)? as usize;
     let mut out = Vec::with_capacity(count.min(1 << 24));
+    if buf.chunk().len() == buf.remaining() {
+        // Contiguous input (the only case the storage paths produce):
+        // decode from the slice directly, one bounds check per varint
+        // instead of two per byte through the `Buf` cursor.
+        let consumed = decode_i64_deltas_slice(buf.chunk(), count, &mut out)?;
+        buf.advance(consumed);
+        return Ok(out);
+    }
     let mut prev = 0i64;
     for _ in 0..count {
         let delta = unzigzag(get_varint(buf)?);
@@ -96,6 +104,45 @@ pub fn decode_i64_block(buf: &mut impl Buf) -> Result<Vec<i64>> {
         out.push(prev);
     }
     Ok(out)
+}
+
+/// Slice fast path for [`decode_i64_block`]: decode `count` zigzag-varint
+/// deltas from `s`, returning the bytes consumed. Column deltas are almost
+/// always 1–2 bytes, so the single-byte case is kept branch-first.
+fn decode_i64_deltas_slice(s: &[u8], count: usize, out: &mut Vec<i64>) -> Result<usize> {
+    let mut i = 0usize;
+    let mut prev = 0i64;
+    for _ in 0..count {
+        let Some(&b0) = s.get(i) else {
+            return Err(DecodeError(
+                "truncated input: need 1 more bytes for varint".into(),
+            ));
+        };
+        i += 1;
+        let mut v = u64::from(b0 & 0x7f);
+        if b0 & 0x80 != 0 {
+            let mut shift = 7u32;
+            loop {
+                let Some(&b) = s.get(i) else {
+                    return Err(DecodeError(
+                        "truncated input: need 1 more bytes for varint".into(),
+                    ));
+                };
+                i += 1;
+                v |= u64::from(b & 0x7f) << shift;
+                if b & 0x80 == 0 {
+                    break;
+                }
+                shift += 7;
+                if shift >= 64 {
+                    return Err(DecodeError("varint longer than 10 bytes".into()));
+                }
+            }
+        }
+        prev = prev.wrapping_add(unzigzag(v));
+        out.push(prev);
+    }
+    Ok(i)
 }
 
 // ------------------------------------------------------------ f64 blocks --
@@ -111,7 +158,17 @@ pub fn encode_f64_block(buf: &mut impl BufMut, values: &[f64]) {
 /// Decode a block produced by [`encode_f64_block`].
 pub fn decode_f64_block(buf: &mut impl Buf) -> Result<Vec<f64>> {
     let count = get_varint(buf)? as usize;
-    need(buf, count.saturating_mul(8), "f64 block")?;
+    let bytes = count.saturating_mul(8);
+    need(buf, bytes, "f64 block")?;
+    if buf.chunk().len() >= bytes {
+        // Contiguous input: bulk-convert 8-byte words off the slice.
+        let out: Vec<f64> = buf.chunk()[..bytes]
+            .chunks_exact(8)
+            .map(|w| f64::from_le_bytes(w.try_into().expect("8-byte chunk")))
+            .collect();
+        buf.advance(bytes);
+        return Ok(out);
+    }
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
         out.push(buf.get_f64_le());

@@ -86,6 +86,24 @@ impl ColumnExtent {
     /// `offset..offset + len` of the file), verifying length, checksum, and
     /// the expected row count. `col` only labels errors.
     pub fn decode(&self, payload: &[u8], nrows: usize, col: usize) -> Result<Column> {
+        self.decode_inner(payload, nrows, col, true)
+    }
+
+    /// [`ColumnExtent::decode`] without the checksum pass, for payloads
+    /// whose bytes already crossed the disk→memory trust boundary under a
+    /// checksum — e.g. a pooled read served entirely from cached pages.
+    /// Length and row-count validation still run.
+    pub fn decode_trusted(&self, payload: &[u8], nrows: usize, col: usize) -> Result<Column> {
+        self.decode_inner(payload, nrows, col, false)
+    }
+
+    fn decode_inner(
+        &self,
+        payload: &[u8],
+        nrows: usize,
+        col: usize,
+        verify: bool,
+    ) -> Result<Column> {
         if payload.len() as u64 != self.len {
             return Err(StorageError::Corrupt(format!(
                 "column {col}: fetched {} payload bytes, extent says {}",
@@ -93,7 +111,7 @@ impl ColumnExtent {
                 self.len
             )));
         }
-        if fnv1a(payload) != self.checksum {
+        if verify && fnv1a(payload) != self.checksum {
             return Err(StorageError::Corrupt(format!(
                 "column {col}: payload checksum mismatch"
             )));

@@ -1,0 +1,532 @@
+//! Vectorized scan kernels: chunked, selection-vector predicate evaluation
+//! over decoded columns.
+//!
+//! The row-at-a-time scan interpreter re-dispatches on the atom list and the
+//! column representation for every row. The kernel layer does that dispatch
+//! once per (column plan, physical column) pair and then streams each
+//! partition in [`CHUNK_ROWS`]-row chunks:
+//!
+//! 1. each column's [`oreo_query::ColumnPlan`] is specialized against the
+//!    column's physical representation into a column kernel — tight
+//!    typed loops over `&[i64]` / `&[f64]`, or a precomputed per-dictionary
+//!    mask for string columns (the plan is evaluated once per *distinct*
+//!    value, then rows test one `bool` per code);
+//! 2. the first kernel fills a reusable `u32` selection vector with the
+//!    chunk-local positions that pass; each further kernel filters the
+//!    surviving positions in place (the conjunctive AND);
+//! 3. kernels run cheapest-selectivity-first: observed pass rates reorder
+//!    the AND after every chunk, so the most selective column is evaluated
+//!    on all rows and the rest only on survivors;
+//! 4. global row ids are materialized *late* — only survivors of the full
+//!    conjunction touch the partition's row-id array.
+//!
+//! [`KernelCounters`] reports how much work the short-circuiting saved,
+//! which the serving layer surfaces through `SnapshotScan`.
+
+use crate::column::Column;
+use oreo_query::{ColumnPlan, CompiledPredicate};
+use std::cmp::Ordering;
+
+/// Rows evaluated per selection-vector chunk. 1024 positions keep the
+/// selection vector (4 KiB) and one `i64` column chunk (8 KiB) resident in
+/// L1 while still amortizing the per-chunk reorder bookkeeping.
+pub const CHUNK_ROWS: usize = 1024;
+
+/// Work counters of one or more kernel scans.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Chunks driven through the kernel pipeline.
+    pub chunks_evaluated: u64,
+    /// Row × kernel evaluations skipped because the selection vector had
+    /// already shrunk when a later kernel in the AND order ran (the work a
+    /// row-at-a-time interpreter with short-circuit `&&` would also skip,
+    /// plus whole-kernel skips once a chunk's selection empties).
+    pub rows_short_circuited: u64,
+}
+
+/// One predicate column specialized against one physical column.
+enum ColumnKernel<'a> {
+    /// The plan admits no value of this column's type: nothing matches.
+    Never,
+    /// Inclusive `lo..=hi` over an `i64` column (strict bounds folded into
+    /// the endpoints).
+    IntRange { values: &'a [i64], lo: i64, hi: i64 },
+    /// Sorted membership set over an `i64` column.
+    IntSet { values: &'a [i64], set: Vec<i64> },
+    /// Range with `total_cmp` endpoint semantics over an `f64` column
+    /// (`(endpoint, inclusive)`, absent bound = unbounded).
+    FloatRange {
+        values: &'a [f64],
+        lo: Option<(f64, bool)>,
+        hi: Option<(f64, bool)>,
+    },
+    /// Membership set over an `f64` column. `total_cmp` equality is bit
+    /// equality, so members are sorted bit patterns.
+    FloatSet { values: &'a [f64], set: Vec<u64> },
+    /// Any plan over a dictionary column: the plan pre-evaluated per
+    /// dictionary entry, rows test `mask[code]`.
+    CodeMask { codes: &'a [u32], mask: Vec<bool> },
+}
+
+/// Branch-light full-chunk evaluation into an empty selection vector.
+#[inline]
+fn fill_with(len: usize, sel: &mut Vec<u32>, mut pred: impl FnMut(usize) -> bool) {
+    sel.clear();
+    sel.resize(len, 0);
+    let mut n = 0usize;
+    for i in 0..len {
+        sel[n] = i as u32;
+        n += usize::from(pred(i));
+    }
+    sel.truncate(n);
+}
+
+/// In-place filtering of an existing selection vector (order preserved).
+#[inline]
+fn filter_with(sel: &mut Vec<u32>, mut pred: impl FnMut(usize) -> bool) {
+    let mut n = 0usize;
+    for j in 0..sel.len() {
+        let i = sel[j];
+        sel[n] = i;
+        n += usize::from(pred(i as usize));
+    }
+    sel.truncate(n);
+}
+
+#[inline]
+fn float_bound_ok(x: f64, bound: &Option<(f64, bool)>, pass: Ordering) -> bool {
+    match bound {
+        None => true,
+        Some((b, inclusive)) => {
+            let ord = x.total_cmp(b);
+            ord == pass || (*inclusive && ord == Ordering::Equal)
+        }
+    }
+}
+
+impl<'a> ColumnKernel<'a> {
+    /// Specialize `plan` against the physical `column`.
+    fn build(plan: &ColumnPlan, column: &'a Column) -> ColumnKernel<'a> {
+        match column {
+            Column::Int(values) => match plan {
+                ColumnPlan::Never => ColumnKernel::Never,
+                ColumnPlan::Range { lo, hi } => {
+                    // Fold strict endpoints into the inclusive [lo, hi]
+                    // form; a strict bound at the domain edge is empty.
+                    let lo_i = match lo {
+                        None => i64::MIN,
+                        Some(b) => match (b.value.as_int(), b.inclusive) {
+                            (Some(v), true) => v,
+                            (Some(i64::MAX), false) => return ColumnKernel::Never,
+                            (Some(v), false) => v + 1,
+                            (None, _) => return ColumnKernel::Never,
+                        },
+                    };
+                    let hi_i = match hi {
+                        None => i64::MAX,
+                        Some(b) => match (b.value.as_int(), b.inclusive) {
+                            (Some(v), true) => v,
+                            (Some(i64::MIN), false) => return ColumnKernel::Never,
+                            (Some(v), false) => v - 1,
+                            (None, _) => return ColumnKernel::Never,
+                        },
+                    };
+                    if lo_i > hi_i {
+                        ColumnKernel::Never
+                    } else {
+                        ColumnKernel::IntRange {
+                            values,
+                            lo: lo_i,
+                            hi: hi_i,
+                        }
+                    }
+                }
+                ColumnPlan::Set(members) => {
+                    // Members arrive sorted by Scalar order; ints sort
+                    // naturally within it, so the filtered list is sorted.
+                    let set: Vec<i64> = members.iter().filter_map(|m| m.as_int()).collect();
+                    if set.is_empty() {
+                        ColumnKernel::Never
+                    } else {
+                        ColumnKernel::IntSet { values, set }
+                    }
+                }
+            },
+            Column::Float(values) => match plan {
+                ColumnPlan::Never => ColumnKernel::Never,
+                ColumnPlan::Range { lo, hi } => {
+                    let as_bound = |b: &Option<oreo_query::Bound>| match b {
+                        None => Ok(None),
+                        Some(b) => match b.value.as_float() {
+                            Some(v) => Ok(Some((v, b.inclusive))),
+                            None => Err(()),
+                        },
+                    };
+                    match (as_bound(lo), as_bound(hi)) {
+                        (Ok(lo), Ok(hi)) => ColumnKernel::FloatRange { values, lo, hi },
+                        _ => ColumnKernel::Never,
+                    }
+                }
+                ColumnPlan::Set(members) => {
+                    let mut set: Vec<u64> = members
+                        .iter()
+                        .filter_map(|m| m.as_float().map(f64::to_bits))
+                        .collect();
+                    set.sort_unstable();
+                    if set.is_empty() {
+                        ColumnKernel::Never
+                    } else {
+                        ColumnKernel::FloatSet { values, set }
+                    }
+                }
+            },
+            Column::Str(dict) => {
+                // Evaluate the plan once per distinct dictionary entry;
+                // rows then test a single bool per code.
+                let mask: Vec<bool> = dict.dict().iter().map(|s| plan.matches_str(s)).collect();
+                if mask.iter().any(|&m| m) {
+                    ColumnKernel::CodeMask {
+                        codes: dict.codes(),
+                        mask,
+                    }
+                } else {
+                    ColumnKernel::Never
+                }
+            }
+        }
+    }
+
+    /// Evaluate rows `base..base + len` into `sel` (chunk-local positions).
+    fn fill(&self, base: usize, len: usize, sel: &mut Vec<u32>) {
+        match self {
+            ColumnKernel::Never => sel.clear(),
+            ColumnKernel::IntRange { values, lo, hi } => {
+                let v = &values[base..base + len];
+                fill_with(len, sel, |i| v[i] >= *lo && v[i] <= *hi)
+            }
+            ColumnKernel::IntSet { values, set } => {
+                let v = &values[base..base + len];
+                fill_with(len, sel, |i| set.binary_search(&v[i]).is_ok())
+            }
+            ColumnKernel::FloatRange { values, lo, hi } => {
+                let v = &values[base..base + len];
+                fill_with(len, sel, |i| {
+                    float_bound_ok(v[i], lo, Ordering::Greater)
+                        && float_bound_ok(v[i], hi, Ordering::Less)
+                })
+            }
+            ColumnKernel::FloatSet { values, set } => {
+                let v = &values[base..base + len];
+                fill_with(len, sel, |i| set.binary_search(&v[i].to_bits()).is_ok())
+            }
+            ColumnKernel::CodeMask { codes, mask } => {
+                let c = &codes[base..base + len];
+                fill_with(len, sel, |i| mask[c[i] as usize])
+            }
+        }
+    }
+
+    /// Keep only the surviving positions of `sel` (chunk-local, relative to
+    /// `base`).
+    fn filter(&self, base: usize, sel: &mut Vec<u32>) {
+        match self {
+            ColumnKernel::Never => sel.clear(),
+            ColumnKernel::IntRange { values, lo, hi } => filter_with(sel, |i| {
+                let x = values[base + i];
+                x >= *lo && x <= *hi
+            }),
+            ColumnKernel::IntSet { values, set } => {
+                filter_with(sel, |i| set.binary_search(&values[base + i]).is_ok())
+            }
+            ColumnKernel::FloatRange { values, lo, hi } => filter_with(sel, |i| {
+                let x = values[base + i];
+                float_bound_ok(x, lo, Ordering::Greater) && float_bound_ok(x, hi, Ordering::Less)
+            }),
+            ColumnKernel::FloatSet { values, set } => filter_with(sel, |i| {
+                set.binary_search(&values[base + i].to_bits()).is_ok()
+            }),
+            ColumnKernel::CodeMask { codes, mask } => {
+                filter_with(sel, |i| mask[codes[base + i] as usize])
+            }
+        }
+    }
+}
+
+/// Observed pass rate of a kernel (0.5 when it has never been evaluated, so
+/// unknown kernels sort between proven-selective and proven-permissive
+/// ones).
+#[inline]
+fn pass_rate(evaluated: u64, passed: u64) -> f64 {
+    if evaluated == 0 {
+        0.5
+    } else {
+        passed as f64 / evaluated as f64
+    }
+}
+
+/// Scan one partition with [`CHUNK_ROWS`]-row chunks. See
+/// [`scan_partition_chunked`].
+pub fn scan_partition(
+    compiled: &CompiledPredicate,
+    cols: &[&Column],
+    rows: &[u32],
+    sel: &mut Vec<u32>,
+    matches: &mut Vec<u32>,
+    counters: &mut KernelCounters,
+) {
+    scan_partition_chunked(compiled, cols, rows, CHUNK_ROWS, sel, matches, counters)
+}
+
+/// Scan one partition's decoded columns with the compiled predicate,
+/// appending the global row ids of matching rows to `matches`.
+///
+/// `cols[i]` must be the physical column for `compiled.columns()[i]` and
+/// `rows` the partition's global row ids (`rows.len()` rows per column).
+/// `sel` is caller-owned scratch so repeated partition scans reuse one
+/// selection-vector allocation. Appended ids are ascending *within* the
+/// partition iff `rows` is; callers sort the full result as before.
+///
+/// An empty (tautological) compiled predicate matches every row without
+/// evaluating any kernel — `counters` does not move.
+pub fn scan_partition_chunked(
+    compiled: &CompiledPredicate,
+    cols: &[&Column],
+    rows: &[u32],
+    chunk_rows: usize,
+    sel: &mut Vec<u32>,
+    matches: &mut Vec<u32>,
+    counters: &mut KernelCounters,
+) {
+    debug_assert_eq!(compiled.columns().len(), cols.len(), "column slice skew");
+    debug_assert!(chunk_rows > 0, "chunk size");
+    if compiled.is_tautology() {
+        matches.extend_from_slice(rows);
+        return;
+    }
+    let kernels: Vec<ColumnKernel<'_>> = compiled
+        .columns()
+        .iter()
+        .zip(cols)
+        .map(|(cp, col)| {
+            debug_assert_eq!(col.len(), rows.len(), "column row-count skew");
+            ColumnKernel::build(cp.plan(), col)
+        })
+        .collect();
+    let n = kernels.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut evaluated = vec![0u64; n];
+    let mut passed = vec![0u64; n];
+    let nrows = rows.len();
+    let mut base = 0usize;
+    while base < nrows {
+        let len = chunk_rows.min(nrows - base);
+        counters.chunks_evaluated += 1;
+        for (pos, &ki) in order.iter().enumerate() {
+            if pos == 0 {
+                evaluated[ki] += len as u64;
+                kernels[ki].fill(base, len, sel);
+            } else {
+                counters.rows_short_circuited += (len - sel.len()) as u64;
+                if !sel.is_empty() {
+                    evaluated[ki] += sel.len() as u64;
+                    kernels[ki].filter(base, sel);
+                }
+            }
+            passed[ki] += sel.len() as u64;
+        }
+        for &i in sel.iter() {
+            matches.push(rows[base + i as usize]);
+        }
+        if n > 1 {
+            // Cheapest-selectivity-first: the kernel that has been letting
+            // the fewest rows through runs first on the next chunk.
+            order.sort_by(|&a, &b| {
+                pass_rate(evaluated[a], passed[a]).total_cmp(&pass_rate(evaluated[b], passed[b]))
+            });
+        }
+        base += len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::DictBuilder;
+    use oreo_query::{Atom, CompareOp, Predicate, Scalar};
+
+    fn compile(atoms: Vec<Atom>) -> CompiledPredicate {
+        CompiledPredicate::compile(&Predicate::new(atoms))
+    }
+
+    fn between(col: usize, lo: i64, hi: i64) -> Atom {
+        Atom::Between {
+            col,
+            low: Scalar::Int(lo),
+            high: Scalar::Int(hi),
+        }
+    }
+
+    /// Run a kernel scan over single-partition columns with global row ids
+    /// `0..n`, at the given chunk size.
+    fn run(
+        compiled: &CompiledPredicate,
+        cols: &[&Column],
+        n: usize,
+        chunk: usize,
+    ) -> (Vec<u32>, KernelCounters) {
+        let rows: Vec<u32> = (0..n as u32).collect();
+        let mut sel = Vec::new();
+        let mut matches = Vec::new();
+        let mut counters = KernelCounters::default();
+        scan_partition_chunked(
+            compiled,
+            cols,
+            &rows,
+            chunk,
+            &mut sel,
+            &mut matches,
+            &mut counters,
+        );
+        (matches, counters)
+    }
+
+    #[test]
+    fn int_range_matches_interpreter_across_chunk_boundaries() {
+        let values: Vec<i64> = (0..100).map(|i| (i * 7) % 50).collect();
+        let col = Column::Int(values.clone());
+        let c = compile(vec![between(0, 10, 30)]);
+        let expected: Vec<u32> = (0..100u32)
+            .filter(|&i| (10..=30).contains(&values[i as usize]))
+            .collect();
+        for chunk in [1, 3, 7, 64, 100, 1000] {
+            let (matches, counters) = run(&c, &[&col], 100, chunk);
+            assert_eq!(matches, expected, "chunk={chunk}");
+            assert_eq!(counters.chunks_evaluated, 100u64.div_ceil(chunk as u64));
+        }
+    }
+
+    #[test]
+    fn strict_int_bounds_fold_into_endpoints() {
+        let col = Column::Int((0..20).collect());
+        let c = compile(vec![
+            Atom::Compare {
+                col: 0,
+                op: CompareOp::Gt,
+                value: Scalar::Int(5),
+            },
+            Atom::Compare {
+                col: 0,
+                op: CompareOp::Lt,
+                value: Scalar::Int(9),
+            },
+        ]);
+        let (matches, _) = run(&c, &[&col], 20, 1024);
+        assert_eq!(matches, vec![6, 7, 8]);
+    }
+
+    #[test]
+    fn int_set_kernel() {
+        let col = Column::Int(vec![5, 1, 9, 5, 3, 9, 9]);
+        let c = compile(vec![Atom::InSet {
+            col: 0,
+            set: vec![Scalar::Int(9), Scalar::Int(5)],
+        }]);
+        let (matches, _) = run(&c, &[&col], 7, 4);
+        assert_eq!(matches, vec![0, 2, 3, 5, 6]);
+    }
+
+    #[test]
+    fn float_range_uses_total_cmp() {
+        let col = Column::Float(vec![-0.0, 0.0, 1.5, f64::NAN, 2.0]);
+        let c = compile(vec![Atom::Compare {
+            col: 0,
+            op: CompareOp::Ge,
+            value: Scalar::Float(0.0),
+        }]);
+        // total_cmp: -0.0 < 0.0; NaN > everything
+        let (matches, _) = run(&c, &[&col], 5, 1024);
+        assert_eq!(matches, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn float_set_matches_by_bits() {
+        let col = Column::Float(vec![1.0, 2.0, -0.0, 0.0]);
+        let c = compile(vec![Atom::InSet {
+            col: 0,
+            set: vec![Scalar::Float(0.0), Scalar::Float(2.0)],
+        }]);
+        let (matches, _) = run(&c, &[&col], 4, 1024);
+        assert_eq!(matches, vec![1, 3], "-0.0 is distinct from 0.0");
+    }
+
+    #[test]
+    fn dict_mask_covers_string_plans() {
+        let mut b = DictBuilder::new();
+        for s in ["eu", "us", "apac", "eu", "us", "eu"] {
+            b.push(s);
+        }
+        let col = Column::Str(b.finish());
+        let c = compile(vec![Atom::InSet {
+            col: 0,
+            set: vec![Scalar::from("eu"), Scalar::from("apac")],
+        }]);
+        let (matches, _) = run(&c, &[&col], 6, 2);
+        assert_eq!(matches, vec![0, 2, 3, 5]);
+    }
+
+    #[test]
+    fn type_mismatch_between_plan_and_column_matches_nothing() {
+        let col = Column::Int((0..10).collect());
+        let c = compile(vec![Atom::Compare {
+            col: 0,
+            op: CompareOp::Ge,
+            value: Scalar::from("a"),
+        }]);
+        let (matches, _) = run(&c, &[&col], 10, 1024);
+        assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn tautology_materializes_all_rows_without_chunks() {
+        let c = compile(vec![]);
+        let rows: Vec<u32> = vec![4, 9, 2];
+        let mut sel = Vec::new();
+        let mut matches = Vec::new();
+        let mut counters = KernelCounters::default();
+        scan_partition(&c, &[], &rows, &mut sel, &mut matches, &mut counters);
+        assert_eq!(matches, rows);
+        assert_eq!(counters, KernelCounters::default());
+    }
+
+    #[test]
+    fn multi_column_and_short_circuits_and_reorders() {
+        let n = 4096usize;
+        // col 0 passes ~1/64 of rows, col 1 passes ~1/3 — but col 1 comes
+        // first in the predicate, so the adaptive order must flip them.
+        let c0 = Column::Int((0..n as i64).map(|i| i % 64).collect());
+        let c1 = Column::Int((0..n as i64).map(|i| i % 3).collect());
+        let c = compile(vec![between(1, 0, 0), between(0, 0, 0)]);
+        let cols = [&c1, &c0]; // aligned with first-use order: col 1, col 0
+        let (matches, counters) = run(&c, &cols, n, CHUNK_ROWS);
+        let expected: Vec<u32> = (0..n as u32).filter(|i| i % 192 == 0).collect();
+        assert_eq!(matches, expected);
+        assert_eq!(counters.chunks_evaluated, 4);
+        // After the first chunk the 1/64 kernel runs first, so later chunks
+        // short-circuit ~63/64 of the second kernel's work.
+        assert!(
+            counters.rows_short_circuited > 2 * CHUNK_ROWS as u64,
+            "expected substantial short-circuiting, got {}",
+            counters.rows_short_circuited
+        );
+    }
+
+    #[test]
+    fn never_plan_yields_no_matches_but_counts_chunks() {
+        let col = Column::Int((0..10).collect());
+        let c = compile(vec![between(0, 5, 3)]);
+        assert!(c.is_never());
+        let (matches, counters) = run(&c, &[&col], 10, 4);
+        assert!(matches.is_empty());
+        assert_eq!(counters.chunks_evaluated, 3);
+    }
+}

@@ -31,6 +31,15 @@
 //!    predicate's columns touch, so scan cost is *real* block transfers —
 //!    split into cold (disk) and cached (pool) bytes — instead of bytes
 //!    merely accounted at file sizes.
+//!
+//! Both serving scan paths evaluate predicates through the vectorized
+//! [`kernel`] layer: compiled per-column plans ([`oreo_query::compile`])
+//! run over [`CHUNK_ROWS`]-row chunks into reusable selection vectors,
+//! ANDed cheapest-selectivity-first with late materialization of global row
+//! ids. The row-at-a-time interpreters survive as
+//! [`TableSnapshot::scan_rowwise`] / [`TableSnapshot::scan_pooled_rowwise`]
+//! — the correctness oracle the property tests and the `scan_kernels`
+//! microbench compare against.
 
 pub mod bufpool;
 pub mod column;
@@ -38,6 +47,7 @@ pub mod diskstore;
 pub mod encode;
 pub mod error;
 pub mod format;
+pub mod kernel;
 pub mod layout_model;
 pub mod partition;
 pub mod snapshot;
@@ -49,6 +59,7 @@ pub use column::{atom_matches_ref, Column, DictBuilder, DictColumn, ValueRef};
 pub use diskstore::{concat_tables, DiskStore, PartitionHandle, ScanStats};
 pub use error::{Result, StorageError};
 pub use format::{ColumnExtent, PartitionFooter};
+pub use kernel::{KernelCounters, CHUNK_ROWS};
 pub use layout_model::{cost_vector_distance, LayoutId, LayoutModel};
 pub use partition::{
     build_metadata, build_metadata_capped, PartitionMetadata, DEFAULT_DISTINCT_CAP,

@@ -14,13 +14,15 @@
 //! which queries are still served by the old layout.
 
 use crate::bufpool::BufferPool;
+use crate::column::Column;
 use crate::error::{Result, StorageError};
 use crate::format::ColumnExtent;
+use crate::kernel::{self, KernelCounters};
 use crate::layout_model::{LayoutId, LayoutModel};
 use crate::partition::{build_metadata, PartitionMetadata};
 use crate::table::Table;
 use crate::tiered::{part_file, Generation};
-use oreo_query::Predicate;
+use oreo_query::{ColId, CompiledPredicate, Predicate};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -64,6 +66,12 @@ pub struct SnapshotScan {
     /// Page bytes this scan served from the buffer pool (hits). Zero for
     /// memory-resident scans.
     pub io_cached_bytes: u64,
+    /// Selection-vector chunks the vectorized kernels evaluated (zero on
+    /// the row-at-a-time oracle paths and for tautological predicates).
+    pub chunks_evaluated: u64,
+    /// Row × kernel evaluations the adaptive AND order skipped because the
+    /// selection vector had already shrunk (zero on the oracle paths).
+    pub rows_short_circuited: u64,
 }
 
 impl SnapshotScan {
@@ -225,9 +233,53 @@ impl TableSnapshot {
     }
 
     /// Execute one predicate against the snapshot: prune partitions by
-    /// metadata, scan the survivors row-by-row, and report the matching
-    /// *global* row ids (ascending, so results are layout-independent).
+    /// metadata, evaluate the survivors through the vectorized
+    /// [`kernel`] layer, and report the matching *global*
+    /// row ids (ascending, so results are layout-independent).
     pub fn scan(&self, predicate: &Predicate) -> SnapshotScan {
+        let compiled = CompiledPredicate::compile(predicate);
+        let mut out = SnapshotScan {
+            partitions_total: self.partitions.len(),
+            ..Default::default()
+        };
+        let mut counters = KernelCounters::default();
+        let mut sel: Vec<u32> = Vec::new();
+        let mut cols: Vec<&Column> = Vec::with_capacity(compiled.columns().len());
+        for part in &self.partitions {
+            if !part.meta.may_match(predicate) {
+                continue;
+            }
+            out.partitions_read += 1;
+            out.rows_read += part.data.num_rows() as u64;
+            out.bytes_scanned += part.bytes;
+            cols.clear();
+            cols.extend(
+                compiled
+                    .columns()
+                    .iter()
+                    .map(|cp| part.data.column(cp.col())),
+            );
+            kernel::scan_partition(
+                &compiled,
+                &cols,
+                &part.rows,
+                &mut sel,
+                &mut out.matches,
+                &mut counters,
+            );
+        }
+        out.chunks_evaluated = counters.chunks_evaluated;
+        out.rows_short_circuited = counters.rows_short_circuited;
+        out.matches.sort_unstable();
+        out
+    }
+
+    /// Row-at-a-time reference implementation of [`TableSnapshot::scan`]:
+    /// the original interpreter, kept as the correctness oracle for the
+    /// vectorized kernels (property tests assert result equality) and as
+    /// the baseline the `scan_kernels` microbench measures against. Kernel
+    /// counters stay zero.
+    pub fn scan_rowwise(&self, predicate: &Predicate) -> SnapshotScan {
         let mut out = SnapshotScan {
             partitions_total: self.partitions.len(),
             ..Default::default()
@@ -249,16 +301,62 @@ impl TableSnapshot {
         out
     }
 
+    /// Fetch and decode the payloads of `cols` for partition `index`
+    /// through the pool, accumulating byte accounting into `out`. Returned
+    /// columns align with `cols`.
+    fn fetch_partition_columns(
+        &self,
+        generation: &Arc<Generation>,
+        index: usize,
+        part: &SnapshotPartition,
+        cols: &[ColId],
+        pool: &BufferPool,
+        out: &mut SnapshotScan,
+    ) -> Result<Vec<Column>> {
+        let extents = part
+            .extents
+            .as_ref()
+            .ok_or_else(|| StorageError::Corrupt(format!("partition {index} has no page index")))?;
+        let nrows = part.rows.len();
+        let path = generation.dir().join(part_file(index));
+        let mut decoded = Vec::with_capacity(cols.len());
+        for &col in cols {
+            let extent = extents.get(col).ok_or_else(|| {
+                StorageError::Corrupt(format!(
+                    "column {col} missing from partition {index} page index"
+                ))
+            })?;
+            let (payload, io) =
+                pool.read_range(generation, index as u32, &path, extent.offset, extent.len)?;
+            out.io_cold_bytes += io.cold_bytes;
+            out.io_cached_bytes += io.cached_bytes;
+            out.bytes_scanned += io.cold_bytes + io.cached_bytes;
+            // Checksums guard the disk→memory boundary: a read that touched
+            // disk verifies the payload; a read served entirely from cached
+            // pages re-reads bytes a cold read already verified.
+            decoded.push(if io.cold_bytes > 0 {
+                extent.decode(&payload, nrows, col)?
+            } else {
+                extent.decode_trusted(&payload, nrows, col)?
+            });
+        }
+        Ok(decoded)
+    }
+
     /// Execute one predicate against the snapshot's *on-disk* generation
     /// through a [`BufferPool`]: prune partitions by metadata, then for
     /// each surviving partition fetch only the pages covering the
-    /// predicate's column payloads, decode, and evaluate row by row.
+    /// predicate's column payloads, decode into chunk-ready columns, and
+    /// evaluate through the vectorized [`kernel`] layer.
     ///
     /// Returns exactly the matches [`TableSnapshot::scan`] returns, but the
     /// bytes actually travel through the pool: `bytes_scanned` counts the
     /// page bytes touched and `io_cold_bytes` / `io_cached_bytes` split
     /// them into disk reads and pool hits — the block-transfer accounting
-    /// the cost model's scan side needs to be honest about.
+    /// the cost model's scan side needs to be honest about. An empty
+    /// (always-true) predicate matches every row *without reading any
+    /// column payload*: it needs no cell values, so its honest I/O cost is
+    /// zero bytes.
     ///
     /// Fails if the snapshot is not backed by a footer-indexed generation
     /// (memory-only snapshots, or generations written before the page
@@ -269,10 +367,72 @@ impl TableSnapshot {
             .generation
             .as_ref()
             .ok_or_else(|| StorageError::Corrupt("snapshot has no on-disk generation".into()))?;
-        let mut cols = predicate.columns();
-        if cols.is_empty() {
-            cols.push(0);
+        let generation = Arc::clone(generation);
+        let compiled = CompiledPredicate::compile(predicate);
+        let cols: Vec<ColId> = compiled.columns().iter().map(|cp| cp.col()).collect();
+        let mut out = SnapshotScan {
+            partitions_total: self.partitions.len(),
+            ..Default::default()
+        };
+        let mut counters = KernelCounters::default();
+        let mut sel: Vec<u32> = Vec::new();
+        for (index, part) in self.partitions.iter().enumerate() {
+            if !part.meta.may_match(predicate) {
+                continue;
+            }
+            out.partitions_read += 1;
+            out.rows_read += part.rows.len() as u64;
+            if compiled.is_tautology() {
+                out.matches.extend_from_slice(&part.rows);
+                continue;
+            }
+            let decoded =
+                self.fetch_partition_columns(&generation, index, part, &cols, pool, &mut out)?;
+            let col_refs: Vec<&Column> = decoded.iter().collect();
+            kernel::scan_partition(
+                &compiled,
+                &col_refs,
+                &part.rows,
+                &mut sel,
+                &mut out.matches,
+                &mut counters,
+            );
         }
+        out.chunks_evaluated = counters.chunks_evaluated;
+        out.rows_short_circuited = counters.rows_short_circuited;
+        out.matches.sort_unstable();
+        Ok(out)
+    }
+
+    /// Row-at-a-time reference implementation of
+    /// [`TableSnapshot::scan_pooled`]: identical I/O (same column payloads
+    /// through the same pool, including the zero-I/O empty-predicate rule)
+    /// but per-row atom interpretation — the correctness oracle for the
+    /// pooled kernel path and the baseline the `scan_kernels` microbench
+    /// measures against. Atom column lookups go through a slot index
+    /// computed once per scan, not a per-row linear search. Kernel counters
+    /// stay zero.
+    pub fn scan_pooled_rowwise(
+        &self,
+        predicate: &Predicate,
+        pool: &BufferPool,
+    ) -> Result<SnapshotScan> {
+        let generation = self
+            .generation
+            .as_ref()
+            .ok_or_else(|| StorageError::Corrupt("snapshot has no on-disk generation".into()))?;
+        let generation = Arc::clone(generation);
+        let cols = predicate.columns();
+        // Direct atom → decoded-column slot index, resolved once.
+        let atom_slots: Vec<usize> = predicate
+            .atoms()
+            .iter()
+            .map(|a| {
+                cols.iter()
+                    .position(|&c| c == a.col())
+                    .expect("atom column in predicate.columns()")
+            })
+            .collect();
         let mut out = SnapshotScan {
             partitions_total: self.partitions.len(),
             ..Default::default()
@@ -281,39 +441,20 @@ impl TableSnapshot {
             if !part.meta.may_match(predicate) {
                 continue;
             }
-            let extents = part.extents.as_ref().ok_or_else(|| {
-                StorageError::Corrupt(format!("partition {index} has no page index"))
-            })?;
             out.partitions_read += 1;
             let nrows = part.rows.len();
             out.rows_read += nrows as u64;
-            let path = generation.dir().join(part_file(index));
-            let mut decoded = Vec::with_capacity(cols.len());
-            for &col in &cols {
-                let extent = extents.get(col).ok_or_else(|| {
-                    StorageError::Corrupt(format!(
-                        "column {col} missing from partition {index} page index"
-                    ))
-                })?;
-                let (payload, io) =
-                    pool.read_range(generation, index as u32, &path, extent.offset, extent.len)?;
-                out.io_cold_bytes += io.cold_bytes;
-                out.io_cached_bytes += io.cached_bytes;
-                out.bytes_scanned += io.cold_bytes + io.cached_bytes;
-                decoded.push((col, extent.decode(&payload, nrows, col)?));
+            if cols.is_empty() {
+                out.matches.extend_from_slice(&part.rows);
+                continue;
             }
-            let lookup = |col: usize| {
-                decoded
-                    .iter()
-                    .find(|(c, _)| *c == col)
-                    .map(|(_, column)| column)
-                    .expect("projected column present")
-            };
+            let decoded =
+                self.fetch_partition_columns(&generation, index, part, &cols, pool, &mut out)?;
             for local in 0..nrows {
-                let hit = predicate
-                    .atoms()
-                    .iter()
-                    .all(|a| crate::column::atom_matches_ref(a, lookup(a.col()).get(local)));
+                let hit =
+                    predicate.atoms().iter().zip(&atom_slots).all(|(a, &slot)| {
+                        crate::column::atom_matches_ref(a, decoded[slot].get(local))
+                    });
                 if hit {
                     out.matches.push(part.rows[local]);
                 }
@@ -418,6 +559,28 @@ mod tests {
         }])
     }
 
+    /// A table exercising all three physical column representations:
+    /// `v` = i, `w` = (i*7)%100, `f` = i/3.0, `tag` = cycled category.
+    fn rich_table(n: i64) -> Table {
+        let s = Arc::new(Schema::from_pairs([
+            ("v", ColumnType::Int),
+            ("w", ColumnType::Int),
+            ("f", ColumnType::Float),
+            ("tag", ColumnType::Str),
+        ]));
+        let tags = ["eu", "us", "apac", "latam"];
+        let mut b = TableBuilder::new(Arc::clone(&s));
+        for i in 0..n {
+            b.push_row(&[
+                Scalar::Int(i),
+                Scalar::Int((i * 7) % 100),
+                Scalar::Float(i as f64 / 3.0),
+                Scalar::from(tags[(i % 4) as usize]),
+            ]);
+        }
+        b.finish()
+    }
+
     #[test]
     fn build_covers_every_row_once() {
         let t = table(100);
@@ -482,9 +645,142 @@ mod tests {
         assert_eq!(cell.pin().epoch(), 2);
     }
 
+    /// Multi-atom predicate over all three column representations, with a
+    /// selective leading column so the AND order has work to skip.
+    fn rich_pred() -> Predicate {
+        Predicate::new(vec![
+            Atom::Between {
+                col: 1,
+                low: Scalar::Int(10),
+                high: Scalar::Int(40),
+            },
+            Atom::Compare {
+                col: 2,
+                op: oreo_query::CompareOp::Ge,
+                value: Scalar::Float(5.0),
+            },
+            Atom::InSet {
+                col: 3,
+                set: vec![Scalar::from("eu"), Scalar::from("apac")],
+            },
+        ])
+    }
+
+    #[test]
+    fn kernel_scan_equals_rowwise_at_chunk_boundaries() {
+        // Partition sizes straddling the 1024-row chunk: 1023/1024/1025
+        // plus two-chunk sizes, on every column representation.
+        for n in [1023i64, 1024, 1025, 2048, 2049] {
+            let t = rich_table(n);
+            let assign: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
+            let snap = TableSnapshot::build(&t, &assign, 2, 0, "mod2");
+            let pred = rich_pred();
+            let fast = snap.scan(&pred);
+            let oracle = snap.scan_rowwise(&pred);
+            assert_eq!(fast.matches, oracle.matches, "n={n}");
+            assert_eq!(fast.rows_read, oracle.rows_read);
+            assert_eq!(fast.bytes_scanned, oracle.bytes_scanned);
+            assert_eq!(fast.partitions_read, oracle.partitions_read);
+            let expected_chunks: u64 = snap
+                .partitions()
+                .iter()
+                .filter(|p| p.meta.may_match(&pred))
+                .map(|p| (p.rows.len() as u64).div_ceil(1024))
+                .sum();
+            assert_eq!(fast.chunks_evaluated, expected_chunks, "n={n}");
+            assert_eq!(oracle.chunks_evaluated, 0, "oracle path runs no kernels");
+            assert_eq!(oracle.rows_short_circuited, 0);
+        }
+    }
+
+    #[test]
+    fn kernel_counters_report_short_circuited_work() {
+        let t = rich_table(3000);
+        let assign: Vec<u32> = (0..3000).map(|i| (i % 2) as u32).collect();
+        let snap = TableSnapshot::build(&t, &assign, 2, 0, "mod2");
+        let scan = snap.scan(&rich_pred());
+        assert!(scan.chunks_evaluated > 0);
+        assert!(
+            scan.rows_short_circuited > 0,
+            "a selective multi-atom AND must skip later-kernel work"
+        );
+    }
+
+    #[test]
+    fn pooled_empty_predicate_reads_no_payload() {
+        let t = rich_table(300);
+        let assign: Vec<u32> = (0..300).map(|i| (i % 3) as u32).collect();
+        let mut snap = TableSnapshot::build(&t, &assign, 3, 0, "mod3");
+        let root = std::env::temp_dir().join(format!(
+            "oreo-snap-empty-{}-{}",
+            std::process::id(),
+            rand::random::<u64>()
+        ));
+        let (store, _) = crate::tiered::TieredStore::create(&root, &mut snap).unwrap();
+        let pool = crate::bufpool::BufferPool::new(crate::bufpool::BufferPoolConfig::default());
+        for scan in [
+            snap.scan_pooled(&Predicate::always_true(), &pool).unwrap(),
+            snap.scan_pooled_rowwise(&Predicate::always_true(), &pool)
+                .unwrap(),
+        ] {
+            assert_eq!(scan.matches, (0..300u32).collect::<Vec<_>>());
+            assert_eq!(scan.rows_read, 300);
+            assert_eq!(scan.partitions_read, 3);
+            assert_eq!(scan.bytes_scanned, 0, "tautology needs no column payload");
+            assert_eq!(scan.io_cold_bytes, 0);
+            assert_eq!(scan.io_cached_bytes, 0);
+        }
+        drop(store);
+        drop(snap);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
     mod proptests {
         use super::*;
         use proptest::prelude::*;
+
+        fn atom_any() -> impl Strategy<Value = Atom> {
+            prop_oneof![
+                // int range on v (col 0, domain 0..n) or w (col 1, 0..100)
+                (0usize..2, -20i64..120, 0i64..80).prop_map(|(col, lo, span)| Atom::Between {
+                    col,
+                    low: Scalar::Int(lo),
+                    high: Scalar::Int(lo + span),
+                }),
+                // possibly-contradictory compare on w
+                (-20i64..120, 0usize..5).prop_map(|(v, op)| Atom::Compare {
+                    col: 1,
+                    op: [
+                        oreo_query::CompareOp::Lt,
+                        oreo_query::CompareOp::Le,
+                        oreo_query::CompareOp::Gt,
+                        oreo_query::CompareOp::Ge,
+                        oreo_query::CompareOp::Eq,
+                    ][op],
+                    value: Scalar::Int(v),
+                }),
+                // float bound on f (col 2)
+                (-10i64..80).prop_map(|v| Atom::Compare {
+                    col: 2,
+                    op: oreo_query::CompareOp::Le,
+                    value: Scalar::Float(v as f64 / 2.0),
+                }),
+                // categorical membership on tag (col 3), may include misses
+                proptest::collection::vec(0usize..5, 1..3).prop_map(|idx| Atom::InSet {
+                    col: 3,
+                    set: idx
+                        .into_iter()
+                        .map(|i| Scalar::from(["eu", "us", "apac", "latam", "none"][i]))
+                        .collect(),
+                }),
+            ]
+        }
+
+        /// 0 atoms = tautology; repeated columns and contradictions arise
+        /// naturally from the strategy.
+        fn pred_any() -> impl Strategy<Value = Predicate> {
+            proptest::collection::vec(atom_any(), 0..4).prop_map(Predicate::new)
+        }
 
         proptest! {
             /// Snapshot build never loses or duplicates rows, whatever the
@@ -549,6 +845,85 @@ mod tests {
                     prop_assert_eq!(
                         pooled.io_cold_bytes + pooled.io_cached_bytes,
                         pooled.bytes_scanned
+                    );
+                }
+                drop(store);
+                drop(snap);
+                let _ = std::fs::remove_dir_all(&root);
+            }
+
+            /// The vectorized in-memory scan path is indistinguishable from
+            /// the row-at-a-time oracle — matches *and* accounting — over
+            /// random layouts, chunk-straddling row counts, and predicates
+            /// including empty, contradictory, and multi-atom conjunctions
+            /// over every physical column representation.
+            #[test]
+            fn vectorized_scan_equals_rowwise_oracle(
+                n in 1usize..2200,
+                k in 1usize..6,
+                seedish in proptest::collection::vec(0u32..6, 1..60),
+                pred in pred_any(),
+            ) {
+                let t = rich_table(n as i64);
+                let assignment: Vec<u32> = (0..n)
+                    .map(|i| seedish[i % seedish.len()] % k as u32)
+                    .collect();
+                let snap = TableSnapshot::build(&t, &assignment, k, 0, "p");
+                let fast = snap.scan(&pred);
+                let oracle = snap.scan_rowwise(&pred);
+                prop_assert_eq!(&fast.matches, &oracle.matches, "pred {:?}", pred);
+                prop_assert_eq!(fast.rows_read, oracle.rows_read);
+                prop_assert_eq!(fast.bytes_scanned, oracle.bytes_scanned);
+                prop_assert_eq!(fast.partitions_read, oracle.partitions_read);
+                prop_assert_eq!(oracle.chunks_evaluated, 0);
+                prop_assert_eq!(oracle.rows_short_circuited, 0);
+            }
+
+            /// The vectorized pooled scan path is indistinguishable from the
+            /// pooled row-at-a-time oracle — matches, rows, payload bytes,
+            /// and the cold/cached I/O invariant — cold and warm, and both
+            /// agree with the in-memory scan's row set.
+            #[test]
+            fn pooled_vectorized_equals_pooled_oracle(
+                n in 1usize..120,
+                k in 1usize..5,
+                seedish in proptest::collection::vec(0u32..5, 1..60),
+                page_pow in 5u32..12,
+                cap_pages in 1u64..32,
+                pred in pred_any(),
+            ) {
+                let t = rich_table(n as i64);
+                let assignment: Vec<u32> = (0..n)
+                    .map(|i| seedish[i % seedish.len()] % k as u32)
+                    .collect();
+                let mut snap = TableSnapshot::build(&t, &assignment, k, 0, "p");
+                let root = std::env::temp_dir().join(format!(
+                    "oreo-snap-vprop-{}-{}",
+                    std::process::id(),
+                    rand::random::<u64>()
+                ));
+                let (store, _) = crate::tiered::TieredStore::create(&root, &mut snap).unwrap();
+                let page_bytes = 1usize << page_pow;
+                let pool = crate::bufpool::BufferPool::new(crate::bufpool::BufferPoolConfig {
+                    capacity_bytes: cap_pages * page_bytes as u64,
+                    page_bytes,
+                });
+                let mem = snap.scan(&pred);
+                for round in 0..2 {
+                    let fast = snap.scan_pooled(&pred, &pool).unwrap();
+                    let oracle = snap.scan_pooled_rowwise(&pred, &pool).unwrap();
+                    prop_assert_eq!(&fast.matches, &mem.matches, "round {}", round);
+                    prop_assert_eq!(&fast.matches, &oracle.matches);
+                    prop_assert_eq!(fast.rows_read, oracle.rows_read);
+                    prop_assert_eq!(fast.partitions_read, oracle.partitions_read);
+                    prop_assert_eq!(fast.bytes_scanned, oracle.bytes_scanned);
+                    prop_assert_eq!(
+                        fast.io_cold_bytes + fast.io_cached_bytes,
+                        fast.bytes_scanned
+                    );
+                    prop_assert_eq!(
+                        oracle.io_cold_bytes + oracle.io_cached_bytes,
+                        oracle.bytes_scanned
                     );
                 }
                 drop(store);

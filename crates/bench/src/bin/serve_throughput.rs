@@ -28,18 +28,30 @@
 //! report carries hit-rate and qps per cell so a capacity sweep plots
 //! qps-vs-capacity directly.
 //!
+//! `--scenario <name>` swaps the TPC-H drift stream for a member of the
+//! workload zoo (`oreo-workload::scenarios`, over the telemetry dataset):
+//! `flash-crowd`, `diurnal`, `rotating`, `correlated`, or `adversarial`
+//! (the adaptive MTS adversary, generated against a live OREO instance).
+//! `--scenario suite` runs every zoo member through both the simulator
+//! (OREO vs the fully informed Static baseline, plus the offline-DP 2·H(n)
+//! bound for the adversary) and one engine serving cell, asserts the
+//! zoo's two regression claims programmatically, and writes
+//! `BENCH_scenarios.json` — the repo's scenario regression trajectory.
+//!
 //! Flags: `--quick` (reduced scale), `--tiered` (disk-tiered serving),
-//! `--buffer-pool-mb <n>` (tiered page-cache capacity), `--json <path>`
-//! (machine-readable report for cross-PR trajectories).
+//! `--buffer-pool-mb <n>` (tiered page-cache capacity), `--scenario
+//! <name|suite>` (workload zoo), `--json <path>` (machine-readable report
+//! for cross-PR trajectories).
 
 use oreo_bench::common::{
     default_config, json_path_arg, make_stream, write_json_report, Json, Scale,
 };
 use oreo_engine::{Engine, EngineConfig, EngineStats, ServeMode};
 use oreo_sim::{
-    default_spec, fmt_f, make_generator, run_policy, PolicySetup, Technique, ThroughputReport,
+    adversarial_bound, compare_oreo_static, default_spec, fmt_f, make_generator, run_policy,
+    zoo_stream, PolicySetup, Technique, ThroughputReport,
 };
-use oreo_workload::{tpch_bundle, QueryStream};
+use oreo_workload::{telemetry_bundle, tpch_bundle, QueryStream, Scenario, ScenarioConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -53,7 +65,45 @@ fn serving_queries(scale: Scale) -> usize {
     }
 }
 
+/// Queries per scenario in `--scenario suite` mode: long enough that every
+/// zoo phase amortizes α at the paper's ratio (~1 500 queries per phase at
+/// α = 80; see ROADMAP.md on `policy_ordering`) *and* that enough distinct
+/// phase anchors accumulate to overflow the fully informed Static layout's
+/// partition budget — the zoo's ordering claim needs ≥ 8 phases.
+fn suite_queries(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 12_000,
+        Scale::Full => 20_000,
+    }
+}
+
+/// The zoo scenarios' framework configuration: the paper defaults, but with
+/// the candidate window/generation cadence halved. Zoo phases are ~1 500
+/// queries, so candidates must be trained on intra-phase windows — at the
+/// default 200-query cadence a generation straddles phase boundaries often
+/// enough that the rotating scenario churns between mixed-shape layouts
+/// instead of parking on per-phase ones.
+fn scenario_config(seed: u64) -> oreo_core::OreoConfig {
+    oreo_core::OreoConfig {
+        window: 100,
+        generation_interval: 100,
+        ..default_config(seed)
+    }
+}
+
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Worker counts for single-scenario serving cells (reorg always on — the
+/// zoo exists to exercise reorganization behavior).
+const SCENARIO_WORKERS: [usize; 3] = [1, 2, 4];
+
+/// The additive constant `c` of the asserted adversarial bound
+/// `cost(OREO) ≤ 2·H(n)·cost(OFF) + c·α`. The proof grants O(α) for the
+/// phase in flight; the full framework adds estimate-vs-exact noise
+/// (decisions on sample estimates, billing on exact models), measured well
+/// inside this slack — see `tests/competitive_ratio.rs`, which asserts the
+/// same constant.
+const SUITE_SLACK_ALPHAS: f64 = 8.0;
 
 /// A fresh generation root for one tiered cell (removed after the run).
 fn cell_root(tag: &str) -> PathBuf {
@@ -87,6 +137,15 @@ fn parse_pool_mb() -> u64 {
         .unwrap_or(64)
 }
 
+/// Parse `--scenario <name|suite>`, if present.
+fn parse_scenario() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--scenario")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 fn run_cell(
     bundle: &oreo_workload::DatasetBundle,
     stream: &QueryStream,
@@ -94,9 +153,9 @@ fn run_cell(
     background_reorg: bool,
     tiered: bool,
     pool_mb: u64,
-    seed: u64,
+    config: &oreo_core::OreoConfig,
 ) -> (ThroughputReport, EngineStats) {
-    let config = default_config(seed);
+    let config = config.clone();
     let initial = default_spec(bundle, config.partitions, config.seed);
     let generator = make_generator(Technique::QdTree, bundle);
     let mode = serve_mode(tiered, &format!("w{workers}-r{background_reorg}"));
@@ -158,45 +217,26 @@ fn run_cell(
     (report, stats)
 }
 
-fn main() {
-    let scale = Scale::from_args();
-    let tiered = std::env::args().any(|a| a == "--tiered");
-    let pool_mb = parse_pool_mb();
-    let json_path = json_path_arg();
-    let seed = 3;
-    let queries = serving_queries(scale);
-
-    println!("== Serving throughput: concurrent engine vs worker count ==");
-    println!(
-        "scale: {} ({} rows, {} queries/cell, serve mode: {}, {} hardware threads available)",
-        scale.label(),
-        scale.rows(),
-        queries,
-        if tiered {
-            format!("tiered, {pool_mb} MiB buffer pool")
-        } else {
-            "memory".into()
-        },
-        std::thread::available_parallelism().map_or(0, |n| n.get()),
-    );
-    println!();
-
-    let bundle = tpch_bundle(scale.rows(), 1);
-    let mut stream = make_stream(&bundle, scale, 2);
-    stream.queries.truncate(queries);
-
-    // Ledger parity: sequential simulator vs single-worker FIFO engine —
-    // in the *same* serve mode as the measured cells, so the acceptance
-    // check covers the tiered path too.
-    let setup = PolicySetup::new(bundle.clone(), Technique::QdTree, default_config(seed));
+/// Replay `stream` through `oreo-sim`'s sequential OREO and through a
+/// single-worker FIFO engine in the measured serve mode, asserting the two
+/// ledgers are identical. Returns `true` (the assertion fires otherwise) so
+/// JSON reports can carry the check.
+fn assert_ledger_parity(
+    bundle: &oreo_workload::DatasetBundle,
+    stream: &QueryStream,
+    tiered: bool,
+    pool_mb: u64,
+    config: &oreo_core::OreoConfig,
+) -> bool {
+    let setup = PolicySetup::new(bundle.clone(), Technique::QdTree, config.clone());
     let mut sequential = setup.oreo();
     let sim_result = run_policy(&mut sequential, &stream.queries, 0);
     let parity_mode = serve_mode(tiered, "parity");
     let parity_engine = Engine::start(
         Arc::clone(&bundle.table),
-        default_spec(&bundle, default_config(seed).partitions, seed),
-        make_generator(Technique::QdTree, &bundle),
-        default_config(seed),
+        default_spec(bundle, config.partitions, config.seed),
+        make_generator(Technique::QdTree, bundle),
+        config.clone(),
         EngineConfig::sequential_parity()
             .with_mode(parity_mode.clone())
             .with_buffer_pool_bytes(pool_mb * 1024 * 1024),
@@ -223,13 +263,121 @@ fn main() {
         ledgers_match,
         "single-threaded engine ledger must replay oreo-sim exactly"
     );
+    ledgers_match
+}
+
+/// One serving cell as a JSON object (the `cells` array entry shared by
+/// every mode of this binary).
+fn cell_json(r: &ThroughputReport) -> Json {
+    Json::obj([
+        ("mode", Json::from(r.label.clone())),
+        ("serve_mode", Json::from(r.serve_mode.clone())),
+        ("workers", Json::from(r.workers)),
+        ("queries", Json::from(r.queries)),
+        ("elapsed_s", Json::from(r.elapsed_s)),
+        ("qps", Json::from(r.qps)),
+        ("p50_us", Json::from(r.p50_us)),
+        ("p99_us", Json::from(r.p99_us)),
+        ("mean_us", Json::from(r.mean_us)),
+        ("switches", Json::from(r.switches)),
+        ("reorgs_completed", Json::from(r.reorgs_completed)),
+        ("mean_delta_queries", Json::from(r.mean_delta_queries)),
+        ("mean_delta_s", Json::from(r.mean_delta_s)),
+        ("bytes_scanned", Json::from(r.bytes_scanned)),
+        ("reorg_bytes_written", Json::from(r.reorg_bytes_written)),
+        (
+            "alpha_empirical",
+            if r.alpha_empirical > 0.0 {
+                Json::from(r.alpha_empirical)
+            } else {
+                Json::Null
+            },
+        ),
+        (
+            "alpha_cold",
+            if r.alpha_cold > 0.0 {
+                Json::from(r.alpha_cold)
+            } else {
+                Json::Null
+            },
+        ),
+        (
+            "alpha_warm",
+            if r.alpha_warm > 0.0 {
+                Json::from(r.alpha_warm)
+            } else {
+                Json::Null
+            },
+        ),
+        ("pool_hits", Json::from(r.pool_hits)),
+        ("pool_misses", Json::from(r.pool_misses)),
+        ("pool_evictions", Json::from(r.pool_evictions)),
+        ("pool_hit_rate", Json::from(r.pool_hit_rate)),
+        ("io_cold_bytes", Json::from(r.io_cold_bytes)),
+        ("io_cached_bytes", Json::from(r.io_cached_bytes)),
+        ("chunks_evaluated", Json::from(r.chunks_evaluated)),
+        ("rows_short_circuited", Json::from(r.rows_short_circuited)),
+        ("total_cost", Json::from(r.total_cost)),
+    ])
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let tiered = std::env::args().any(|a| a == "--tiered");
+    let pool_mb = parse_pool_mb();
+    let json_path = json_path_arg();
+
+    match parse_scenario().as_deref() {
+        None => run_default(scale, tiered, pool_mb, json_path),
+        Some("suite") => run_suite(scale, tiered, pool_mb, json_path),
+        Some(name) => {
+            let scenario = Scenario::from_name(name).unwrap_or_else(|| {
+                let known: Vec<&str> = Scenario::ALL.iter().map(|s| s.name()).collect();
+                panic!("unknown scenario {name:?}; known: {known:?} (or \"suite\")")
+            });
+            run_scenario(scenario, scale, tiered, pool_mb, json_path);
+        }
+    }
+}
+
+/// The original harness: TPC-H drift stream over the full worker × reorg
+/// grid.
+fn run_default(scale: Scale, tiered: bool, pool_mb: u64, json_path: Option<PathBuf>) {
+    let seed = 3;
+    let queries = serving_queries(scale);
+
+    println!("== Serving throughput: concurrent engine vs worker count ==");
+    println!(
+        "scale: {} ({} rows, {} queries/cell, serve mode: {}, {} hardware threads available)",
+        scale.label(),
+        scale.rows(),
+        queries,
+        if tiered {
+            format!("tiered, {pool_mb} MiB buffer pool")
+        } else {
+            "memory".into()
+        },
+        std::thread::available_parallelism().map_or(0, |n| n.get()),
+    );
+    println!();
+
+    let bundle = tpch_bundle(scale.rows(), 1);
+    let mut stream = make_stream(&bundle, scale, 2);
+    stream.queries.truncate(queries);
+    let config = default_config(seed);
+
+    // Ledger parity: sequential simulator vs single-worker FIFO engine —
+    // in the *same* serve mode as the measured cells, so the acceptance
+    // check covers the tiered path too.
+    let ledgers_match = assert_ledger_parity(&bundle, &stream, tiered, pool_mb, &config);
     println!();
 
     let mut reports: Vec<ThroughputReport> = Vec::new();
     let mut alpha_cells: Vec<(usize, EngineStats)> = Vec::new();
     for &workers in &WORKER_COUNTS {
         for reorg in [true, false] {
-            let (report, stats) = run_cell(&bundle, &stream, workers, reorg, tiered, pool_mb, seed);
+            let (report, stats) =
+                run_cell(&bundle, &stream, workers, reorg, tiered, pool_mb, &config);
             println!(
                 "[workers={} {}] {:>7} qps, p50 {:>6} µs, p99 {:>7} µs, {} switches, {} reorgs, \
                  mean Δ = {} queries / {}s",
@@ -324,61 +472,7 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let rows = reports
-            .iter()
-            .map(|r| {
-                Json::obj([
-                    ("mode", Json::from(r.label.clone())),
-                    ("serve_mode", Json::from(r.serve_mode.clone())),
-                    ("workers", Json::from(r.workers)),
-                    ("queries", Json::from(r.queries)),
-                    ("elapsed_s", Json::from(r.elapsed_s)),
-                    ("qps", Json::from(r.qps)),
-                    ("p50_us", Json::from(r.p50_us)),
-                    ("p99_us", Json::from(r.p99_us)),
-                    ("mean_us", Json::from(r.mean_us)),
-                    ("switches", Json::from(r.switches)),
-                    ("reorgs_completed", Json::from(r.reorgs_completed)),
-                    ("mean_delta_queries", Json::from(r.mean_delta_queries)),
-                    ("mean_delta_s", Json::from(r.mean_delta_s)),
-                    ("bytes_scanned", Json::from(r.bytes_scanned)),
-                    ("reorg_bytes_written", Json::from(r.reorg_bytes_written)),
-                    (
-                        "alpha_empirical",
-                        if r.alpha_empirical > 0.0 {
-                            Json::from(r.alpha_empirical)
-                        } else {
-                            Json::Null
-                        },
-                    ),
-                    (
-                        "alpha_cold",
-                        if r.alpha_cold > 0.0 {
-                            Json::from(r.alpha_cold)
-                        } else {
-                            Json::Null
-                        },
-                    ),
-                    (
-                        "alpha_warm",
-                        if r.alpha_warm > 0.0 {
-                            Json::from(r.alpha_warm)
-                        } else {
-                            Json::Null
-                        },
-                    ),
-                    ("pool_hits", Json::from(r.pool_hits)),
-                    ("pool_misses", Json::from(r.pool_misses)),
-                    ("pool_evictions", Json::from(r.pool_evictions)),
-                    ("pool_hit_rate", Json::from(r.pool_hit_rate)),
-                    ("io_cold_bytes", Json::from(r.io_cold_bytes)),
-                    ("io_cached_bytes", Json::from(r.io_cached_bytes)),
-                    ("chunks_evaluated", Json::from(r.chunks_evaluated)),
-                    ("rows_short_circuited", Json::from(r.rows_short_circuited)),
-                    ("total_cost", Json::from(r.total_cost)),
-                ])
-            })
-            .collect();
+        let rows = reports.iter().map(cell_json).collect();
         let doc = Json::obj([
             ("benchmark", Json::from("serve_throughput")),
             ("scale", Json::from(scale.label())),
@@ -405,4 +499,270 @@ fn main() {
         ]);
         write_json_report(&path, &doc);
     }
+}
+
+/// One zoo scenario through the serving engine: telemetry dataset, the
+/// scenario's stream (the adversary generated against a live OREO twin),
+/// ledger-parity assertion, then serving cells at 1/2/4 workers with
+/// background reorganization on.
+fn run_scenario(
+    scenario: Scenario,
+    scale: Scale,
+    tiered: bool,
+    pool_mb: u64,
+    json_path: Option<PathBuf>,
+) {
+    let seed = 3;
+    // Zoo phases need ~1 500 queries each to amortize α = 80, so scenario
+    // cells run the longer suite stream rather than `serving_queries`.
+    let queries = suite_queries(scale);
+
+    println!(
+        "== Serving throughput: scenario zoo / {} ==",
+        scenario.name()
+    );
+    println!("  {}", scenario.description());
+    println!("  stresses: {}", scenario.paper_section());
+    println!(
+        "scale: {} ({} rows, {} queries/cell, serve mode: {})",
+        scale.label(),
+        scale.rows(),
+        queries,
+        if tiered {
+            format!("tiered, {pool_mb} MiB buffer pool")
+        } else {
+            "memory".into()
+        },
+    );
+    println!();
+
+    let bundle = telemetry_bundle(scale.rows(), 1);
+    let config = scenario_config(seed);
+    let setup = PolicySetup::new(bundle.clone(), Technique::QdTree, config.clone());
+    let cfg = ScenarioConfig {
+        total_queries: queries,
+        seed: 2,
+    };
+    let stream = zoo_stream(&setup, scenario, cfg);
+
+    let ledgers_match = assert_ledger_parity(&bundle, &stream, tiered, pool_mb, &config);
+    println!();
+
+    let mut reports: Vec<ThroughputReport> = Vec::new();
+    for &workers in &SCENARIO_WORKERS {
+        let (report, _) = run_cell(&bundle, &stream, workers, true, tiered, pool_mb, &config);
+        println!(
+            "[workers={}] {:>7} qps, p50 {:>6} µs, p99 {:>7} µs, {} switches, hit% {:.1}, \
+             α̂ {}",
+            report.workers,
+            fmt_f(report.qps, 0),
+            fmt_f(report.p50_us, 0),
+            fmt_f(report.p99_us, 0),
+            report.switches,
+            report.pool_hit_rate * 100.0,
+            if report.alpha_empirical > 0.0 {
+                fmt_f(report.alpha_empirical, 1)
+            } else {
+                "-".into()
+            },
+        );
+        reports.push(report);
+    }
+
+    println!();
+    println!("{}", ThroughputReport::render_table(&reports));
+
+    if let Some(path) = json_path {
+        let rows = reports.iter().map(cell_json).collect();
+        let doc = Json::obj([
+            ("benchmark", Json::from("serve_scenario")),
+            ("scenario", Json::from(scenario.name())),
+            ("description", Json::from(scenario.description())),
+            ("paper_section", Json::from(scenario.paper_section())),
+            ("scale", Json::from(scale.label())),
+            (
+                "serve_mode",
+                Json::from(if tiered { "tiered" } else { "memory" }),
+            ),
+            (
+                "buffer_pool_mb",
+                if tiered {
+                    Json::from(pool_mb)
+                } else {
+                    Json::Null
+                },
+            ),
+            ("dataset", Json::from(bundle.name)),
+            ("rows", Json::from(scale.rows())),
+            ("queries_per_cell", Json::from(queries)),
+            ("segments", Json::from(stream.segments.len())),
+            ("ledger_parity_with_sim", Json::from(ledgers_match)),
+            ("cells", Json::Arr(rows)),
+        ]);
+        write_json_report(&path, &doc);
+    }
+}
+
+/// The whole zoo: per scenario, the simulator comparison (OREO vs Static;
+/// the 2·H(n) offline-DP bound for the adversary) plus one engine serving
+/// cell. Asserts the zoo's regression claims and writes
+/// `BENCH_scenarios.json`.
+fn run_suite(scale: Scale, tiered: bool, pool_mb: u64, json_path: Option<PathBuf>) {
+    let seed = 3;
+    let queries = suite_queries(scale);
+
+    println!("== Scenario suite: workload zoo regression trajectory ==");
+    println!(
+        "scale: {} ({} rows, {} queries/scenario, serve mode: {}, α = {})",
+        scale.label(),
+        scale.rows(),
+        queries,
+        if tiered { "tiered" } else { "memory" },
+        default_config(seed).alpha,
+    );
+    println!();
+
+    let bundle = telemetry_bundle(scale.rows(), 1);
+    let config = scenario_config(seed);
+    let setup = PolicySetup::new(bundle.clone(), Technique::QdTree, config.clone());
+    let cfg = ScenarioConfig {
+        total_queries: queries,
+        seed: 2,
+    };
+
+    let mut entries: Vec<Json> = Vec::new();
+    let mut bound_json = Json::Null;
+    let mut ordering_failures: Vec<String> = Vec::new();
+    let mut bound_failure: Option<String> = None;
+
+    for scenario in Scenario::ALL {
+        let (stream, bound) = if scenario.is_adversarial() {
+            let (stream, bound) = adversarial_bound(&setup, cfg, SUITE_SLACK_ALPHAS);
+            (stream, Some(bound))
+        } else {
+            (zoo_stream(&setup, scenario, cfg), None)
+        };
+
+        let (oreo_run, static_run) = compare_oreo_static(&setup, &stream);
+        let oreo_total = oreo_run.total();
+        let static_total = static_run.total();
+        let beats_static = oreo_total < static_total;
+
+        let (report, _) = run_cell(&bundle, &stream, 2, true, tiered, pool_mb, &config);
+
+        println!(
+            "[{:>11}] sim: OREO {:>8} vs Static {:>8} ({}{:.1}%), {} switches | \
+             engine: {:>7} qps, p99 {:>7} µs, hit% {:.1}",
+            scenario.name(),
+            fmt_f(oreo_total, 1),
+            fmt_f(static_total, 1),
+            if beats_static { "-" } else { "+" },
+            ((oreo_total - static_total) / static_total * 100.0).abs(),
+            oreo_run.switches,
+            fmt_f(report.qps, 0),
+            fmt_f(report.p99_us, 0),
+            report.pool_hit_rate * 100.0,
+        );
+
+        if let Some(b) = &bound {
+            println!(
+                "[{:>11}] 2·H(n) bound: OREO {:.1} ≤ 2·H({}) · OFF {:.1} + {}·α = {:.1} — {} \
+                 (ratio {:.2}, OFF switches {})",
+                scenario.name(),
+                b.oreo_total,
+                b.n_states,
+                b.offline.total_cost,
+                SUITE_SLACK_ALPHAS,
+                b.bound,
+                if b.holds { "HOLDS" } else { "VIOLATED" },
+                b.ratio,
+                b.offline.switches,
+            );
+            if !b.holds {
+                bound_failure = Some(format!(
+                    "adversarial: OREO {:.1} > bound {:.1}",
+                    b.oreo_total, b.bound
+                ));
+            }
+            bound_json = Json::obj([
+                ("n_states", Json::from(b.n_states)),
+                ("h_n", Json::from(b.h_n)),
+                ("oreo_total", Json::from(b.oreo_total)),
+                ("oreo_switches", Json::from(b.oreo_switches)),
+                ("offline_total", Json::from(b.offline.total_cost)),
+                ("offline_switches", Json::from(b.offline.switches)),
+                ("slack_alphas", Json::from(SUITE_SLACK_ALPHAS)),
+                ("bound", Json::from(b.bound)),
+                ("ratio", Json::from(b.ratio)),
+                ("holds", Json::from(b.holds)),
+            ]);
+        } else if !beats_static {
+            ordering_failures.push(format!(
+                "{}: OREO {oreo_total:.1} ≥ Static {static_total:.1}",
+                scenario.name()
+            ));
+        }
+
+        entries.push(Json::obj([
+            ("scenario", Json::from(scenario.name())),
+            ("description", Json::from(scenario.description())),
+            ("paper_section", Json::from(scenario.paper_section())),
+            ("adversarial", Json::from(scenario.is_adversarial())),
+            ("segments", Json::from(stream.segments.len())),
+            ("sim_oreo_total", Json::from(oreo_total)),
+            ("sim_static_total", Json::from(static_total)),
+            ("sim_oreo_switches", Json::from(oreo_run.switches)),
+            ("sim_static_switches", Json::from(static_run.switches)),
+            ("oreo_beats_static", Json::from(beats_static)),
+            ("qps", Json::from(report.qps)),
+            ("p50_us", Json::from(report.p50_us)),
+            ("p99_us", Json::from(report.p99_us)),
+            ("pool_hit_rate", Json::from(report.pool_hit_rate)),
+            (
+                "alpha_empirical",
+                if report.alpha_empirical > 0.0 {
+                    Json::from(report.alpha_empirical)
+                } else {
+                    Json::Null
+                },
+            ),
+            ("switches", Json::from(report.switches)),
+            ("engine_total_cost", Json::from(report.total_cost)),
+        ]));
+    }
+
+    println!();
+    let doc = Json::obj([
+        ("benchmark", Json::from("scenario_suite")),
+        ("scale", Json::from(scale.label())),
+        (
+            "serve_mode",
+            Json::from(if tiered { "tiered" } else { "memory" }),
+        ),
+        ("dataset", Json::from(bundle.name)),
+        ("rows", Json::from(scale.rows())),
+        ("queries_per_scenario", Json::from(queries)),
+        ("alpha", Json::from(default_config(seed).alpha)),
+        ("adversarial_bound", bound_json),
+        ("scenarios", Json::Arr(entries)),
+    ]);
+    let path = json_path.unwrap_or_else(|| PathBuf::from("BENCH_scenarios.json"));
+    write_json_report(&path, &doc);
+
+    // The zoo's two regression claims, asserted programmatically so a CI
+    // run of this mode gates on them.
+    assert!(
+        bound_failure.is_none(),
+        "2·H(n) adversarial bound violated: {}",
+        bound_failure.unwrap_or_default()
+    );
+    assert!(
+        ordering_failures.is_empty(),
+        "OREO must beat Static on every non-adversarial zoo scenario: {ordering_failures:?}"
+    );
+    println!(
+        "suite ok: 2·H(n) bound holds on the adversary; OREO beats Static on all {} \
+         non-adversarial scenarios",
+        Scenario::ALL.len() - 1
+    );
 }

@@ -1,6 +1,6 @@
 //! Collection strategies, mirroring `proptest::collection`.
 
-use crate::strategy::Strategy;
+use crate::strategy::{Shrinkable, Strategy};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::BTreeSet;
@@ -45,13 +45,61 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone + 'static,
+{
     type Value = Vec<S::Value>;
 
     fn generate(&self, rng: &mut StdRng) -> Self::Value {
         let n = self.size.sample(rng);
         (0..n).map(|_| self.element.generate(rng)).collect()
     }
+
+    fn generate_shrinkable(&self, rng: &mut StdRng) -> Shrinkable<Self::Value>
+    where
+        Self::Value: 'static,
+    {
+        let n = self.size.sample(rng);
+        let elems: Vec<Shrinkable<S::Value>> = (0..n)
+            .map(|_| self.element.generate_shrinkable(rng))
+            .collect();
+        vec_shrinkable(elems, self.size.lo)
+    }
+}
+
+/// Vector shrinking: drop to the minimum length first (the most aggressive
+/// candidate), then remove single elements, then shrink elements in place.
+fn vec_shrinkable<T: Clone + 'static>(
+    elems: Vec<Shrinkable<T>>,
+    min_len: usize,
+) -> Shrinkable<Vec<T>> {
+    let value: Vec<T> = elems.iter().map(|e| e.value.clone()).collect();
+    Shrinkable::with_children(value, move || {
+        let n = elems.len();
+        let mut out = Vec::new();
+        if n > min_len {
+            // Halve toward the minimum, keeping the prefix…
+            let keep = min_len.max(n / 2);
+            if keep < n {
+                out.push(vec_shrinkable(elems[..keep].to_vec(), min_len));
+            }
+            // …then drop one element at a time.
+            for i in 0..n {
+                let mut fewer = elems.clone();
+                fewer.remove(i);
+                out.push(vec_shrinkable(fewer, min_len));
+            }
+        }
+        for i in 0..n {
+            for child in elems[i].children() {
+                let mut simpler = elems.clone();
+                simpler[i] = child;
+                out.push(vec_shrinkable(simpler, min_len));
+            }
+        }
+        out
+    })
 }
 
 /// Generates vectors whose elements come from `element` and whose length is
@@ -113,6 +161,19 @@ mod tests {
             assert!((2..5).contains(&v.len()));
             assert!(v.iter().all(|&x| (0..100).contains(&x)));
         }
+    }
+
+    #[test]
+    fn vec_shrinks_length_then_elements() {
+        let s = vec(0i64..100, 2..8);
+        let mut rng = case_rng(7, 0);
+        let mut node = s.generate_shrinkable(&mut rng);
+        // Greedy first-child descent must bottom out at the minimal
+        // length with every element at the range origin.
+        while let Some(k) = node.children().into_iter().next() {
+            node = k;
+        }
+        assert_eq!(node.value, vec![0i64, 0]);
     }
 
     #[test]

@@ -332,6 +332,17 @@ impl Oreo {
         &self.exact[&id]
     }
 
+    /// Exact service cost `query` would incur on the *current physical*
+    /// layout, without advancing the stream or the ledger. This is the
+    /// observation surface an MTS adversary is entitled to (it may inspect
+    /// the online algorithm's state before emitting the next task); the
+    /// workload zoo's adversarial scenario probes it to emit, each step,
+    /// the query the layout serves worst.
+    pub fn physical_cost(&mut self, query: &Query) -> f64 {
+        let id = self.physical;
+        self.exact_model(id).cost(query)
+    }
+
     /// Accumulated costs.
     pub fn ledger(&self) -> &CostLedger {
         &self.ledger

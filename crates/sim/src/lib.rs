@@ -11,7 +11,9 @@
 //! * [`offline_dp`] — the *true* offline UMTS optimum by dynamic
 //!   programming, used to verify Theorem IV.1 empirically;
 //! * [`setup`] — one-stop assembly of comparable policy sets per dataset;
-//! * [`report`] — ASCII tables for the figure/table harnesses.
+//! * [`report`] — ASCII tables for the figure/table harnesses;
+//! * [`zoo`] — the workload zoo's live adversary oracle and the 2·H(n)
+//!   bound measurement against the offline DP.
 
 pub mod feed;
 pub mod offline_dp;
@@ -19,6 +21,7 @@ pub mod policies;
 pub mod policy;
 pub mod report;
 pub mod setup;
+pub mod zoo;
 
 pub use feed::{Candidate, CandidateFeed};
 pub use offline_dp::{offline_optimum, OfflineOptimum};
@@ -29,6 +32,7 @@ pub use policies::{
 pub use policy::{run_policy, ReorgPolicy, RunResult, StepCost};
 pub use report::{fmt_f, fmt_pct_change, AsciiTable, ThroughputReport};
 pub use setup::{default_spec, make_generator, PolicySetup, Technique};
+pub use zoo::{adversarial_bound, compare_oreo_static, zoo_stream, AdversarialBound, OreoOracle};
 
 #[cfg(test)]
 mod tests {

@@ -344,4 +344,119 @@ mod tests {
         }
         assert!(counts[0] > counts[9] * 2, "{counts:?}");
     }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use rand::SeedableRng;
+
+        proptest! {
+            /// Stream generation is a pure function of (templates, config):
+            /// two runs with the same seed agree query-for-query, whatever
+            /// the seed and shape.
+            #[test]
+            fn generate_stream_is_deterministic_for_any_seed(
+                seed in any::<u64>(),
+                total in 10usize..400,
+                segments in 1usize..8,
+                jitter_on in any::<bool>(),
+            ) {
+                let cfg = StreamConfig {
+                    total_queries: total.max(segments),
+                    segments,
+                    seed,
+                    anchor_jitter: if jitter_on { Some(1.0) } else { None },
+                };
+                let a = generate_stream(&dummy_templates(4), cfg);
+                let b = generate_stream(&dummy_templates(4), cfg);
+                prop_assert_eq!(&a.queries, &b.queries);
+                prop_assert_eq!(&a.segments, &b.segments);
+            }
+
+            /// Integer range jitter shifts both bounds by the same offset:
+            /// the width is preserved exactly and the range can never come
+            /// out empty or inverted, for any anchor, width, or fraction.
+            #[test]
+            fn jitter_preserves_int_ranges(
+                lo in -1_000_000i64..1_000_000,
+                width in 0i64..100_000,
+                frac_millis in 0u32..4_000,
+                seed in any::<u64>(),
+            ) {
+                let frac = frac_millis as f64 / 1000.0;
+                let pred = Predicate::new(vec![Atom::Between {
+                    col: 1,
+                    low: Scalar::Int(lo),
+                    high: Scalar::Int(lo + width),
+                }]);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let out = jitter_predicate(&pred, frac, &mut rng);
+                match &out.atoms()[0] {
+                    Atom::Between {
+                        low: Scalar::Int(l),
+                        high: Scalar::Int(h),
+                        ..
+                    } => {
+                        prop_assert!(l <= h, "inverted: [{l}, {h}]");
+                        prop_assert_eq!(h - l, width, "width changed");
+                    }
+                    other => prop_assert!(false, "atom shape changed: {other:?}"),
+                }
+            }
+
+            /// Float range jitter shifts both bounds by one offset: order is
+            /// preserved (addition is monotonic) and the width survives up
+            /// to rounding.
+            #[test]
+            fn jitter_preserves_float_ranges(
+                lo_mill in -1_000_000i64..1_000_000,
+                width_mill in 0i64..100_000,
+                frac_millis in 0u32..4_000,
+                seed in any::<u64>(),
+            ) {
+                let (lo, width) = (lo_mill as f64 / 1e3, width_mill as f64 / 1e3);
+                let frac = frac_millis as f64 / 1000.0;
+                let pred = Predicate::new(vec![Atom::Between {
+                    col: 0,
+                    low: Scalar::Float(lo),
+                    high: Scalar::Float(lo + width),
+                }]);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let out = jitter_predicate(&pred, frac, &mut rng);
+                match &out.atoms()[0] {
+                    Atom::Between {
+                        low: Scalar::Float(l),
+                        high: Scalar::Float(h),
+                        ..
+                    } => {
+                        prop_assert!(l <= h, "inverted: [{l}, {h}]");
+                        let tolerance = 1e-9 * (1.0 + width.abs() + lo.abs());
+                        prop_assert!(
+                            ((h - l) - width).abs() <= tolerance,
+                            "width drifted: {} vs {width}",
+                            h - l
+                        );
+                    }
+                    other => prop_assert!(false, "atom shape changed: {other:?}"),
+                }
+            }
+
+            /// Non-range atoms pass through jitter untouched.
+            #[test]
+            fn jitter_leaves_point_predicates_alone(
+                value in -1_000_000i64..1_000_000,
+                frac_millis in 0u32..4_000,
+                seed in any::<u64>(),
+            ) {
+                let pred = Predicate::new(vec![Atom::Compare {
+                    col: 2,
+                    op: CompareOp::Eq,
+                    value: Scalar::Int(value),
+                }]);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let out = jitter_predicate(&pred, frac_millis as f64 / 1000.0, &mut rng);
+                prop_assert_eq!(out.atoms(), pred.atoms());
+            }
+        }
+    }
 }

@@ -16,12 +16,18 @@
 //! another — 30 000 queries over 20 segments by default, with segment
 //! boundaries recorded for the offline baselines.
 //!
+//! Beyond the paper's random drift, [`scenarios`] holds the *workload zoo*:
+//! flash crowds, diurnal cycles, sliding-window rotation, correlated
+//! multi-column predicates, and an adaptive MTS adversary that interrogates
+//! a [`scenarios::LayoutOracle`] to punish every layout switch.
+//!
 //! Everything is deterministic given a seed. The substitution rationale
 //! (real dbgen/dsdgen/production data → these generators) is documented in
 //! DESIGN.md §2.
 
 pub mod bundle;
 pub mod generator;
+pub mod scenarios;
 pub mod telemetry;
 pub mod tpcds;
 pub mod tpch;
@@ -29,6 +35,9 @@ pub mod tpch;
 pub use bundle::DatasetBundle;
 pub use generator::{
     generate_stream, uniform_i64, zipf_index, QueryStream, Segment, StreamConfig, Template,
+};
+pub use scenarios::{
+    adversary_probes, LayoutOracle, RotorOracle, Scenario, ScenarioConfig, ADVERSARY_PROBE_FAMILIES,
 };
 pub use telemetry::telemetry_bundle;
 pub use tpcds::tpcds_bundle;

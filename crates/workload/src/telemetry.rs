@@ -25,15 +25,15 @@ use std::sync::Arc;
 /// Six months in seconds.
 pub const TIME_MAX: i64 = 6 * 30 * 24 * 3600;
 
-const HOUR: i64 = 3600;
-const DAY: i64 = 24 * HOUR;
-const MONTH: i64 = 30 * DAY;
+pub(crate) const HOUR: i64 = 3600;
+pub(crate) const DAY: i64 = 24 * HOUR;
+pub(crate) const MONTH: i64 = 30 * DAY;
 
-const NUM_COLLECTORS: usize = 50;
-const NUM_TEAMS: usize = 100;
+pub(crate) const NUM_COLLECTORS: usize = 50;
+pub(crate) const NUM_TEAMS: usize = 100;
 const NUM_HOSTS: usize = 200;
 const STATUSES: [&str; 5] = ["ok", "failed", "retried", "skipped", "timeout"];
-const DATACENTERS: [&str; 8] = [
+pub(crate) const DATACENTERS: [&str; 8] = [
     "dc-ams", "dc-dub", "dc-iad", "dc-lhr", "dc-nrt", "dc-pdx", "dc-sin", "dc-sjc",
 ];
 
@@ -54,11 +54,11 @@ pub fn telemetry_schema() -> Schema {
     ])
 }
 
-fn collector_name(i: usize) -> String {
+pub(crate) fn collector_name(i: usize) -> String {
     format!("collector-{i:03}")
 }
 
-fn team_name(i: usize) -> String {
+pub(crate) fn team_name(i: usize) -> String {
     format!("team-{i:03}")
 }
 

@@ -38,15 +38,28 @@
 //! zoo's two regression claims programmatically, and writes
 //! `BENCH_scenarios.json` — the repo's scenario regression trajectory.
 //!
+//! Live observability (`oreo-obs`): `--metrics-json <path>` streams
+//! periodic JSONL registry snapshots (one line per interval per cell —
+//! streaming latency percentiles, pool hit rate, current α̂) while the
+//! cells run, `--metrics-interval-ms <n>` sets the cadence (default 250),
+//! `--metrics-prom <path>` dumps the final registry in Prometheus text
+//! exposition format, and `--trace <path>` writes the parity run's policy
+//! decision trace. The parity check itself runs with the event journal
+//! enabled and additionally asserts that replaying the journal reproduces
+//! the engine's `CostLedger` bit-for-bit.
+//!
 //! Flags: `--quick` (reduced scale), `--tiered` (disk-tiered serving),
 //! `--buffer-pool-mb <n>` (tiered page-cache capacity), `--scenario
 //! <name|suite>` (workload zoo), `--json <path>` (machine-readable report
-//! for cross-PR trajectories).
+//! for cross-PR trajectories), `--metrics-json` / `--metrics-interval-ms`
+//! / `--metrics-prom` / `--trace` (observability, above).
 
 use oreo_bench::common::{
     default_config, json_path_arg, make_stream, write_json_report, Json, Scale,
 };
-use oreo_engine::{Engine, EngineConfig, EngineStats, ServeMode};
+use oreo_core::CostLedger;
+use oreo_engine::{Engine, EngineConfig, EngineStats, ObsConfig, ServeMode};
+use oreo_obs::render_trace;
 use oreo_sim::{
     adversarial_bound, compare_oreo_static, default_spec, fmt_f, make_generator, run_policy,
     zoo_stream, PolicySetup, Technique, ThroughputReport,
@@ -54,7 +67,7 @@ use oreo_sim::{
 use oreo_workload::{telemetry_bundle, tpch_bundle, QueryStream, Scenario, ScenarioConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Queries per serving cell (smaller than the figure harnesses: every cell
 /// replays the stream once per worker count × reorg mode).
@@ -146,19 +159,88 @@ fn parse_scenario() -> Option<String> {
         .cloned()
 }
 
+/// Parse a `--flag <path>` argument, if present.
+fn parse_path_flag(flag: &str) -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+/// Observability flags shared by every mode of this binary.
+#[derive(Clone, Debug, Default)]
+struct ObsFlags {
+    /// `--metrics-json <path>`: JSONL registry snapshots, one line per
+    /// interval per serving cell (cells append to the shared file, each
+    /// line stamped with the cell label).
+    metrics_json: Option<PathBuf>,
+    /// `--metrics-prom <path>`: final registry state in Prometheus text
+    /// exposition format (each cell overwrites — the file holds the last
+    /// cell's dump).
+    metrics_prom: Option<PathBuf>,
+    /// `--metrics-interval-ms <n>`: snapshot cadence (default 250 ms).
+    interval_ms: u64,
+    /// `--trace <path>`: the parity run's rendered policy decision trace.
+    trace: Option<PathBuf>,
+}
+
+impl ObsFlags {
+    fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let interval_ms = args
+            .iter()
+            .position(|a| a == "--metrics-interval-ms")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(250);
+        Self {
+            metrics_json: parse_path_flag("--metrics-json"),
+            metrics_prom: parse_path_flag("--metrics-prom"),
+            interval_ms,
+            trace: parse_path_flag("--trace"),
+        }
+    }
+
+    /// The engine-side config for one serving cell (no journal — the
+    /// bounded event journal runs on the parity replay, not the measured
+    /// throughput cells).
+    fn cell_config(&self, label: String) -> ObsConfig {
+        ObsConfig {
+            metrics_json: self.metrics_json.clone(),
+            metrics_prom: self.metrics_prom.clone(),
+            metrics_interval: Some(Duration::from_millis(self.interval_ms.max(1))),
+            label,
+            ..Default::default()
+        }
+    }
+}
+
+/// The serving environment shared by the parity replay and every measured
+/// cell: serve tier, buffer-pool capacity, framework config, and
+/// observability flags.
+struct ServeEnv<'a> {
+    tiered: bool,
+    pool_mb: u64,
+    config: &'a oreo_core::OreoConfig,
+    obs: &'a ObsFlags,
+}
+
 fn run_cell(
     bundle: &oreo_workload::DatasetBundle,
     stream: &QueryStream,
     workers: usize,
     background_reorg: bool,
-    tiered: bool,
-    pool_mb: u64,
-    config: &oreo_core::OreoConfig,
+    env: &ServeEnv<'_>,
 ) -> (ThroughputReport, EngineStats) {
-    let config = config.clone();
+    let config = env.config.clone();
     let initial = default_spec(bundle, config.partitions, config.seed);
     let generator = make_generator(Technique::QdTree, bundle);
-    let mode = serve_mode(tiered, &format!("w{workers}-r{background_reorg}"));
+    let mode = serve_mode(env.tiered, &format!("w{workers}-r{background_reorg}"));
+    let cell_label = format!(
+        "w{workers}-reorg_{}",
+        if background_reorg { "on" } else { "off" }
+    );
     let engine = Engine::start(
         Arc::clone(&bundle.table),
         initial,
@@ -168,7 +250,8 @@ fn run_cell(
             .with_workers(workers)
             .with_background_reorg(background_reorg)
             .with_mode(mode.clone())
-            .with_buffer_pool_bytes(pool_mb * 1024 * 1024),
+            .with_buffer_pool_bytes(env.pool_mb * 1024 * 1024)
+            .with_obs(env.obs.cell_config(cell_label)),
     );
     let started = Instant::now();
     for q in &stream.queries {
@@ -193,7 +276,9 @@ fn run_cell(
         elapsed_s: elapsed,
         qps: stats.queries as f64 / elapsed,
         p50_us: stats.latency.p50_us,
+        p95_us: stats.latency.p95_us,
         p99_us: stats.latency.p99_us,
+        max_us: stats.latency.max_us,
         mean_us: stats.latency.mean_us,
         switches: stats.switches,
         reorgs_completed: stats.snapshots_published,
@@ -218,20 +303,25 @@ fn run_cell(
 }
 
 /// Replay `stream` through `oreo-sim`'s sequential OREO and through a
-/// single-worker FIFO engine in the measured serve mode, asserting the two
-/// ledgers are identical. Returns `true` (the assertion fires otherwise) so
-/// JSON reports can carry the check.
+/// single-worker FIFO engine in the measured serve mode — with the event
+/// journal enabled — asserting three-way parity: the engine's ledger
+/// equals the simulator's, and replaying the journal's policy events
+/// ([`CostLedger::replay`]) reproduces the engine's ledger bit-for-bit.
+/// Returns `true` (the assertions fire otherwise) so JSON reports can
+/// carry the check.
 fn assert_ledger_parity(
     bundle: &oreo_workload::DatasetBundle,
     stream: &QueryStream,
-    tiered: bool,
-    pool_mb: u64,
-    config: &oreo_core::OreoConfig,
+    env: &ServeEnv<'_>,
 ) -> bool {
+    let config = env.config;
     let setup = PolicySetup::new(bundle.clone(), Technique::QdTree, config.clone());
     let mut sequential = setup.oreo();
     let sim_result = run_policy(&mut sequential, &stream.queries, 0);
-    let parity_mode = serve_mode(tiered, "parity");
+    let parity_mode = serve_mode(env.tiered, "parity");
+    // Lifecycle spans cost ~5 events/query plus policy events; size the
+    // ring so a full FIFO replay never overwrites.
+    let journal_capacity = stream.queries.len() * 8 + 4096;
     let parity_engine = Engine::start(
         Arc::clone(&bundle.table),
         default_spec(bundle, config.partitions, config.seed),
@@ -239,7 +329,8 @@ fn assert_ledger_parity(
         config.clone(),
         EngineConfig::sequential_parity()
             .with_mode(parity_mode.clone())
-            .with_buffer_pool_bytes(pool_mb * 1024 * 1024),
+            .with_buffer_pool_bytes(env.pool_mb * 1024 * 1024)
+            .with_journal_capacity(journal_capacity),
     );
     for q in &stream.queries {
         parity_engine.submit(q.clone());
@@ -263,7 +354,33 @@ fn assert_ledger_parity(
         ledgers_match,
         "single-threaded engine ledger must replay oreo-sim exactly"
     );
-    ledgers_match
+    let replayed = CostLedger::replay(&parity.events);
+    let replay_match = parity.events_dropped == 0 && replayed == parity.ledger;
+    println!(
+        "journal replay parity: {} ({} events, {} dropped, replayed total {:.2})",
+        if replay_match { "EXACT" } else { "MISMATCH" },
+        parity.events.len(),
+        parity.events_dropped,
+        replayed.total(),
+    );
+    assert!(
+        replay_match,
+        "replaying the event journal must reproduce the engine ledger bit-for-bit \
+         (dropped {}, replayed {:?} vs ledger {:?})",
+        parity.events_dropped, replayed, parity.ledger
+    );
+    if let Some(path) = &env.obs.trace {
+        let trace = render_trace(&parity.events);
+        match std::fs::write(path, trace) {
+            Ok(()) => println!(
+                "decision trace: {} events written to {}",
+                parity.events.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("decision trace write to {path:?} failed: {e}"),
+        }
+    }
+    ledgers_match && replay_match
 }
 
 /// One serving cell as a JSON object (the `cells` array entry shared by
@@ -277,7 +394,9 @@ fn cell_json(r: &ThroughputReport) -> Json {
         ("elapsed_s", Json::from(r.elapsed_s)),
         ("qps", Json::from(r.qps)),
         ("p50_us", Json::from(r.p50_us)),
+        ("p95_us", Json::from(r.p95_us)),
         ("p99_us", Json::from(r.p99_us)),
+        ("max_us", Json::from(r.max_us)),
         ("mean_us", Json::from(r.mean_us)),
         ("switches", Json::from(r.switches)),
         ("reorgs_completed", Json::from(r.reorgs_completed)),
@@ -326,23 +445,30 @@ fn main() {
     let tiered = std::env::args().any(|a| a == "--tiered");
     let pool_mb = parse_pool_mb();
     let json_path = json_path_arg();
+    let obs = ObsFlags::from_args();
 
     match parse_scenario().as_deref() {
-        None => run_default(scale, tiered, pool_mb, json_path),
-        Some("suite") => run_suite(scale, tiered, pool_mb, json_path),
+        None => run_default(scale, tiered, pool_mb, json_path, &obs),
+        Some("suite") => run_suite(scale, tiered, pool_mb, json_path, &obs),
         Some(name) => {
             let scenario = Scenario::from_name(name).unwrap_or_else(|| {
                 let known: Vec<&str> = Scenario::ALL.iter().map(|s| s.name()).collect();
                 panic!("unknown scenario {name:?}; known: {known:?} (or \"suite\")")
             });
-            run_scenario(scenario, scale, tiered, pool_mb, json_path);
+            run_scenario(scenario, scale, tiered, pool_mb, json_path, &obs);
         }
     }
 }
 
 /// The original harness: TPC-H drift stream over the full worker × reorg
 /// grid.
-fn run_default(scale: Scale, tiered: bool, pool_mb: u64, json_path: Option<PathBuf>) {
+fn run_default(
+    scale: Scale,
+    tiered: bool,
+    pool_mb: u64,
+    json_path: Option<PathBuf>,
+    obs: &ObsFlags,
+) {
     let seed = 3;
     let queries = serving_queries(scale);
 
@@ -365,19 +491,24 @@ fn run_default(scale: Scale, tiered: bool, pool_mb: u64, json_path: Option<PathB
     let mut stream = make_stream(&bundle, scale, 2);
     stream.queries.truncate(queries);
     let config = default_config(seed);
+    let env = ServeEnv {
+        tiered,
+        pool_mb,
+        config: &config,
+        obs,
+    };
 
     // Ledger parity: sequential simulator vs single-worker FIFO engine —
     // in the *same* serve mode as the measured cells, so the acceptance
     // check covers the tiered path too.
-    let ledgers_match = assert_ledger_parity(&bundle, &stream, tiered, pool_mb, &config);
+    let ledgers_match = assert_ledger_parity(&bundle, &stream, &env);
     println!();
 
     let mut reports: Vec<ThroughputReport> = Vec::new();
     let mut alpha_cells: Vec<(usize, EngineStats)> = Vec::new();
     for &workers in &WORKER_COUNTS {
         for reorg in [true, false] {
-            let (report, stats) =
-                run_cell(&bundle, &stream, workers, reorg, tiered, pool_mb, &config);
+            let (report, stats) = run_cell(&bundle, &stream, workers, reorg, &env);
             println!(
                 "[workers={} {}] {:>7} qps, p50 {:>6} µs, p99 {:>7} µs, {} switches, {} reorgs, \
                  mean Δ = {} queries / {}s",
@@ -493,6 +624,7 @@ fn run_default(scale: Scale, tiered: bool, pool_mb: u64, json_path: Option<PathB
             ("queries_per_cell", Json::from(queries)),
             ("hardware_threads", Json::from(hw)),
             ("ledger_parity_with_sim", Json::from(ledgers_match)),
+            ("journal_replay_parity", Json::from(ledgers_match)),
             ("speedup_1_to_4_reorg_on", Json::from(speedup_4)),
             ("speedup_1_to_8_reorg_on", Json::from(speedup_8)),
             ("cells", Json::Arr(rows)),
@@ -511,6 +643,7 @@ fn run_scenario(
     tiered: bool,
     pool_mb: u64,
     json_path: Option<PathBuf>,
+    obs: &ObsFlags,
 ) {
     let seed = 3;
     // Zoo phases need ~1 500 queries each to amortize α = 80, so scenario
@@ -544,13 +677,19 @@ fn run_scenario(
         seed: 2,
     };
     let stream = zoo_stream(&setup, scenario, cfg);
+    let env = ServeEnv {
+        tiered,
+        pool_mb,
+        config: &config,
+        obs,
+    };
 
-    let ledgers_match = assert_ledger_parity(&bundle, &stream, tiered, pool_mb, &config);
+    let ledgers_match = assert_ledger_parity(&bundle, &stream, &env);
     println!();
 
     let mut reports: Vec<ThroughputReport> = Vec::new();
     for &workers in &SCENARIO_WORKERS {
-        let (report, _) = run_cell(&bundle, &stream, workers, true, tiered, pool_mb, &config);
+        let (report, _) = run_cell(&bundle, &stream, workers, true, &env);
         println!(
             "[workers={}] {:>7} qps, p50 {:>6} µs, p99 {:>7} µs, {} switches, hit% {:.1}, \
              α̂ {}",
@@ -597,6 +736,7 @@ fn run_scenario(
             ("queries_per_cell", Json::from(queries)),
             ("segments", Json::from(stream.segments.len())),
             ("ledger_parity_with_sim", Json::from(ledgers_match)),
+            ("journal_replay_parity", Json::from(ledgers_match)),
             ("cells", Json::Arr(rows)),
         ]);
         write_json_report(&path, &doc);
@@ -607,7 +747,7 @@ fn run_scenario(
 /// the 2·H(n) offline-DP bound for the adversary) plus one engine serving
 /// cell. Asserts the zoo's regression claims and writes
 /// `BENCH_scenarios.json`.
-fn run_suite(scale: Scale, tiered: bool, pool_mb: u64, json_path: Option<PathBuf>) {
+fn run_suite(scale: Scale, tiered: bool, pool_mb: u64, json_path: Option<PathBuf>, obs: &ObsFlags) {
     let seed = 3;
     let queries = suite_queries(scale);
 
@@ -629,6 +769,12 @@ fn run_suite(scale: Scale, tiered: bool, pool_mb: u64, json_path: Option<PathBuf
         total_queries: queries,
         seed: 2,
     };
+    let env = ServeEnv {
+        tiered,
+        pool_mb,
+        config: &config,
+        obs,
+    };
 
     let mut entries: Vec<Json> = Vec::new();
     let mut bound_json = Json::Null;
@@ -648,7 +794,7 @@ fn run_suite(scale: Scale, tiered: bool, pool_mb: u64, json_path: Option<PathBuf
         let static_total = static_run.total();
         let beats_static = oreo_total < static_total;
 
-        let (report, _) = run_cell(&bundle, &stream, 2, true, tiered, pool_mb, &config);
+        let (report, _) = run_cell(&bundle, &stream, 2, true, &env);
 
         println!(
             "[{:>11}] sim: OREO {:>8} vs Static {:>8} ({}{:.1}%), {} switches | \

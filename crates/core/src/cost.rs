@@ -2,6 +2,7 @@
 //! harnesses compare identical quantities — §III-A's objective of total
 //! query cost plus total reorganization cost.
 
+use oreo_obs::{Event, EventKind};
 use serde::{Deserialize, Serialize};
 
 /// Accumulated costs over a (partial) query stream, in *logical* units:
@@ -50,6 +51,27 @@ impl CostLedger {
         } else {
             self.query_cost / self.queries as f64
         }
+    }
+
+    /// Rebuild a ledger from a seq-ordered policy event journal: every
+    /// [`EventKind::SwitchDecided`] replays `add_reorg(alpha)` and every
+    /// [`EventKind::QueryObserved`] replays `add_query(service_cost)`, in
+    /// journal order. `Oreo` emits those events at the exact ledger
+    /// operation sites (under whatever lock serializes the framework), so
+    /// for a sequential FIFO run the replay reproduces the live ledger
+    /// **bit-for-bit** — f64 addition order included. That turns ledger
+    /// parity from one end-of-run equality into an auditable event
+    /// stream: any divergence pinpoints the first mis-accounted event.
+    pub fn replay(events: &[Event]) -> Self {
+        let mut ledger = Self::new();
+        for e in events {
+            match e.kind {
+                EventKind::QueryObserved { service_cost, .. } => ledger.add_query(service_cost),
+                EventKind::SwitchDecided { alpha, .. } => ledger.add_reorg(alpha),
+                _ => {}
+            }
+        }
+        ledger
     }
 
     /// Merge another ledger into this one.
@@ -141,9 +163,21 @@ impl AlphaEstimator {
     /// Record one completed reorganization: bytes written by the aside
     /// rewrite and its wall-clock seconds (build + write + fsync + commit).
     pub fn record_reorg(&mut self, bytes: u64, seconds: f64) {
+        self.record_reorgs(bytes, seconds, 1);
+    }
+
+    /// Record `count` completed reorganizations at once from their
+    /// *totals* — what a live exporter has (monotone byte/second counters
+    /// plus a rewrite count) when it rebuilds an estimator per snapshot.
+    /// Equivalent to `count` [`AlphaEstimator::record_reorg`] calls
+    /// summing to the same totals; a no-op when `count == 0`.
+    pub fn record_reorgs(&mut self, bytes: u64, seconds: f64, count: u64) {
+        if count == 0 {
+            return;
+        }
         self.reorg_bytes += bytes;
         self.reorg_seconds += seconds;
-        self.reorgs += 1;
+        self.reorgs += count;
     }
 
     /// Combined (warm + cold) scan throughput in bytes/second (`None` until
@@ -327,6 +361,57 @@ mod tests {
         a.record_scan(0, 0.5); // fully pruned queries calibrate nothing
         assert_eq!(a.scan_bytes_per_second(), None);
         assert_eq!(a.scans(), 1);
+    }
+
+    #[test]
+    fn replay_reproduces_ledger_ops_in_order() {
+        let mut live = CostLedger::new();
+        let mut events = Vec::new();
+        let costs = [0.125, 0.3, 0.0625, 0.7, 0.01];
+        for (i, &c) in costs.iter().enumerate() {
+            if i == 2 {
+                live.add_reorg(80.0);
+                events.push(Event {
+                    seq: events.len() as u64,
+                    at_us: 0,
+                    kind: EventKind::SwitchDecided {
+                        stream_seq: i as u64,
+                        from: 0,
+                        target: 1,
+                        alpha: 80.0,
+                        pending: 1,
+                    },
+                });
+            }
+            live.add_query(c);
+            events.push(Event {
+                seq: events.len() as u64,
+                at_us: 0,
+                kind: EventKind::QueryObserved {
+                    stream_seq: i as u64,
+                    service_cost: c,
+                    physical: 0,
+                    logical: 0,
+                    counter: 0.0,
+                },
+            });
+        }
+        assert_eq!(CostLedger::replay(&events), live);
+    }
+
+    #[test]
+    fn record_reorgs_matches_repeated_record_reorg() {
+        let mut one_by_one = AlphaEstimator::new(1_000_000);
+        one_by_one.record_scan(500_000, 0.005);
+        one_by_one.record_reorg(1_000_000, 0.5);
+        one_by_one.record_reorg(1_000_000, 1.5);
+        let mut bulk = AlphaEstimator::new(1_000_000);
+        bulk.record_scan(500_000, 0.005);
+        bulk.record_reorgs(2_000_000, 2.0, 2);
+        assert_eq!(one_by_one, bulk);
+        // count == 0 records nothing
+        bulk.record_reorgs(999, 9.9, 0);
+        assert_eq!(one_by_one, bulk);
     }
 
     #[test]

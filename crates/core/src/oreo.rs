@@ -19,6 +19,7 @@ use crate::cost::CostLedger;
 use crate::dumts::{Dumts, DumtsConfig};
 use crate::layout_manager::{LayoutManager, ManagerEvent};
 use oreo_layout::{build_exact_model, LayoutGenerator, SharedSpec};
+use oreo_obs::{EventKind, EventSink, NullSink};
 use oreo_query::Query;
 use oreo_storage::{LayoutId, LayoutModel, Table};
 use rand::rngs::StdRng;
@@ -108,6 +109,12 @@ pub struct Oreo {
     pending: VecDeque<(u64, LayoutId)>,
     ledger: CostLedger,
     seq: u64,
+    /// Where policy events go. [`NullSink`] (the default) makes every
+    /// emission a single cold branch; callers are expected to run the
+    /// framework under a lock, so events land in ledger-operation order —
+    /// which is what makes the journal replayable (see
+    /// [`CostLedger::replay`]).
+    sink: Arc<dyn EventSink>,
 }
 
 impl Oreo {
@@ -167,7 +174,17 @@ impl Oreo {
             pending: VecDeque::new(),
             ledger: CostLedger::new(),
             seq: 0,
+            sink: Arc::new(NullSink),
         }
+    }
+
+    /// Route policy events (admissions, switch decisions, observe
+    /// outcomes, landed reorganizations) into `sink` — typically an
+    /// `oreo_obs::Journal`. Events are emitted at the exact ledger
+    /// operation sites, so a journal drained from a sequential (FIFO)
+    /// run replays to the ledger bit-for-bit.
+    pub fn set_event_sink(&mut self, sink: Arc<dyn EventSink>) {
+        self.sink = sink;
     }
 
     /// Observe (and "run") one query, advancing the whole framework.
@@ -231,18 +248,40 @@ impl Oreo {
             }
         }
 
+        if self.sink.enabled() {
+            for &layout in &report.admitted {
+                self.sink.emit(EventKind::StateAdmitted {
+                    stream_seq: seq,
+                    layout,
+                });
+            }
+        }
+
         // 2. Reorganizer step with estimated costs.
+        let logical_before = self.reorganizer.current();
         let estimated = &self.estimated;
         let outcome = self
             .reorganizer
             .observe_query(|s| estimated.get(&s).map_or(1.0, |m| m.cost(query)));
         report.phase_reset = outcome.phase_reset;
+        if report.phase_reset && self.sink.enabled() {
+            self.sink.emit(EventKind::PhaseReset { stream_seq: seq });
+        }
         if let Some(target) = outcome.switched_to {
             // The decision pays α now; the physical swap lands after Δ.
             self.ledger.add_reorg(self.config.alpha);
             self.pending
                 .push_back((seq + self.config.reorg_delay, target));
             report.reorg_decision = Some(target);
+            if self.sink.enabled() {
+                self.sink.emit(EventKind::SwitchDecided {
+                    stream_seq: seq,
+                    from: logical_before,
+                    target,
+                    alpha: self.config.alpha,
+                    pending: self.pending.len() as u64,
+                });
+            }
         }
         report
     }
@@ -256,6 +295,9 @@ impl Oreo {
             }
             self.pending.pop_front();
             self.physical = target;
+            if self.sink.enabled() {
+                self.sink.emit(EventKind::ReorgApplied { target });
+            }
         }
     }
 
@@ -286,6 +328,9 @@ impl Oreo {
         }
         while let Some((_, t)) = self.pending.pop_front() {
             self.physical = t;
+            if self.sink.enabled() {
+                self.sink.emit(EventKind::ReorgApplied { target: t });
+            }
             if t == target {
                 break;
             }
@@ -301,6 +346,16 @@ impl Oreo {
         let service = self.exact_model(self.physical).cost(query);
         self.ledger.add_query(service);
         report.service_cost = service;
+        if self.sink.enabled() {
+            let logical = self.reorganizer.current();
+            self.sink.emit(EventKind::QueryObserved {
+                stream_seq: report.seq,
+                service_cost: service,
+                physical: self.physical,
+                logical,
+                counter: self.reorganizer.counter(logical).unwrap_or(0.0),
+            });
+        }
 
         // 5. Optional pruning, protecting the states the system depends on.
         let mut protected = vec![self.reorganizer.current(), self.physical];
@@ -315,6 +370,12 @@ impl Oreo {
                     "pruning never evicts the current state"
                 );
                 report.removed.push(id);
+                if self.sink.enabled() {
+                    self.sink.emit(EventKind::StateRemoved {
+                        stream_seq: report.seq,
+                        layout: id,
+                    });
+                }
             }
         }
 
@@ -664,6 +725,52 @@ mod tests {
         assert_ne!(oreo.physical_layout(), initial);
         assert!(oreo.pending_targets().is_empty());
         assert!(!oreo.complete_reorg(12345), "nothing pending");
+    }
+
+    #[test]
+    fn journal_replay_reproduces_ledger_bit_for_bit() {
+        use oreo_obs::Journal;
+
+        let t = table(2000);
+        let config = OreoConfig {
+            alpha: 5.0,
+            window: 40,
+            generation_interval: 40,
+            partitions: 8,
+            data_sample_rows: 500,
+            reorg_delay: 10,
+            ..Default::default()
+        };
+        let journal = Arc::new(Journal::new(1, 1 << 14));
+        let mut oreo = framework(&t, config);
+        oreo.set_event_sink(Arc::clone(&journal) as Arc<dyn EventSink>);
+        for q in drifting_queries(&t, 400) {
+            oreo.observe(&q);
+        }
+        assert!(oreo.switches() >= 1, "want at least one switch to replay");
+        assert_eq!(journal.events_dropped(), 0, "journal sized for the run");
+        let events = journal.events();
+        let replayed = CostLedger::replay(&events);
+        // bit-for-bit: the replay performs the same f64 additions in the
+        // same order the live ledger did
+        assert_eq!(replayed, *oreo.ledger());
+        // every query produced exactly one observe event, every switch one
+        // decision event, and each landed switch one applied event
+        let observed = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::QueryObserved { .. }))
+            .count();
+        let decided = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SwitchDecided { .. }))
+            .count();
+        let applied = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ReorgApplied { .. }))
+            .count();
+        assert_eq!(observed as u64, oreo.ledger().queries);
+        assert_eq!(decided as u64, oreo.ledger().switches);
+        assert_eq!(applied as u64, oreo.ledger().switches, "delay 10: all land");
     }
 
     #[test]

@@ -20,6 +20,10 @@ use crate::queue::ShardedQueue;
 use crate::reorg::{materialize, ReorgRequest, ReorgWindow};
 use oreo_core::{AlphaEstimator, CostLedger, Oreo, OreoConfig};
 use oreo_layout::{LayoutGenerator, SharedSpec};
+use oreo_obs::{
+    Counter, Event, EventKind, EventSink, Gauge, Histogram, Journal, NullSink, Registry,
+    ReorgPhaseKind, SnapshotWriter,
+};
 use oreo_query::Query;
 use oreo_storage::{
     BufferPool, BufferPoolConfig, LayoutId, PoolStats, SnapshotCell, SnapshotScan, Table,
@@ -74,6 +78,41 @@ impl ServeMode {
     }
 }
 
+/// Observability configuration: the event journal and the metrics
+/// exporters. The metrics *registry* itself is always on — workers
+/// publish counters and histograms unconditionally (a handful of relaxed
+/// atomics per query, bounded memory) — this struct controls what is
+/// *recorded* (journal) and *exported* (snapshot files).
+#[derive(Clone, Debug, Default)]
+pub struct ObsConfig {
+    /// Per-shard event-journal capacity; `0` (the default) disables the
+    /// journal entirely — instrumented code then holds a null sink and
+    /// skips even constructing events. Size it at several events per
+    /// expected query for replay-parity runs (drops void the replay).
+    pub journal_capacity: usize,
+    /// Append periodic JSONL metric snapshots to this file (one line per
+    /// snapshot; see `oreo_obs::SnapshotWriter`). `None` = no exporter
+    /// thread.
+    pub metrics_json: Option<PathBuf>,
+    /// Interval between periodic snapshots (`None` = 250 ms). The
+    /// exporter also writes one snapshot immediately at start and one at
+    /// shutdown, so any run emits ≥ 2.
+    pub metrics_interval: Option<Duration>,
+    /// Write a Prometheus text-exposition dump of the final registry
+    /// state to this file at shutdown.
+    pub metrics_prom: Option<PathBuf>,
+    /// Cell label stamped on every snapshot line (distinguishes serving
+    /// cells appending to a shared file).
+    pub label: String,
+}
+
+impl ObsConfig {
+    /// Snapshot cadence with the default applied.
+    pub fn interval(&self) -> Duration {
+        self.metrics_interval.unwrap_or(Duration::from_millis(250))
+    }
+}
+
 /// Engine tuning knobs.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -101,6 +140,8 @@ pub struct EngineConfig {
     /// (cold misses hit the disk, warm hits are served from memory);
     /// ignored in [`ServeMode::Memory`].
     pub buffer_pool_bytes: u64,
+    /// Observability: event journal + metric exporters.
+    pub obs: ObsConfig,
 }
 
 impl Default for EngineConfig {
@@ -113,6 +154,7 @@ impl Default for EngineConfig {
             delay: DelaySemantics::Measured,
             mode: ServeMode::Memory,
             buffer_pool_bytes: oreo_storage::bufpool::DEFAULT_CAPACITY_BYTES,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -155,6 +197,18 @@ impl EngineConfig {
     /// Sets the tiered-scan buffer-pool capacity in bytes.
     pub fn with_buffer_pool_bytes(mut self, bytes: u64) -> Self {
         self.buffer_pool_bytes = bytes;
+        self
+    }
+
+    /// Enables the event journal with the given per-shard capacity.
+    pub fn with_journal_capacity(mut self, capacity: usize) -> Self {
+        self.obs.journal_capacity = capacity;
+        self
+    }
+
+    /// Sets the full observability configuration.
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -214,6 +268,107 @@ impl ResultHandle {
 struct Job {
     query: Query,
     slot: Option<Arc<Slot>>,
+    /// Submission order (assigned at enqueue) — the span id tying this
+    /// query's journal events together.
+    submit_id: u64,
+}
+
+/// Pre-resolved registry handles for everything the serving hot path
+/// publishes — resolved once at startup so workers touch only atomics.
+/// Scan times are accumulated in nanoseconds (counters are integers; a
+/// sub-µs scan would otherwise vanish).
+struct LiveMetrics {
+    queries_submitted: Arc<Counter>,
+    queries_completed: Arc<Counter>,
+    rows_scanned: Arc<Counter>,
+    rows_matched: Arc<Counter>,
+    bytes_scanned: Arc<Counter>,
+    scan_ns: Arc<Counter>,
+    cold_scans: Arc<Counter>,
+    cold_scan_bytes: Arc<Counter>,
+    cold_scan_ns: Arc<Counter>,
+    warm_scan_bytes: Arc<Counter>,
+    warm_scan_ns: Arc<Counter>,
+    io_cold_bytes: Arc<Counter>,
+    io_cached_bytes: Arc<Counter>,
+    scan_io_errors: Arc<Counter>,
+    chunks_evaluated: Arc<Counter>,
+    rows_short_circuited: Arc<Counter>,
+    latency_us: Arc<Histogram>,
+    scan_us: Arc<Histogram>,
+    switches: Arc<Counter>,
+    snapshots_published: Arc<Counter>,
+    reorg_windows: Arc<Counter>,
+    reorg_build_ns: Arc<Counter>,
+    reorg_bytes_written: Arc<Counter>,
+    reorg_delta_queries: Arc<Counter>,
+    persisted: Arc<Counter>,
+    persist_ns: Arc<Counter>,
+    tiered_errors: Arc<Counter>,
+    ledger_query_cost: Arc<Gauge>,
+    ledger_reorg_cost: Arc<Gauge>,
+    ledger_total: Arc<Gauge>,
+    num_states: Arc<Gauge>,
+    max_states_seen: Arc<Gauge>,
+    qps: Arc<Gauge>,
+    table_bytes: Arc<Gauge>,
+    alpha_hat: Arc<Gauge>,
+    alpha_cold: Arc<Gauge>,
+    alpha_warm: Arc<Gauge>,
+    pool_hit_rate: Arc<Gauge>,
+    pool_hits: Arc<Gauge>,
+    pool_misses: Arc<Gauge>,
+    pool_evictions: Arc<Gauge>,
+    pool_pages_resident: Arc<Gauge>,
+}
+
+impl LiveMetrics {
+    fn new(r: &Registry) -> Self {
+        Self {
+            queries_submitted: r.counter("engine.queries_submitted"),
+            queries_completed: r.counter("engine.queries_completed"),
+            rows_scanned: r.counter("engine.rows_scanned"),
+            rows_matched: r.counter("engine.rows_matched"),
+            bytes_scanned: r.counter("engine.bytes_scanned"),
+            scan_ns: r.counter("engine.scan_ns"),
+            cold_scans: r.counter("engine.cold_scans"),
+            cold_scan_bytes: r.counter("engine.cold_scan_bytes"),
+            cold_scan_ns: r.counter("engine.cold_scan_ns"),
+            warm_scan_bytes: r.counter("engine.warm_scan_bytes"),
+            warm_scan_ns: r.counter("engine.warm_scan_ns"),
+            io_cold_bytes: r.counter("engine.io_cold_bytes"),
+            io_cached_bytes: r.counter("engine.io_cached_bytes"),
+            scan_io_errors: r.counter("engine.scan_io_errors"),
+            chunks_evaluated: r.counter("engine.chunks_evaluated"),
+            rows_short_circuited: r.counter("engine.rows_short_circuited"),
+            latency_us: r.histogram("engine.latency_us"),
+            scan_us: r.histogram("engine.scan_us"),
+            switches: r.counter("reorg.switches"),
+            snapshots_published: r.counter("reorg.snapshots_published"),
+            reorg_windows: r.counter("reorg.windows"),
+            reorg_build_ns: r.counter("reorg.build_ns"),
+            reorg_bytes_written: r.counter("reorg.bytes_written"),
+            reorg_delta_queries: r.counter("reorg.delta_queries_total"),
+            persisted: r.counter("reorg.persisted"),
+            persist_ns: r.counter("reorg.persist_ns"),
+            tiered_errors: r.counter("reorg.tiered_errors"),
+            ledger_query_cost: r.gauge("ledger.query_cost"),
+            ledger_reorg_cost: r.gauge("ledger.reorg_cost"),
+            ledger_total: r.gauge("ledger.total"),
+            num_states: r.gauge("core.num_states"),
+            max_states_seen: r.gauge("core.max_states_seen"),
+            qps: r.gauge("engine.qps"),
+            table_bytes: r.gauge("alpha.table_bytes"),
+            alpha_hat: r.gauge("alpha.hat"),
+            alpha_cold: r.gauge("alpha.cold"),
+            alpha_warm: r.gauge("alpha.warm"),
+            pool_hit_rate: r.gauge("pool.hit_rate"),
+            pool_hits: r.gauge("pool.hits"),
+            pool_misses: r.gauge("pool.misses"),
+            pool_evictions: r.gauge("pool.evictions"),
+            pool_pages_resident: r.gauge("pool.pages_resident"),
+        }
+    }
 }
 
 struct Shared {
@@ -232,11 +387,20 @@ struct Shared {
     snapshots_published: AtomicU64,
     drain_lock: Mutex<()>,
     drain_cv: Condvar,
+    /// The live metrics registry (always on).
+    registry: Arc<Registry>,
+    /// Pre-resolved handles into `registry` for the hot paths.
+    metrics: LiveMetrics,
+    /// The bounded event journal, when configured.
+    journal: Option<Arc<Journal>>,
+    /// `journal` as a sink (or [`NullSink`]) for span events.
+    sink: Arc<dyn EventSink>,
+    /// Engine birth — the exporter's qps/elapsed origin.
+    started: Instant,
 }
 
 #[derive(Default)]
 struct WorkerStats {
-    latencies_us: Vec<u64>,
     rows_scanned: u64,
     rows_matched: u64,
     bytes_scanned: u64,
@@ -336,6 +500,14 @@ pub struct EngineStats {
     pub num_states: usize,
     /// |S_max| of the competitive bound.
     pub max_states_seen: usize,
+    /// The drained event journal, seq-ordered (empty unless
+    /// [`ObsConfig::journal_capacity`] was set). For a sequential FIFO
+    /// run, `CostLedger::replay(&events)` reproduces [`Self::ledger`]
+    /// bit-for-bit.
+    pub events: Vec<Event>,
+    /// Events the journal overwrote because a ring filled. Replay parity
+    /// requires 0.
+    pub events_dropped: u64,
 }
 
 impl EngineStats {
@@ -443,6 +615,9 @@ pub struct Engine {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<WorkerStats>>,
     reorg: Option<JoinHandle<(Vec<ReorgWindow>, Vec<String>)>>,
+    exporter: Option<JoinHandle<()>>,
+    /// Tells the exporter thread to write its final snapshot and exit.
+    exporter_stop: Arc<(Mutex<bool>, Condvar)>,
     started: Instant,
 }
 
@@ -463,12 +638,25 @@ impl Engine {
             // pending queue drains (see `background_reorg` docs).
             config.delay = DelaySemantics::Configured;
         }
-        let core = Oreo::new(
+        let registry = Arc::new(Registry::new());
+        let metrics = LiveMetrics::new(&registry);
+        let journal = (config.obs.journal_capacity > 0).then(|| {
+            // Shard per thread that emits: workers + reorganizer + the
+            // submitting front end, capped to keep per-journal memory sane.
+            let shards = (config.workers.max(1) + 2).min(16);
+            Arc::new(Journal::new(shards, config.obs.journal_capacity))
+        });
+        let sink: Arc<dyn EventSink> = match &journal {
+            Some(j) => Arc::clone(j) as Arc<dyn EventSink>,
+            None => Arc::new(NullSink),
+        };
+        let mut core = Oreo::new(
             Arc::clone(&table),
             Arc::clone(&initial_spec),
             generator,
             oreo_config,
         );
+        core.set_event_sink(Arc::clone(&sink));
         let initial_id = core.physical_layout();
         let mut initial_snapshot = materialize(&table, &initial_spec, initial_id);
         let tiered = match &config.mode {
@@ -480,14 +668,18 @@ impl Engine {
             }
         };
         let pool = tiered.as_ref().map(|_| {
-            Arc::new(BufferPool::new(BufferPoolConfig {
-                capacity_bytes: config.buffer_pool_bytes,
-                ..BufferPoolConfig::default()
-            }))
+            Arc::new(
+                BufferPool::new(BufferPoolConfig {
+                    capacity_bytes: config.buffer_pool_bytes,
+                    ..BufferPoolConfig::default()
+                })
+                .with_event_sink(Arc::clone(&sink)),
+            )
         });
         let effective_shards = config.effective_shards();
         let background_reorg = config.background_reorg;
         let worker_count = config.workers.max(1);
+        let started = Instant::now();
         let shared = Arc::new(Shared {
             core: Mutex::new(core),
             cell: SnapshotCell::new(initial_snapshot),
@@ -501,6 +693,11 @@ impl Engine {
             snapshots_published: AtomicU64::new(0),
             drain_lock: Mutex::new(()),
             drain_cv: Condvar::new(),
+            registry,
+            metrics,
+            journal,
+            sink,
+            started,
         });
 
         let (reorg_tx, reorg) = if background_reorg {
@@ -516,8 +713,17 @@ impl Engine {
                         let build_start = Instant::now();
                         let mut snapshot = materialize(&table2, &req.spec, req.target);
                         let build = build_start.elapsed();
+                        if shared2.sink.enabled() {
+                            shared2.sink.emit(EventKind::ReorgPhase {
+                                target: req.target,
+                                phase: ReorgPhaseKind::Build,
+                                micros: as_micros_u64(build),
+                                bytes: 0,
+                            });
+                        }
                         let rows = snapshot.total_rows();
                         let partitions = snapshot.num_partitions();
+                        let snapshot_bytes = snapshot.total_bytes();
                         // The snapshot's metadata *is* the target's exact
                         // model; hand it to the core so the next settle()
                         // does not rebuild it under the serving mutex.
@@ -542,20 +748,62 @@ impl Engine {
                                     );
                                     eprintln!("oreo-reorg: {msg} (serving from memory)");
                                     tiered_errors.push(msg);
+                                    shared2.metrics.tiered_errors.inc();
+                                    if shared2.sink.enabled() {
+                                        shared2
+                                            .sink
+                                            .emit(EventKind::TieredDegraded { target: req.target });
+                                    }
                                     (Duration::ZERO, 0, 0)
                                 }
                             },
                             None => (Duration::ZERO, 0, 0),
                         };
+                        if bytes_written > 0 {
+                            shared2.metrics.persisted.inc();
+                            shared2
+                                .metrics
+                                .persist_ns
+                                .add((build + write).as_nanos().min(u128::from(u64::MAX)) as u64);
+                            shared2.metrics.reorg_bytes_written.add(bytes_written);
+                            if shared2.sink.enabled() {
+                                shared2.sink.emit(EventKind::ReorgPhase {
+                                    target: req.target,
+                                    phase: ReorgPhaseKind::Write,
+                                    micros: as_micros_u64(write),
+                                    bytes: bytes_written,
+                                });
+                            }
+                        }
+                        let publish_start = Instant::now();
                         shared2.cell.publish(snapshot);
+                        if shared2.sink.enabled() {
+                            shared2.sink.emit(EventKind::ReorgPhase {
+                                target: req.target,
+                                phase: ReorgPhaseKind::Publish,
+                                micros: as_micros_u64(publish_start.elapsed()),
+                                bytes: 0,
+                            });
+                        }
                         // The superseded generation's pages will never be
                         // requested again under a new snapshot (keys carry
                         // the generation number); drop them eagerly so
                         // retired layouts stop occupying pool capacity.
                         if let (Some(pool), true) = (&shared2.pool, generation > 1) {
+                            let invalidate_start = Instant::now();
                             pool.invalidate_generation(generation - 1);
+                            if shared2.sink.enabled() {
+                                shared2.sink.emit(EventKind::ReorgPhase {
+                                    target: req.target,
+                                    phase: ReorgPhaseKind::Invalidate,
+                                    micros: as_micros_u64(invalidate_start.elapsed()),
+                                    bytes: 0,
+                                });
+                            }
                         }
                         shared2.snapshots_published.fetch_add(1, Ordering::Relaxed);
+                        shared2.metrics.snapshots_published.inc();
+                        shared2.metrics.table_bytes.set(snapshot_bytes as f64);
                         if shared2.config.delay == DelaySemantics::Measured {
                             shared2
                                 .core
@@ -563,6 +811,16 @@ impl Engine {
                                 .expect("core poisoned")
                                 .complete_reorg_with(req.target, Some(exact));
                         }
+                        let queries_during = shared2
+                            .observed
+                            .load(Ordering::Relaxed)
+                            .saturating_sub(req.observed_at_decision);
+                        shared2.metrics.reorg_windows.inc();
+                        shared2
+                            .metrics
+                            .reorg_build_ns
+                            .add(build.as_nanos().min(u128::from(u64::MAX)) as u64);
+                        shared2.metrics.reorg_delta_queries.add(queries_during);
                         windows.push(ReorgWindow {
                             target: req.target,
                             decided_seq: req.decided_seq,
@@ -571,10 +829,7 @@ impl Engine {
                             write,
                             bytes_written,
                             generation,
-                            queries_during: shared2
-                                .observed
-                                .load(Ordering::Relaxed)
-                                .saturating_sub(req.observed_at_decision),
+                            queries_during,
                             rows,
                             partitions,
                         });
@@ -601,12 +856,40 @@ impl Engine {
         // last worker does.
         drop(reorg_tx);
 
+        shared
+            .metrics
+            .table_bytes
+            .set(shared.cell.pin().total_bytes() as f64);
+
+        let exporter_stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let exporter = shared.config.obs.metrics_json.clone().map(|path| {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&exporter_stop);
+            std::thread::Builder::new()
+                .name("oreo-metrics".into())
+                .spawn(move || exporter_loop(&shared, &stop, &path))
+                .expect("spawn metrics exporter")
+        });
+
         Self {
             shared,
             workers,
             reorg,
-            started: Instant::now(),
+            exporter,
+            exporter_stop,
+            started,
         }
+    }
+
+    /// The live metrics registry — every counter/gauge/histogram the
+    /// engine publishes, readable at any time.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.shared.registry
+    }
+
+    /// The event journal, when one was configured.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.shared.journal.as_ref()
     }
 
     /// Enqueue a query (fire-and-forget; outcomes land in the stats).
@@ -625,8 +908,18 @@ impl Engine {
     }
 
     fn enqueue(&self, query: Query, slot: Option<Arc<Slot>>) {
-        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
-        self.shared.queue.push(Job { query, slot });
+        let submit_id = self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.metrics.queries_submitted.inc();
+        if self.shared.sink.enabled() {
+            self.shared
+                .sink
+                .emit(EventKind::QueryEnqueued { submit_id });
+        }
+        self.shared.queue.push(Job {
+            query,
+            slot,
+            submit_id,
+        });
     }
 
     /// Block until every submitted query has completed.
@@ -679,11 +972,9 @@ impl Engine {
     /// to finish everything in flight, and return aggregate statistics.
     pub fn shutdown(mut self) -> EngineStats {
         self.shared.queue.close();
-        let mut latencies = Vec::new();
         let mut totals = WorkerStats::default();
         for handle in self.workers.drain(..) {
             let stats = handle.join().expect("worker panicked");
-            latencies.extend(stats.latencies_us);
             totals.rows_scanned += stats.rows_scanned;
             totals.rows_matched += stats.rows_matched;
             totals.bytes_scanned += stats.bytes_scanned;
@@ -703,6 +994,25 @@ impl Engine {
             Some(handle) => handle.join().expect("reorganizer panicked"),
             None => (Vec::new(), Vec::new()),
         };
+        // Stop the exporter last among the threads so its final snapshot
+        // sees the fully drained counters.
+        if let Some(handle) = self.exporter.take() {
+            let (lock, cv) = &*self.exporter_stop;
+            *lock.lock().expect("exporter stop poisoned") = true;
+            cv.notify_all();
+            handle.join().expect("metrics exporter panicked");
+        }
+        if let Some(path) = &self.shared.config.obs.metrics_prom {
+            update_derived_gauges(&self.shared);
+            let prom = self.shared.registry.snapshot().to_prometheus();
+            if let Err(e) = std::fs::write(path, prom) {
+                eprintln!("oreo-metrics: prometheus dump to {path:?} failed: {e}");
+            }
+        }
+        let (events, events_dropped) = match &self.shared.journal {
+            Some(journal) => (journal.drain(), journal.events_dropped()),
+            None => (Vec::new(), 0),
+        };
         let elapsed = self.started.elapsed();
         let table_bytes = self.shared.cell.pin().total_bytes();
         let core = self.shared.core.lock().expect("core poisoned");
@@ -716,7 +1026,7 @@ impl Engine {
             } else {
                 0.0
             },
-            latency: LatencyStats::from_samples(&mut latencies),
+            latency: LatencyStats::from_histogram(&self.shared.metrics.latency_us),
             ledger: *core.ledger(),
             switches: core.switches(),
             snapshots_published: self.shared.snapshots_published.load(Ordering::Relaxed),
@@ -743,6 +1053,8 @@ impl Engine {
             final_logical: core.logical_layout(),
             num_states: core.num_states(),
             max_states_seen: core.max_states_seen(),
+            events,
+            events_dropped,
         }
     }
 }
@@ -752,7 +1064,89 @@ impl Drop for Engine {
         // Unblock any still-running workers; threads detach and exit on
         // their own if `shutdown` was never called.
         self.shared.queue.close();
+        let (lock, cv) = &*self.exporter_stop;
+        if let Ok(mut stopped) = lock.lock() {
+            *stopped = true;
+            cv.notify_all();
+        }
     }
+}
+
+/// Recompute the derived gauges — qps, α̂ (rebuilt from the monotone
+/// scan/rewrite counters via [`AlphaEstimator`], `NaN` when a side has no
+/// samples yet), and the buffer-pool readings.
+fn update_derived_gauges(shared: &Shared) {
+    let m = &shared.metrics;
+    let elapsed = shared.started.elapsed().as_secs_f64();
+    let completed = shared.completed.load(Ordering::Relaxed);
+    if elapsed > 0.0 {
+        m.qps.set(completed as f64 / elapsed);
+    }
+    if let Some(pool) = &shared.pool {
+        let stats = pool.stats();
+        m.pool_hit_rate.set(stats.hit_rate());
+        m.pool_hits.set(stats.hits as f64);
+        m.pool_misses.set(stats.misses as f64);
+        m.pool_evictions.set(stats.evictions as f64);
+        m.pool_pages_resident.set(stats.pages_resident as f64);
+    }
+    let table_bytes = m.table_bytes.get();
+    if table_bytes.is_finite() && table_bytes > 0.0 {
+        let mut est = AlphaEstimator::new(table_bytes as u64);
+        est.record_cold_scan(m.cold_scan_bytes.get(), m.cold_scan_ns.get() as f64 / 1e9);
+        est.record_scan(m.warm_scan_bytes.get(), m.warm_scan_ns.get() as f64 / 1e9);
+        est.record_reorgs(
+            m.reorg_bytes_written.get(),
+            m.persist_ns.get() as f64 / 1e9,
+            m.persisted.get(),
+        );
+        m.alpha_hat.set(est.alpha().unwrap_or(f64::NAN));
+        m.alpha_cold.set(est.alpha_cold().unwrap_or(f64::NAN));
+        m.alpha_warm.set(est.alpha_warm().unwrap_or(f64::NAN));
+    }
+}
+
+/// The periodic JSON exporter: one snapshot line immediately, one per
+/// interval, and one final line at stop — so even the shortest run emits
+/// at least two.
+fn exporter_loop(shared: &Shared, stop: &(Mutex<bool>, Condvar), path: &std::path::Path) {
+    let mut writer = match SnapshotWriter::create(path) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("oreo-metrics: cannot open {path:?}: {e}");
+            return;
+        }
+    };
+    let label = shared.config.obs.label.clone();
+    let interval = shared.config.obs.interval();
+    let write_one = |shared: &Shared, writer: &mut SnapshotWriter| {
+        update_derived_gauges(shared);
+        let snap = shared.registry.snapshot();
+        if let Err(e) = writer.append(&label, shared.started.elapsed().as_secs_f64(), &snap) {
+            eprintln!("oreo-metrics: snapshot append failed: {e}");
+        }
+    };
+    write_one(shared, &mut writer);
+    let (lock, cv) = stop;
+    let mut stopped = lock.lock().expect("exporter stop poisoned");
+    loop {
+        if *stopped {
+            break;
+        }
+        let (guard, _) = cv
+            .wait_timeout(stopped, interval)
+            .expect("exporter stop poisoned");
+        stopped = guard;
+        if *stopped {
+            break;
+        }
+        drop(stopped);
+        write_one(shared, &mut writer);
+        stopped = lock.lock().expect("exporter stop poisoned");
+    }
+    drop(stopped);
+    // Final snapshot: the drained end-of-run state.
+    write_one(shared, &mut writer);
 }
 
 fn worker_loop(
@@ -769,12 +1163,18 @@ fn worker_loop(
         let mut scanned = Vec::with_capacity(batch.len());
         for job in batch {
             let picked = Instant::now();
+            if shared.sink.enabled() {
+                shared.sink.emit(EventKind::QueryPickup {
+                    submit_id: job.submit_id,
+                });
+            }
             let snapshot = shared.cell.pin();
             let scan = match (&shared.pool, snapshot.generation()) {
                 (Some(pool), Some(_)) => match snapshot.scan_pooled(&job.query.predicate, pool) {
                     Ok(scan) => scan,
                     Err(e) => {
                         stats.scan_io_errors += 1;
+                        shared.metrics.scan_io_errors.inc();
                         // A persistent fault (unreadable file, bad disk)
                         // would otherwise print once per queued query;
                         // the full count lands in scan_io_errors.
@@ -789,7 +1189,9 @@ fn worker_loop(
                 },
                 _ => snapshot.scan(&job.query.predicate),
             };
-            let elapsed = picked.elapsed().as_secs_f64();
+            let scan_wall = picked.elapsed();
+            let elapsed = scan_wall.as_secs_f64();
+            let scan_ns = scan_wall.as_nanos().min(u128::from(u64::MAX)) as u64;
             stats.scan_seconds += elapsed;
             stats.rows_scanned += scan.rows_read;
             stats.rows_matched += scan.matches.len() as u64;
@@ -798,6 +1200,16 @@ fn worker_loop(
             stats.io_cached_bytes += scan.io_cached_bytes;
             stats.chunks_evaluated += scan.chunks_evaluated;
             stats.rows_short_circuited += scan.rows_short_circuited;
+            let m = &shared.metrics;
+            m.rows_scanned.add(scan.rows_read);
+            m.rows_matched.add(scan.matches.len() as u64);
+            m.bytes_scanned.add(scan.bytes_scanned);
+            m.scan_ns.add(scan_ns);
+            m.io_cold_bytes.add(scan.io_cold_bytes);
+            m.io_cached_bytes.add(scan.io_cached_bytes);
+            m.chunks_evaluated.add(scan.chunks_evaluated);
+            m.rows_short_circuited.add(scan.rows_short_circuited);
+            m.scan_us.record(as_micros_u64(scan_wall));
             // Temperature classification: a scan is "cold" when the
             // majority of its page bytes came from disk. Memory scans
             // (no pooled I/O at all) are warm by definition.
@@ -805,9 +1217,22 @@ fn worker_loop(
                 stats.cold_scans += 1;
                 stats.cold_scan_bytes += scan.bytes_scanned;
                 stats.cold_scan_seconds += elapsed;
+                m.cold_scans.inc();
+                m.cold_scan_bytes.add(scan.bytes_scanned);
+                m.cold_scan_ns.add(scan_ns);
             } else {
                 stats.warm_scan_bytes += scan.bytes_scanned;
                 stats.warm_scan_seconds += elapsed;
+                m.warm_scan_bytes.add(scan.bytes_scanned);
+                m.warm_scan_ns.add(scan_ns);
+            }
+            if shared.sink.enabled() {
+                shared.sink.emit(EventKind::QueryScanned {
+                    submit_id: job.submit_id,
+                    rows_read: scan.rows_read,
+                    bytes: scan.bytes_scanned,
+                    matched: scan.matches.len() as u64,
+                });
             }
             scanned.push((job, picked, scan, snapshot.layout(), snapshot.epoch()));
         }
@@ -827,6 +1252,7 @@ fn worker_loop(
                 };
                 let observed_now = shared.observed.fetch_add(1, Ordering::Relaxed) + 1;
                 if let Some(target) = report.reorg_decision {
+                    shared.metrics.switches.inc();
                     if let Some(tx) = &reorg_tx {
                         let spec = core.spec(target).expect("decided target has a spec");
                         // Send while holding the core lock so the build
@@ -843,6 +1269,7 @@ fn worker_loop(
                 fulfilled.push((
                     picked,
                     job.slot,
+                    job.submit_id,
                     QueryOutcome {
                         seq: report.seq,
                         scan,
@@ -854,12 +1281,30 @@ fn worker_loop(
                     },
                 ));
             }
+            // Batch-granular gauges, read while the lock already serializes
+            // the core: the live ledger and state-space views.
+            let m = &shared.metrics;
+            let ledger = core.ledger();
+            m.ledger_query_cost.set(ledger.query_cost);
+            m.ledger_reorg_cost.set(ledger.reorg_cost);
+            m.ledger_total.set(ledger.total());
+            m.num_states.set(core.num_states() as f64);
+            m.max_states_seen.set(core.max_states_seen() as f64);
         }
 
         // Phase 3 — fulfill results and wake drainers.
-        for (picked, slot, mut outcome) in fulfilled {
+        for (picked, slot, submit_id, mut outcome) in fulfilled {
             outcome.latency = picked.elapsed();
-            stats.latencies_us.push(as_micros_u64(outcome.latency));
+            let latency_us = as_micros_u64(outcome.latency);
+            shared.metrics.latency_us.record(latency_us);
+            shared.metrics.queries_completed.inc();
+            if shared.sink.enabled() {
+                shared.sink.emit(EventKind::QueryCompleted {
+                    submit_id,
+                    stream_seq: outcome.seq,
+                    latency_us,
+                });
+            }
             if let Some(slot) = slot {
                 let mut v = slot.value.lock().expect("result slot poisoned");
                 *v = Some(outcome);

@@ -12,7 +12,15 @@
 //! * [`reorg`] — the background build + the [`ReorgWindow`] measurement:
 //!   the paper's reorganization delay Δ (§VI-D5) as a *measured* wall-clock
 //!   and query-count window, not a configured constant;
-//! * [`metrics`] — exact latency percentiles for the serving harnesses.
+//! * [`metrics`] — latency summaries over `oreo_obs` streaming
+//!   histograms (fixed memory, live percentiles), with the exact
+//!   sorted-sample path retained as a test oracle.
+//!
+//! The engine publishes into a live `oreo_obs::Registry` as it runs —
+//! query/scan/reorg counters, streaming latency histograms, ledger and
+//! α̂ gauges — and can journal every policy decision and query lifecycle
+//! span ([`engine::ObsConfig`]): a FIFO run's journal replays to exactly
+//! the engine's `CostLedger` (`oreo_core::CostLedger::replay`).
 //!
 //! With [`ServeMode::Tiered`] the engine backs every snapshot with an
 //! [`oreo_storage::TieredStore`] generation directory: the reorganizer
@@ -84,7 +92,8 @@ pub mod queue;
 pub mod reorg;
 
 pub use engine::{
-    DelaySemantics, Engine, EngineConfig, EngineStats, QueryOutcome, ResultHandle, ServeMode,
+    DelaySemantics, Engine, EngineConfig, EngineStats, ObsConfig, QueryOutcome, ResultHandle,
+    ServeMode,
 };
 pub use metrics::LatencyStats;
 pub use queue::ShardedQueue;
@@ -386,6 +395,121 @@ mod tests {
         let second = run(first + 1);
         assert!(second > first);
         std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// A journal-enabled FIFO run: the drained event stream replays to the
+    /// live ledger bit-for-bit, every query's lifecycle span is complete,
+    /// and the registry's counters agree with the shutdown stats.
+    #[test]
+    fn journal_and_registry_track_a_fifo_run() {
+        use oreo_core::CostLedger;
+        use oreo_obs::EventKind;
+
+        let t = table(2000);
+        let queries = drifting_queries(&t, 300);
+        let engine = start(
+            &t,
+            config(),
+            EngineConfig::sequential_parity().with_journal_capacity(16_384),
+        );
+        for q in &queries {
+            engine.submit(q.clone());
+        }
+        engine.drain();
+
+        // live registry readable mid-flight (before shutdown)
+        let snap = engine.registry().snapshot();
+        assert_eq!(snap.counter("engine.queries_submitted"), Some(300));
+        assert_eq!(snap.counter("engine.queries_completed"), Some(300));
+        let latency = snap.histogram("engine.latency_us").expect("histogram");
+        assert_eq!(latency.count, 300);
+
+        let stats = engine.shutdown();
+        assert_eq!(stats.events_dropped, 0, "journal sized for the run");
+        assert!(!stats.events.is_empty());
+        // seq-sorted and unique
+        assert!(stats.events.windows(2).all(|w| w[0].seq < w[1].seq));
+        // ledger replay parity (satellite: event-level EXACT)
+        assert_eq!(CostLedger::replay(&stats.events), stats.ledger);
+        // span coverage: each submit_id appears as enqueue → pickup →
+        // scan → complete exactly once
+        let count_of = |pred: &dyn Fn(&EventKind) -> bool| {
+            stats.events.iter().filter(|e| pred(&e.kind)).count() as u64
+        };
+        assert_eq!(
+            count_of(&|k| matches!(k, EventKind::QueryEnqueued { .. })),
+            300
+        );
+        assert_eq!(
+            count_of(&|k| matches!(k, EventKind::QueryPickup { .. })),
+            300
+        );
+        assert_eq!(
+            count_of(&|k| matches!(k, EventKind::QueryScanned { .. })),
+            300
+        );
+        assert_eq!(
+            count_of(&|k| matches!(k, EventKind::QueryCompleted { .. })),
+            300
+        );
+        assert_eq!(
+            count_of(&|k| matches!(k, EventKind::QueryObserved { .. })),
+            stats.ledger.queries
+        );
+        assert_eq!(
+            count_of(&|k| matches!(k, EventKind::SwitchDecided { .. })),
+            stats.switches
+        );
+        // latency stats came from the histogram; count/max are exact
+        assert_eq!(stats.latency.count, 300);
+        assert!(stats.latency.p50_us <= stats.latency.p99_us);
+        // trace renders one line per event + header
+        let trace = oreo_obs::render_trace(&stats.events);
+        assert_eq!(trace.lines().count(), stats.events.len() + 1);
+    }
+
+    /// The metrics exporter emits ≥2 JSONL snapshots (initial + final),
+    /// with cell label, elapsed time, and the required keys.
+    #[test]
+    fn exporter_writes_periodic_snapshots() {
+        use engine::ObsConfig;
+
+        let t = table(1500);
+        let queries = drifting_queries(&t, 200);
+        let dir = tmproot("metrics");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.jsonl");
+        let engine = start(
+            &t,
+            config(),
+            EngineConfig::default().with_workers(2).with_obs(ObsConfig {
+                metrics_json: Some(path.clone()),
+                metrics_interval: Some(std::time::Duration::from_millis(10)),
+                label: "test-cell".into(),
+                ..Default::default()
+            }),
+        );
+        for q in &queries {
+            engine.submit(q.clone());
+        }
+        engine.drain();
+        let stats = engine.shutdown();
+        assert_eq!(stats.queries, 200);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 2, "want ≥2 snapshots, got {}", lines.len());
+        for line in &lines {
+            assert!(line.contains("\"cell\":\"test-cell\""));
+            assert!(line.contains("\"elapsed_s\":"));
+            assert!(line.contains("\"engine.latency_us\":{"));
+        }
+        // the final snapshot reflects the drained run
+        let last = lines.last().unwrap();
+        assert!(last.contains("\"engine.queries_completed\":200"));
+        assert!(last.contains("\"pool.hit_rate\":"));
+        assert!(last.contains("\"alpha.hat\":"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     /// Readers pinning concurrently with publishes never observe a snapshot

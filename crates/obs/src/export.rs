@@ -1,0 +1,242 @@
+//! Snapshot exporters: JSON (one object per snapshot, JSONL-friendly)
+//! and Prometheus text exposition, plus a [`SnapshotWriter`] that
+//! appends timestamped snapshot lines to a file from a background
+//! exporter thread.
+//!
+//! Both renderers are hand-rolled on `std::fmt` — this crate is
+//! deliberately dependency-free. Gauges that were never set (or hold a
+//! non-finite value) render as JSON `null` and are omitted from the
+//! Prometheus dump: "not measurable" is a first-class state, not 0.0.
+
+use crate::registry::{MetricValue, MetricsSnapshot};
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `f64` as a JSON value (`null` when non-finite).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl MetricsSnapshot {
+    /// Render the snapshot as one flat JSON object keyed by metric name.
+    /// Counters are integers, gauges are numbers (or `null` when never
+    /// set), histograms are nested objects with
+    /// `count/sum/min/max/mean/p50/p95/p99`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(self.entries.len() * 48);
+        out.push('{');
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":", json_escape(name));
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                MetricValue::Gauge(v) => out.push_str(&json_f64(*v)),
+                MetricValue::Histogram(s) => {
+                    let _ = write!(
+                        out,
+                        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\
+                         \"p50\":{},\"p95\":{},\"p99\":{}}}",
+                        s.count,
+                        s.sum,
+                        s.min,
+                        s.max,
+                        json_f64(s.mean),
+                        json_f64(s.p50),
+                        json_f64(s.p95),
+                        json_f64(s.p99),
+                    );
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Render the snapshot in Prometheus text exposition format. Metric
+    /// names are prefixed `oreo_` and sanitized to `[a-zA-Z0-9_:]`;
+    /// histograms render as summaries (`{quantile="…"}` series plus
+    /// `_sum` and `_count`); never-set gauges are omitted.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(self.entries.len() * 64);
+        for (name, value) in &self.entries {
+            let prom = prom_name(name);
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {prom} counter");
+                    let _ = writeln!(out, "{prom} {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    if v.is_finite() {
+                        let _ = writeln!(out, "# TYPE {prom} gauge");
+                        let _ = writeln!(out, "{prom} {v}");
+                    }
+                }
+                MetricValue::Histogram(s) => {
+                    let _ = writeln!(out, "# TYPE {prom} summary");
+                    if s.count > 0 {
+                        let _ = writeln!(out, "{prom}{{quantile=\"0.5\"}} {}", s.p50);
+                        let _ = writeln!(out, "{prom}{{quantile=\"0.95\"}} {}", s.p95);
+                        let _ = writeln!(out, "{prom}{{quantile=\"0.99\"}} {}", s.p99);
+                    }
+                    let _ = writeln!(out, "{prom}_sum {}", s.sum);
+                    let _ = writeln!(out, "{prom}_count {}", s.count);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `engine.latency_us` → `oreo_engine_latency_us`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("oreo_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Appends one JSON line per snapshot to a file:
+/// `{"snapshot_seq":N,"cell":"…","elapsed_s":X,"metrics":{…}}`.
+/// The line-per-snapshot framing (JSONL) lets a run append periodic
+/// snapshots from several serving cells into a single file that tools
+/// can stream.
+#[derive(Debug)]
+pub struct SnapshotWriter {
+    file: File,
+    next_seq: u64,
+}
+
+impl SnapshotWriter {
+    /// Open `path` for appending (created if missing).
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self { file, next_seq: 0 })
+    }
+
+    /// Append one snapshot line and flush it.
+    pub fn append(&mut self, cell: &str, elapsed_s: f64, snap: &MetricsSnapshot) -> io::Result<()> {
+        let line = format!(
+            "{{\"snapshot_seq\":{},\"cell\":\"{}\",\"elapsed_s\":{},\"metrics\":{}}}\n",
+            self.next_seq,
+            json_escape(cell),
+            json_f64(elapsed_s),
+            snap.to_json(),
+        );
+        self.next_seq += 1;
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()
+    }
+
+    /// Snapshot lines appended so far.
+    pub fn written(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> MetricsSnapshot {
+        let r = Registry::new();
+        r.counter("engine.queries_completed").add(42);
+        r.gauge("pool.hit_rate").set(0.875);
+        r.gauge("alpha.hat"); // registered, never set -> NaN
+        let h = r.histogram("engine.latency_us");
+        for v in [100, 200, 300] {
+            h.record(v);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_has_all_kinds_and_null_for_unset_gauge() {
+        let json = sample().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"engine.queries_completed\":42"));
+        assert!(json.contains("\"pool.hit_rate\":0.875"));
+        assert!(json.contains("\"alpha.hat\":null"));
+        assert!(json.contains("\"engine.latency_us\":{\"count\":3,\"sum\":600,"));
+        assert!(json.contains("\"p50\":"));
+        assert!(json.contains("\"p99\":"));
+    }
+
+    #[test]
+    fn prometheus_skips_unset_gauges_and_renders_summaries() {
+        let prom = sample().to_prometheus();
+        assert!(prom.contains("# TYPE oreo_engine_queries_completed counter"));
+        assert!(prom.contains("oreo_engine_queries_completed 42"));
+        assert!(prom.contains("oreo_pool_hit_rate 0.875"));
+        assert!(!prom.contains("oreo_alpha_hat"), "never-set gauge omitted");
+        assert!(prom.contains("oreo_engine_latency_us{quantile=\"0.5\"}"));
+        assert!(prom.contains("oreo_engine_latency_us_count 3"));
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\ny");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn snapshot_writer_appends_one_line_per_snapshot() {
+        let dir = std::env::temp_dir().join(format!(
+            "oreo-obs-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.jsonl");
+        let snap = sample();
+        {
+            let mut w = SnapshotWriter::create(&path).unwrap();
+            w.append("w1-reorg_on", 0.25, &snap).unwrap();
+            w.append("w1-reorg_on", 0.5, &snap).unwrap();
+            assert_eq!(w.written(), 2);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"snapshot_seq\":0,\"cell\":\"w1-reorg_on\""));
+        assert!(lines[1].starts_with("{\"snapshot_seq\":1,"));
+        assert!(lines[0].contains("\"metrics\":{"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

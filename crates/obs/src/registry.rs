@@ -1,0 +1,192 @@
+//! The metrics registry: named [`Counter`]s, [`Gauge`]s, and
+//! [`Histogram`]s behind `Arc` handles.
+//!
+//! Registration (name → metric) takes a mutex, but it happens once per
+//! metric at startup; the handles it returns are plain `Arc`s whose
+//! updates are lock-free atomics. [`Registry::snapshot`] walks the name
+//! map once and reads every metric's current value — safe to call from a
+//! background exporter while workers keep publishing.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramStats};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A name → metric map. See the [module docs](self).
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or register the counter named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().expect("registry poisoned");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or register the gauge named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().expect("registry poisoned");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or register the histogram named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().expect("registry poisoned");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Read every registered metric's current value, in name order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = self.metrics.lock().expect("registry poisoned");
+        MetricsSnapshot {
+            entries: m
+                .iter()
+                .map(|(name, metric)| {
+                    let value = match metric {
+                        Metric::Counter(c) => MetricValue::Counter(c.get()),
+                        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Metric::Histogram(h) => MetricValue::Histogram(h.stats()),
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One metric's value inside a [`MetricsSnapshot`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A counter reading.
+    Counter(u64),
+    /// A gauge reading (NaN = never set / not measurable).
+    Gauge(f64),
+    /// A histogram summary.
+    Histogram(HistogramStats),
+}
+
+/// A point-in-time reading of every metric in a [`Registry`], in name
+/// order. Render with [`MetricsSnapshot::to_json`] or
+/// [`MetricsSnapshot::to_prometheus`] (see [`crate::export`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs, sorted by name.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// Look up one metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Counter value by name (`None` when absent or not a counter).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value by name (`None` when absent or not a gauge).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram summary by name (`None` when absent or not a histogram).
+    pub fn histogram(&self, name: &str) -> Option<HistogramStats> {
+        match self.get(name) {
+            Some(MetricValue::Histogram(s)) => Some(*s),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_and_snapshots_read_them() {
+        let r = Registry::new();
+        let c = r.counter("engine.queries_completed");
+        r.counter("engine.queries_completed").add(2);
+        c.inc();
+        r.gauge("pool.hit_rate").set(0.9);
+        r.histogram("engine.latency_us").record(250);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("engine.queries_completed"), Some(3));
+        assert_eq!(snap.gauge("pool.hit_rate"), Some(0.9));
+        assert_eq!(snap.histogram("engine.latency_us").unwrap().count, 1);
+        assert_eq!(snap.get("missing"), None);
+        // name order
+        let names: Vec<&str> = snap.entries.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+}

@@ -106,8 +106,12 @@ pub struct ThroughputReport {
     /// Median per-query service latency (worker pickup → completion),
     /// microseconds.
     pub p50_us: f64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: f64,
     /// 99th-percentile latency, microseconds.
     pub p99_us: f64,
+    /// Maximum latency, microseconds.
+    pub max_us: f64,
     /// Mean latency, microseconds.
     pub mean_us: f64,
     /// Layout switches decided during the run.
@@ -165,7 +169,9 @@ impl ThroughputReport {
             "queries",
             "qps",
             "p50(µs)",
+            "p95(µs)",
             "p99(µs)",
+            "max(µs)",
             "switches",
             "reorgs",
             "Δ(queries)",
@@ -184,7 +190,9 @@ impl ThroughputReport {
             self.queries.to_string(),
             fmt_f(self.qps, 0),
             fmt_f(self.p50_us, 0),
+            fmt_f(self.p95_us, 0),
             fmt_f(self.p99_us, 0),
+            fmt_f(self.max_us, 0),
             self.switches.to_string(),
             self.reorgs_completed.to_string(),
             fmt_f(self.mean_delta_queries, 1),
@@ -234,7 +242,9 @@ mod tests {
             queries: 1000,
             qps: 2512.3,
             p50_us: 410.0,
+            p95_us: 1400.0,
             p99_us: 1900.0,
+            max_us: 4200.0,
             switches: 3,
             reorgs_completed: 3,
             mean_delta_queries: 41.5,
@@ -259,7 +269,10 @@ mod tests {
         // an unmeasured α (and an absent pool) render as "-"
         let none = ThroughputReport::default();
         assert_eq!(*none.table_row().last().unwrap(), "-");
-        assert_eq!(none.table_row()[11], "-");
+        assert_eq!(none.table_row()[13], "-", "α̂ column");
+        // all five latency summary fields show up in the row
+        assert!(rendered.contains("1400"), "p95 rendered");
+        assert!(rendered.contains("4200"), "max rendered");
     }
 
     #[test]

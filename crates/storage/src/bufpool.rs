@@ -22,12 +22,13 @@
 use crate::error::{Result, StorageError};
 use crate::tiered::Generation;
 use bytes::Bytes;
+use oreo_obs::{EventKind, EventSink, NullSink};
 use std::collections::HashMap;
 use std::fs;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Default page size: 64 KiB, a common buffer-manager block size.
 pub const DEFAULT_PAGE_BYTES: usize = 64 * 1024;
@@ -144,7 +145,6 @@ pub struct ReadStats {
 
 /// A fixed-capacity page cache over generation partition files with CLOCK
 /// eviction. See the [module docs](self) for the design.
-#[derive(Debug)]
 pub struct BufferPool {
     config: BufferPoolConfig,
     inner: Mutex<PoolInner>,
@@ -154,6 +154,18 @@ pub struct BufferPool {
     cold_bytes: AtomicU64,
     cached_bytes: AtomicU64,
     invalidated: AtomicU64,
+    /// Eviction/invalidation event sink ([`NullSink`] unless the owner
+    /// wired a journal in via [`BufferPool::with_event_sink`]).
+    sink: Arc<dyn EventSink>,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
 }
 
 impl BufferPool {
@@ -169,7 +181,15 @@ impl BufferPool {
             cold_bytes: AtomicU64::new(0),
             cached_bytes: AtomicU64::new(0),
             invalidated: AtomicU64::new(0),
+            sink: Arc::new(NullSink),
         }
+    }
+
+    /// Route eviction and invalidation events into `sink` (builder form,
+    /// applied before the pool is shared).
+    pub fn with_event_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sink = sink;
+        self
     }
 
     /// The pool's sizing configuration.
@@ -378,6 +398,13 @@ impl BufferPool {
                     inner.map.remove(&key);
                     inner.frames[slot] = None;
                     self.evictions.fetch_add(1, Ordering::Relaxed);
+                    if self.sink.enabled() {
+                        self.sink.emit(EventKind::PoolEvicted {
+                            generation: key.generation,
+                            file: key.file,
+                            page: key.page,
+                        });
+                    }
                     return slot;
                 }
                 None => return slot,
@@ -413,6 +440,13 @@ impl BufferPool {
                     inner.frames[slot] = None;
                     inner.free.push(slot);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
+                    if self.sink.enabled() {
+                        self.sink.emit(EventKind::PoolEvicted {
+                            generation: key.generation,
+                            file: key.file,
+                            page: key.page,
+                        });
+                    }
                 }
                 None => continue,
             }
@@ -432,12 +466,18 @@ impl BufferPool {
             .filter(|k| k.generation == generation)
             .copied()
             .collect();
+        let mut pages = 0u64;
         for key in victims {
             if let Some(slot) = inner.map.remove(&key) {
                 inner.frames[slot] = None;
                 inner.free.push(slot);
                 self.invalidated.fetch_add(1, Ordering::Relaxed);
+                pages += 1;
             }
+        }
+        if pages > 0 && self.sink.enabled() {
+            self.sink
+                .emit(EventKind::PoolInvalidated { generation, pages });
         }
     }
 }

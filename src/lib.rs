@@ -22,7 +22,10 @@
 //! * [`sim`] — the evaluation harness with every baseline from the paper;
 //! * [`engine`] — the concurrent serving layer: multi-threaded
 //!   snapshot-isolated scans with non-blocking background reorganization
-//!   (the paper's Δ as a measured window).
+//!   (the paper's Δ as a measured window);
+//! * [`obs`] — live observability: the lock-free metrics registry,
+//!   streaming log-bucketed histograms, the bounded structured event
+//!   journal (policy decision trace), and the JSON/Prometheus exporters.
 //!
 //! ## Quickstart
 //!
@@ -67,6 +70,7 @@
 pub use oreo_core as core;
 pub use oreo_engine as engine;
 pub use oreo_layout as layout;
+pub use oreo_obs as obs;
 pub use oreo_query as query;
 pub use oreo_sampling as sampling;
 pub use oreo_sim as sim;

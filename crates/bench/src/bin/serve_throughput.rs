@@ -48,11 +48,23 @@
 //! enabled and additionally asserts that replaying the journal reproduces
 //! the engine's `CostLedger` bit-for-bit.
 //!
+//! `--ingest-rate <rows_per_1000_queries>` turns the default grid into a
+//! mixed read/write run: a deterministic mutation schedule
+//! (`oreo-workload::mutation`, ~90% appends with updates and deletes mixed
+//! in) is interleaved with query submission at the requested rate, so every
+//! measured cell serves delta-aware scans while the reorganizer folds
+//! deltas into the base. Cells then report ingest totals, folds, write
+//! amplification, and delta scan bytes. The ledger-parity replay always
+//! runs *without* ingestion — with writes disabled the single-worker FIFO
+//! engine must still replay `oreo-sim` byte-exactly (PR 9's regression
+//! guarantee).
+//!
 //! Flags: `--quick` (reduced scale), `--tiered` (disk-tiered serving),
-//! `--buffer-pool-mb <n>` (tiered page-cache capacity), `--scenario
-//! <name|suite>` (workload zoo), `--json <path>` (machine-readable report
-//! for cross-PR trajectories), `--metrics-json` / `--metrics-interval-ms`
-//! / `--metrics-prom` / `--trace` (observability, above).
+//! `--buffer-pool-mb <n>` (tiered page-cache capacity), `--ingest-rate
+//! <n>` (rows ingested per 1 000 queries), `--scenario <name|suite>`
+//! (workload zoo), `--json <path>` (machine-readable report for cross-PR
+//! trajectories), `--metrics-json` / `--metrics-interval-ms` /
+//! `--metrics-prom` / `--trace` (observability, above).
 
 use oreo_bench::common::{
     default_config, json_path_arg, make_stream, write_json_report, Json, Scale,
@@ -64,7 +76,10 @@ use oreo_sim::{
     adversarial_bound, compare_oreo_static, default_spec, fmt_f, make_generator, run_policy,
     zoo_stream, PolicySetup, Technique, ThroughputReport,
 };
-use oreo_workload::{telemetry_bundle, tpch_bundle, QueryStream, Scenario, ScenarioConfig};
+use oreo_workload::{
+    mutation_stream, telemetry_bundle, tpch_bundle, MutationConfig, MutationStream, QueryStream,
+    Scenario, ScenarioConfig,
+};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -150,6 +165,15 @@ fn parse_pool_mb() -> u64 {
         .unwrap_or(64)
 }
 
+/// Parse `--ingest-rate <rows_per_1000_queries>`, if present.
+fn parse_ingest_rate() -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--ingest-rate")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
 /// Parse `--scenario <name|suite>`, if present.
 fn parse_scenario() -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -232,6 +256,7 @@ fn run_cell(
     workers: usize,
     background_reorg: bool,
     env: &ServeEnv<'_>,
+    ingest: Option<&MutationStream>,
 ) -> (ThroughputReport, EngineStats) {
     let config = env.config.clone();
     let initial = default_spec(bundle, config.partitions, config.seed);
@@ -254,8 +279,25 @@ fn run_cell(
             .with_obs(env.obs.cell_config(cell_label)),
     );
     let started = Instant::now();
-    for q in &stream.queries {
+    let mut next_batch = 0usize;
+    for (i, q) in stream.queries.iter().enumerate() {
+        if let Some(ms) = ingest {
+            while next_batch < ms.batches.len() && ms.batches[next_batch].after_query <= i {
+                engine
+                    .ingest(&ms.batches[next_batch].ops)
+                    .expect("ingest batch");
+                next_batch += 1;
+            }
+        }
         engine.submit(q.clone());
+    }
+    if let Some(ms) = ingest {
+        while next_batch < ms.batches.len() {
+            engine
+                .ingest(&ms.batches[next_batch].ops)
+                .expect("ingest batch");
+            next_batch += 1;
+        }
     }
     engine.drain();
     let elapsed = started.elapsed().as_secs_f64();
@@ -383,6 +425,31 @@ fn assert_ledger_parity(
     ledgers_match && replay_match
 }
 
+/// Append the write-path fields to a cell's JSON object (only emitted when
+/// `--ingest-rate` is active).
+fn with_ingest_fields(cell: Json, stats: &EngineStats) -> Json {
+    let Json::Obj(mut fields) = cell else {
+        return cell;
+    };
+    let mut push = |k: &str, v: Json| fields.push((k.to_string(), v));
+    push("ingest_batches", Json::from(stats.ingest_batches));
+    push("rows_appended", Json::from(stats.rows_appended));
+    push("rows_deleted", Json::from(stats.rows_deleted));
+    push("ingest_rows_written", Json::from(stats.ingest_rows_written));
+    push(
+        "write_amplification",
+        stats.write_amplification().map_or(Json::Null, Json::from),
+    );
+    push("delta_bytes_scanned", Json::from(stats.delta_bytes_scanned));
+    push("delta_rows_unfolded", Json::from(stats.delta_rows));
+    push("folds", Json::from(stats.folds()));
+    push("folded_rows", Json::from(stats.folded_rows()));
+    push("compactions", Json::from(stats.ledger.compactions));
+    push("compaction_cost", Json::from(stats.ledger.compaction_cost));
+    push("wal_bytes", Json::from(stats.wal_bytes));
+    Json::Obj(fields)
+}
+
 /// One serving cell as a JSON object (the `cells` array entry shared by
 /// every mode of this binary).
 fn cell_json(r: &ThroughputReport) -> Json {
@@ -448,7 +515,7 @@ fn main() {
     let obs = ObsFlags::from_args();
 
     match parse_scenario().as_deref() {
-        None => run_default(scale, tiered, pool_mb, json_path, &obs),
+        None => run_default(scale, tiered, pool_mb, json_path, &obs, parse_ingest_rate()),
         Some("suite") => run_suite(scale, tiered, pool_mb, json_path, &obs),
         Some(name) => {
             let scenario = Scenario::from_name(name).unwrap_or_else(|| {
@@ -468,6 +535,7 @@ fn run_default(
     pool_mb: u64,
     json_path: Option<PathBuf>,
     obs: &ObsFlags,
+    ingest_rate: Option<u64>,
 ) {
     let seed = 3;
     let queries = serving_queries(scale);
@@ -498,17 +566,48 @@ fn run_default(
         obs,
     };
 
+    // The mutation schedule every measured cell interleaves: ~90% appends,
+    // the rest updates + deletes, one batch per ~100 served queries.
+    let ingest = ingest_rate.map(|per_k| {
+        let total_rows = (queries as u64 * per_k / 1000).max(1);
+        let batches = (queries / 100).clamp(1, 200);
+        let per_batch = (total_rows / batches as u64).max(1) as usize;
+        let schedule = mutation_stream(
+            bundle.table.schema(),
+            bundle.table.num_rows() as u64,
+            MutationConfig {
+                batches,
+                appends_per_batch: per_batch - 2 * (per_batch / 10).min(per_batch / 2),
+                updates_per_batch: per_batch / 10,
+                deletes_per_batch: per_batch / 10,
+                total_queries: queries,
+                seed: 11,
+            },
+        );
+        println!(
+            "ingest schedule: {} batches, {} appends + {} tombstones over {} queries \
+             ({} rows / 1 000 queries requested)",
+            schedule.batches.len(),
+            schedule.appended,
+            schedule.deleted,
+            queries,
+            per_k,
+        );
+        schedule
+    });
+
     // Ledger parity: sequential simulator vs single-worker FIFO engine —
     // in the *same* serve mode as the measured cells, so the acceptance
-    // check covers the tiered path too.
+    // check covers the tiered path too. Always runs WITHOUT ingestion:
+    // with writes disabled the engine must replay oreo-sim byte-exactly.
     let ledgers_match = assert_ledger_parity(&bundle, &stream, &env);
     println!();
 
     let mut reports: Vec<ThroughputReport> = Vec::new();
-    let mut alpha_cells: Vec<(usize, EngineStats)> = Vec::new();
+    let mut cell_stats: Vec<EngineStats> = Vec::new();
     for &workers in &WORKER_COUNTS {
         for reorg in [true, false] {
-            let (report, stats) = run_cell(&bundle, &stream, workers, reorg, &env);
+            let (report, stats) = run_cell(&bundle, &stream, workers, reorg, &env, ingest.as_ref());
             println!(
                 "[workers={} {}] {:>7} qps, p50 {:>6} µs, p99 {:>7} µs, {} switches, {} reorgs, \
                  mean Δ = {} queries / {}s",
@@ -522,11 +621,29 @@ fn run_default(
                 fmt_f(report.mean_delta_queries, 1),
                 fmt_f(report.mean_delta_s, 3),
             );
+            if ingest.is_some() {
+                println!(
+                    "[workers={} {}]   ingest: {} rows in {} batches ({} tombstones), \
+                     WA {}, {} folds ({} rows), {} delta bytes scanned, {} rows unfolded",
+                    report.workers,
+                    report.label,
+                    stats.rows_appended,
+                    stats.ingest_batches,
+                    stats.rows_deleted,
+                    stats
+                        .write_amplification()
+                        .map_or("-".into(), |w| fmt_f(w, 2)),
+                    stats.folds(),
+                    stats.folded_rows(),
+                    stats.delta_bytes_scanned,
+                    stats.delta_rows,
+                );
+            }
             if reorg {
                 debug_assert_eq!(stats.snapshots_published, stats.switches);
-                alpha_cells.push((workers, stats));
             }
             reports.push(report);
+            cell_stats.push(stats);
         }
     }
 
@@ -535,7 +652,12 @@ fn run_default(
 
     // The unified measurement: α and Δ as observables of the same stream.
     if tiered {
-        for (workers, stats) in &alpha_cells {
+        for (report, stats) in reports
+            .iter()
+            .zip(&cell_stats)
+            .filter(|(r, _)| r.label == "reorg on")
+        {
+            let workers = &report.workers;
             let est = stats.alpha_estimator();
             match (stats.empirical_alpha(), stats.mean_delta_queries()) {
                 (Some(alpha), Some(delta_q)) => println!(
@@ -603,10 +725,37 @@ fn run_default(
     }
 
     if let Some(path) = json_path {
-        let rows = reports.iter().map(cell_json).collect();
+        let rows = reports
+            .iter()
+            .zip(&cell_stats)
+            .map(|(r, s)| {
+                let cell = cell_json(r);
+                if ingest.is_some() {
+                    with_ingest_fields(cell, s)
+                } else {
+                    cell
+                }
+            })
+            .collect();
         let doc = Json::obj([
             ("benchmark", Json::from("serve_throughput")),
             ("scale", Json::from(scale.label())),
+            (
+                "ingest_rate_per_1000",
+                ingest_rate.map_or(Json::Null, Json::from),
+            ),
+            (
+                "ingest_rows",
+                ingest
+                    .as_ref()
+                    .map_or(Json::Null, |m| Json::from(m.appended)),
+            ),
+            (
+                "ingest_tombstones",
+                ingest
+                    .as_ref()
+                    .map_or(Json::Null, |m| Json::from(m.deleted)),
+            ),
             (
                 "serve_mode",
                 Json::from(if tiered { "tiered" } else { "memory" }),
@@ -689,7 +838,7 @@ fn run_scenario(
 
     let mut reports: Vec<ThroughputReport> = Vec::new();
     for &workers in &SCENARIO_WORKERS {
-        let (report, _) = run_cell(&bundle, &stream, workers, true, &env);
+        let (report, _) = run_cell(&bundle, &stream, workers, true, &env, None);
         println!(
             "[workers={}] {:>7} qps, p50 {:>6} µs, p99 {:>7} µs, {} switches, hit% {:.1}, \
              α̂ {}",
@@ -794,7 +943,7 @@ fn run_suite(scale: Scale, tiered: bool, pool_mb: u64, json_path: Option<PathBuf
         let static_total = static_run.total();
         let beats_static = oreo_total < static_total;
 
-        let (report, _) = run_cell(&bundle, &stream, 2, true, &env);
+        let (report, _) = run_cell(&bundle, &stream, 2, true, &env, None);
 
         println!(
             "[{:>11}] sim: OREO {:>8} vs Static {:>8} ({}{:.1}%), {} switches | \

@@ -18,6 +18,14 @@ pub struct CostLedger {
     pub switches: u64,
     /// Number of queries accounted.
     pub queries: u64,
+    /// Σ ingest-compaction costs (delta-run merges and background folds,
+    /// in full-table-scan equivalents like α). Zero for read-only runs,
+    /// which keeps ledger parity with pre-ingestion harnesses exact.
+    #[serde(default)]
+    pub compaction_cost: f64,
+    /// Number of compaction charges (merges + folds).
+    #[serde(default)]
+    pub compactions: u64,
 }
 
 impl CostLedger {
@@ -39,9 +47,17 @@ impl CostLedger {
         self.switches += 1;
     }
 
-    /// Total objective: query + reorganization cost.
+    /// Record one ingest compaction (delta-run merge or background fold)
+    /// of `cost` full-table-scan equivalents.
+    pub fn add_compaction(&mut self, cost: f64) {
+        debug_assert!(cost >= 0.0, "compaction cost {cost}");
+        self.compaction_cost += cost;
+        self.compactions += 1;
+    }
+
+    /// Total objective: query + reorganization + compaction cost.
     pub fn total(&self) -> f64 {
-        self.query_cost + self.reorg_cost
+        self.query_cost + self.reorg_cost + self.compaction_cost
     }
 
     /// Mean query cost per query.
@@ -68,6 +84,7 @@ impl CostLedger {
             match e.kind {
                 EventKind::QueryObserved { service_cost, .. } => ledger.add_query(service_cost),
                 EventKind::SwitchDecided { alpha, .. } => ledger.add_reorg(alpha),
+                EventKind::CompactionCharged { cost, .. } => ledger.add_compaction(cost),
                 _ => {}
             }
         }
@@ -80,6 +97,8 @@ impl CostLedger {
         self.reorg_cost += other.reorg_cost;
         self.switches += other.switches;
         self.queries += other.queries;
+        self.compaction_cost += other.compaction_cost;
+        self.compactions += other.compactions;
     }
 }
 
@@ -132,6 +151,9 @@ pub struct AlphaEstimator {
     reorg_bytes: u64,
     reorg_seconds: f64,
     reorgs: u64,
+    merge_bytes: u64,
+    merge_seconds: f64,
+    merges: u64,
 }
 
 impl AlphaEstimator {
@@ -178,6 +200,36 @@ impl AlphaEstimator {
         self.reorg_bytes += bytes;
         self.reorg_seconds += seconds;
         self.reorgs += count;
+    }
+
+    /// Record one ingest-side delta merge (a [`MergePolicy`] run rewrite
+    /// or a background fold's delta portion): bytes rewritten and
+    /// wall-clock. Tracked separately from reorganizations so α̂ keeps
+    /// Table I's meaning (one *layout rewrite* over one full scan) while
+    /// the merge tax stays observable next to it.
+    ///
+    /// [`MergePolicy`]: oreo_storage::MergePolicy
+    pub fn record_merge(&mut self, bytes: u64, seconds: f64) {
+        self.record_merges(bytes, seconds, 1);
+    }
+
+    /// Record `count` merges from their totals (exporter rebuild path);
+    /// a no-op when `count == 0`.
+    pub fn record_merges(&mut self, bytes: u64, seconds: f64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.merge_bytes += bytes;
+        self.merge_seconds += seconds;
+        self.merges += count;
+    }
+
+    /// Mean write amplification tax per merge relative to a full rewrite:
+    /// mean merge bytes over the table's full-scan bytes. `None` until a
+    /// merge has been recorded.
+    pub fn mean_merge_fraction(&self) -> Option<f64> {
+        (self.merges > 0 && self.table_bytes > 0)
+            .then(|| self.merge_bytes as f64 / self.merges as f64 / self.table_bytes as f64)
     }
 
     /// Combined (warm + cold) scan throughput in bytes/second (`None` until
@@ -289,6 +341,21 @@ impl AlphaEstimator {
     /// Total reorganization wall-clock seconds.
     pub fn reorg_seconds(&self) -> f64 {
         self.reorg_seconds
+    }
+
+    /// Ingest merges recorded.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Total bytes rewritten across recorded ingest merges.
+    pub fn merge_bytes(&self) -> u64 {
+        self.merge_bytes
+    }
+
+    /// Total ingest-merge wall-clock seconds.
+    pub fn merge_seconds(&self) -> f64 {
+        self.merge_seconds
     }
 }
 
@@ -412,6 +479,75 @@ mod tests {
         // count == 0 records nothing
         bulk.record_reorgs(999, 9.9, 0);
         assert_eq!(one_by_one, bulk);
+    }
+
+    #[test]
+    fn compaction_charges_enter_the_total_and_replay() {
+        let mut live = CostLedger::new();
+        live.add_query(0.5);
+        live.add_compaction(0.125);
+        live.add_compaction(0.25);
+        assert_eq!(live.compactions, 2);
+        assert!((live.total() - 0.875).abs() < 1e-12);
+        let events = vec![
+            Event {
+                seq: 0,
+                at_us: 0,
+                kind: EventKind::QueryObserved {
+                    stream_seq: 0,
+                    service_cost: 0.5,
+                    physical: 0,
+                    logical: 0,
+                    counter: 0.0,
+                },
+            },
+            Event {
+                seq: 1,
+                at_us: 0,
+                kind: EventKind::CompactionCharged {
+                    stream_seq: 1,
+                    rows_written: 100,
+                    cost: 0.125,
+                },
+            },
+            Event {
+                seq: 2,
+                at_us: 0,
+                kind: EventKind::CompactionCharged {
+                    stream_seq: 1,
+                    rows_written: 200,
+                    cost: 0.25,
+                },
+            },
+        ];
+        assert_eq!(CostLedger::replay(&events), live);
+        // a read-only ledger stays bit-identical to the pre-ingestion shape
+        let read_only = CostLedger::new();
+        assert_eq!(read_only.compaction_cost, 0.0);
+        assert_eq!(read_only.total(), 0.0);
+    }
+
+    #[test]
+    fn merge_samples_stay_out_of_alpha() {
+        let mut a = AlphaEstimator::new(1_000_000);
+        a.record_scan(500_000, 0.005);
+        a.record_reorg(1_000_000, 0.8);
+        let alpha_before = a.alpha().unwrap();
+        a.record_merge(250_000, 0.1);
+        a.record_merge(250_000, 0.1);
+        assert_eq!(a.alpha().unwrap(), alpha_before, "α keeps Table I meaning");
+        assert_eq!(a.merges(), 2);
+        assert_eq!(a.merge_bytes(), 500_000);
+        assert!((a.merge_seconds() - 0.2).abs() < 1e-12);
+        assert!((a.mean_merge_fraction().unwrap() - 0.25).abs() < 1e-12);
+        // bulk form matches one-by-one
+        let mut bulk = AlphaEstimator::new(1_000_000);
+        bulk.record_scan(500_000, 0.005);
+        bulk.record_reorg(1_000_000, 0.8);
+        bulk.record_merges(500_000, 0.2, 2);
+        assert_eq!(a, bulk);
+        bulk.record_merges(9, 9.9, 0);
+        assert_eq!(a, bulk);
     }
 
     #[test]

@@ -404,6 +404,32 @@ impl Oreo {
         self.exact_model(id).cost(query)
     }
 
+    /// Replace the table this framework optimizes — the fold path: a
+    /// compacting reorganizer merged delta partitions into the base, so
+    /// every *exact* model is stale and must be rebuilt (lazily) against
+    /// the merged rows. Estimated models and the manager's samples refresh
+    /// on their own cadence (they are sample-scaled approximations by
+    /// design, §IV-C); only the billing surface must be exact immediately.
+    pub fn set_table(&mut self, table: Arc<Table>) {
+        self.table = table;
+        self.exact.clear();
+    }
+
+    /// Charge compaction work (folding ingested deltas into the base
+    /// layout) to the ledger and journal it. `cost` is in the same unit as
+    /// α — fractions of a full table scan — so the total cost the
+    /// competitive analysis sees includes the write path's merge work.
+    pub fn charge_compaction(&mut self, cost: f64, rows_written: u64) {
+        self.ledger.add_compaction(cost);
+        if self.sink.enabled() {
+            self.sink.emit(EventKind::CompactionCharged {
+                stream_seq: self.seq,
+                rows_written,
+                cost,
+            });
+        }
+    }
+
     /// Accumulated costs.
     pub fn ledger(&self) -> &CostLedger {
         &self.ledger

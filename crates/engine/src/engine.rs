@@ -15,6 +15,7 @@
 //!    queries keep running on the old snapshot for the whole window, which
 //!    is exactly the paper's reorganization delay Δ, now measured.
 
+use crate::ingest::{build_fold_snapshot, FoldBuild, IngestState};
 use crate::metrics::{as_micros_u64, LatencyStats};
 use crate::queue::ShardedQueue;
 use crate::reorg::{materialize, ReorgRequest, ReorgWindow};
@@ -26,8 +27,8 @@ use oreo_obs::{
 };
 use oreo_query::Query;
 use oreo_storage::{
-    BufferPool, BufferPoolConfig, LayoutId, PoolStats, SnapshotCell, SnapshotScan, Table,
-    TableSnapshot, TieredStore,
+    ApplyReceipt, BufferPool, BufferPoolConfig, DeltaBuffer, IngestOp, LayoutId, MergePolicy,
+    PoolStats, SnapshotCell, SnapshotScan, Table, TableSnapshot, TieredStore, Wal,
 };
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -140,6 +141,12 @@ pub struct EngineConfig {
     /// (cold misses hit the disk, warm hits are served from memory);
     /// ignored in [`ServeMode::Memory`].
     pub buffer_pool_bytes: u64,
+    /// How [`Engine::ingest`] batches merge into delta runs. The default,
+    /// `KBinomial { k: 2 }`, keeps at most 2 runs with amortized write
+    /// amplification O(2·√m) over m batches (arXiv:2011.02615);
+    /// [`MergePolicy::NaiveFullMerge`] is the one-run baseline the
+    /// `dynamization` bench compares against.
+    pub merge_policy: MergePolicy,
     /// Observability: event journal + metric exporters.
     pub obs: ObsConfig,
 }
@@ -154,6 +161,7 @@ impl Default for EngineConfig {
             delay: DelaySemantics::Measured,
             mode: ServeMode::Memory,
             buffer_pool_bytes: oreo_storage::bufpool::DEFAULT_CAPACITY_BYTES,
+            merge_policy: MergePolicy::KBinomial { k: 2 },
             obs: ObsConfig::default(),
         }
     }
@@ -197,6 +205,12 @@ impl EngineConfig {
     /// Sets the tiered-scan buffer-pool capacity in bytes.
     pub fn with_buffer_pool_bytes(mut self, bytes: u64) -> Self {
         self.buffer_pool_bytes = bytes;
+        self
+    }
+
+    /// Sets the delta-run merge policy for [`Engine::ingest`].
+    pub fn with_merge_policy(mut self, policy: MergePolicy) -> Self {
+        self.merge_policy = policy;
         self
     }
 
@@ -305,6 +319,15 @@ struct LiveMetrics {
     persisted: Arc<Counter>,
     persist_ns: Arc<Counter>,
     tiered_errors: Arc<Counter>,
+    ingest_batches: Arc<Counter>,
+    ingest_rows: Arc<Counter>,
+    ingest_deletes: Arc<Counter>,
+    ingest_rows_written: Arc<Counter>,
+    delta_bytes_scanned: Arc<Counter>,
+    folds: Arc<Counter>,
+    folded_rows: Arc<Counter>,
+    delta_rows: Arc<Gauge>,
+    wal_bytes: Arc<Gauge>,
     ledger_query_cost: Arc<Gauge>,
     ledger_reorg_cost: Arc<Gauge>,
     ledger_total: Arc<Gauge>,
@@ -352,6 +375,15 @@ impl LiveMetrics {
             persisted: r.counter("reorg.persisted"),
             persist_ns: r.counter("reorg.persist_ns"),
             tiered_errors: r.counter("reorg.tiered_errors"),
+            ingest_batches: r.counter("ingest.batches"),
+            ingest_rows: r.counter("ingest.rows_appended"),
+            ingest_deletes: r.counter("ingest.rows_deleted"),
+            ingest_rows_written: r.counter("ingest.rows_written"),
+            delta_bytes_scanned: r.counter("engine.delta_bytes_scanned"),
+            folds: r.counter("reorg.folds"),
+            folded_rows: r.counter("reorg.folded_rows"),
+            delta_rows: r.gauge("ingest.delta_rows"),
+            wal_bytes: r.gauge("ingest.wal_bytes"),
             ledger_query_cost: r.gauge("ledger.query_cost"),
             ledger_reorg_cost: r.gauge("ledger.reorg_cost"),
             ledger_total: r.gauge("ledger.total"),
@@ -373,6 +405,11 @@ impl LiveMetrics {
 
 struct Shared {
     core: Mutex<Oreo>,
+    /// The write path: delta buffer, WAL, and base identity. Lock order is
+    /// strictly ingest → core; every snapshot publish (ingest overlay
+    /// updates *and* reorganizer folds) happens under this lock so overlay
+    /// attachments can never be lost to a racing publish.
+    ingest: Mutex<IngestState>,
     cell: SnapshotCell,
     /// The disk tier, in [`ServeMode::Tiered`] runs.
     tiered: Option<TieredStore>,
@@ -423,6 +460,8 @@ struct WorkerStats {
     /// adaptive AND order skipped later kernels for.
     chunks_evaluated: u64,
     rows_short_circuited: u64,
+    /// Bytes scanned in delta runs (a subset of `bytes_scanned`).
+    delta_bytes_scanned: u64,
 }
 
 /// Aggregate statistics returned by [`Engine::shutdown`].
@@ -487,6 +526,24 @@ pub struct EngineStats {
     /// Rows for which the adaptive AND order skipped at least one later
     /// kernel (already filtered out by a cheaper atom).
     pub rows_short_circuited: u64,
+    /// Bytes scanned in delta runs across all scans (subset of
+    /// [`Self::bytes_scanned`]; 0 when nothing was ingested).
+    pub delta_bytes_scanned: u64,
+    /// Ingest batches accepted by [`Engine::ingest`].
+    pub ingest_batches: u64,
+    /// Rows appended (including the re-append half of updates).
+    pub rows_appended: u64,
+    /// Rows tombstoned (deletes + the tombstone half of updates).
+    pub rows_deleted: u64,
+    /// Rows written building and merging delta runs — the
+    /// write-amplification numerator over [`Self::rows_appended`].
+    pub ingest_rows_written: u64,
+    /// Delta rows still unfolded at shutdown.
+    pub delta_rows: u64,
+    /// Tombstones still unfolded at shutdown.
+    pub tombstones: u64,
+    /// WAL size at shutdown (0 in memory serving or after degradation).
+    pub wal_bytes: u64,
     /// Bytes a full (unpruned) scan of the final snapshot reads — the α
     /// denominator's table size.
     pub table_bytes: u64,
@@ -542,6 +599,28 @@ impl EngineStats {
     /// Total bytes written by aside rewrites (0 in memory-only serving).
     pub fn reorg_bytes_written(&self) -> u64 {
         self.windows.iter().map(|w| w.bytes_written).sum()
+    }
+
+    /// Folds completed (reorganizations that merged deltas into the base).
+    pub fn folds(&self) -> u64 {
+        self.windows.iter().filter(|w| w.folded_rows > 0).count() as u64
+    }
+
+    /// Delta rows folded into the base across all reorganizations.
+    pub fn folded_rows(&self) -> u64 {
+        self.windows.iter().map(|w| w.folded_rows).sum()
+    }
+
+    /// Measured write amplification of the ingest path: delta-run rows
+    /// written per row appended. `None` before any append. Folds are
+    /// *excluded* — the fold rewrite is the layout switch the α charge
+    /// already bills; this ratio isolates the merge policy the
+    /// `dynamization` bench bounds.
+    pub fn write_amplification(&self) -> Option<f64> {
+        if self.rows_appended == 0 {
+            return None;
+        }
+        Some(self.ingest_rows_written as f64 / self.rows_appended as f64)
     }
 
     /// The run's measurements assembled into the cost-model accumulator:
@@ -676,12 +755,52 @@ impl Engine {
                 .with_event_sink(Arc::clone(&sink)),
             )
         });
+        // The write path. In tiered serving every accepted batch is WAL-
+        // logged (append + fsync = the ack point) before it mutates the
+        // delta buffer; a WAL failure degrades ingestion to memory-only
+        // instead of failing writes or killing the engine. The engine
+        // starts from the boot table, so any WAL left on the root belongs
+        // to a previous process: storage-level recovery
+        // (`Wal::open` + `DeltaBuffer::resume`) is the crash path, the
+        // engine starts clean.
+        let mut ingest_errors = Vec::new();
+        let wal = match &config.mode {
+            ServeMode::Tiered { root } => {
+                let path = root.join("wal.log");
+                let _ = std::fs::remove_file(&path);
+                match Wal::open(&path) {
+                    Ok((wal, _recovery)) => Some(wal),
+                    Err(e) => {
+                        let msg = format!(
+                            "wal open at {} failed: {e} (ingestion degraded to memory-only)",
+                            path.display()
+                        );
+                        eprintln!("oreo-ingest: {msg}");
+                        ingest_errors.push(msg);
+                        metrics.tiered_errors.inc();
+                        None
+                    }
+                }
+            }
+            ServeMode::Memory => None,
+        };
+        let ingest = IngestState::new(
+            DeltaBuffer::new(
+                Arc::clone(table.schema()),
+                table.num_rows() as u64,
+                config.merge_policy,
+            ),
+            wal,
+            Arc::clone(&table),
+            ingest_errors,
+        );
         let effective_shards = config.effective_shards();
         let background_reorg = config.background_reorg;
         let worker_count = config.workers.max(1);
         let started = Instant::now();
         let shared = Arc::new(Shared {
             core: Mutex::new(core),
+            ingest: Mutex::new(ingest),
             cell: SnapshotCell::new(initial_snapshot),
             tiered,
             pool,
@@ -703,7 +822,6 @@ impl Engine {
         let (reorg_tx, reorg) = if background_reorg {
             let (tx, rx) = channel::<ReorgRequest>();
             let shared2 = Arc::clone(&shared);
-            let table2 = Arc::clone(&table);
             let handle = std::thread::Builder::new()
                 .name("oreo-reorg".into())
                 .spawn(move || {
@@ -711,7 +829,61 @@ impl Engine {
                     let mut tiered_errors = Vec::new();
                     while let Ok(req) = rx.recv() {
                         let build_start = Instant::now();
-                        let mut snapshot = materialize(&table2, &req.spec, req.target);
+                        // Freeze the delta prefix: this reorganization is
+                        // also the compaction. Captured runs and tombstones
+                        // fold into the rewritten base; batches arriving
+                        // during the build merge only among themselves and
+                        // surface as the published snapshot's overlay.
+                        let (mut capture, base, base_ids, ids_identity, prev_folded, prev_next) = {
+                            let mut ing = shared2.ingest.lock().expect("ingest poisoned");
+                            (
+                                ing.buffer.freeze_for_fold(),
+                                Arc::clone(&ing.base),
+                                Arc::clone(&ing.base_ids),
+                                ing.ids_identity,
+                                ing.folded,
+                                ing.buffer.next_row(),
+                            )
+                        };
+                        let built = build_fold_snapshot(
+                            &base,
+                            &base_ids,
+                            ids_identity,
+                            capture.as_ref(),
+                            &req.spec,
+                            req.target,
+                        )
+                        .unwrap_or_else(|e| {
+                            // The merge failed before anything published:
+                            // unfreeze (the captured state lives only in
+                            // the buffer) and fall back to a pure layout
+                            // rewrite of the current base.
+                            let msg = format!(
+                                "fold build for layout {} failed: {e} (deltas kept in memory)",
+                                req.target
+                            );
+                            eprintln!("oreo-reorg: {msg}");
+                            {
+                                let mut ing = shared2.ingest.lock().expect("ingest poisoned");
+                                ing.buffer.abort_fold();
+                                ing.errors.push(msg);
+                            }
+                            shared2.metrics.tiered_errors.inc();
+                            capture = None;
+                            build_fold_snapshot(
+                                &base,
+                                &base_ids,
+                                ids_identity,
+                                None,
+                                &req.spec,
+                                req.target,
+                            )
+                            .expect("base-only build is infallible")
+                        });
+                        let FoldBuild {
+                            mut snapshot,
+                            merged,
+                        } = built;
                         let build = build_start.elapsed();
                         if shared2.sink.enabled() {
                             shared2.sink.emit(EventKind::ReorgPhase {
@@ -736,12 +908,22 @@ impl Engine {
                         // publish, record the error, and keep going — the
                         // window then carries bytes_written = 0 and is
                         // excluded from the empirical α.
+                        let (folded_mark, next_row_mark) = match capture.as_ref() {
+                            Some(cap) => (cap.watermark, cap.next_row),
+                            None => (prev_folded, prev_next),
+                        };
+                        let mut persist_ok = true;
                         let (write, bytes_written, generation) = match &shared2.tiered {
-                            Some(store) => match store.publish(&mut snapshot) {
+                            Some(store) => match store.publish_with_fold(
+                                &mut snapshot,
+                                folded_mark,
+                                next_row_mark,
+                            ) {
                                 Ok(receipt) => {
                                     (receipt.wall, receipt.bytes_written, receipt.generation)
                                 }
                                 Err(e) => {
+                                    persist_ok = false;
                                     let msg = format!(
                                         "tiered publish of layout {} failed: {e}",
                                         req.target
@@ -776,7 +958,62 @@ impl Engine {
                             }
                         }
                         let publish_start = Instant::now();
-                        shared2.cell.publish(snapshot);
+                        let mut folded_rows = 0u64;
+                        {
+                            let mut ing = shared2.ingest.lock().expect("ingest poisoned");
+                            if let (Some(cap), Some((table, ids))) =
+                                (capture.as_ref(), merged.as_ref())
+                            {
+                                ing.buffer.complete_fold();
+                                ing.base = Arc::clone(table);
+                                ing.base_ids = Arc::clone(ids);
+                                ing.ids_identity = ids_identity && cap.tombstones.is_empty();
+                                ing.folded = cap.watermark;
+                                folded_rows = cap.delta_rows;
+                                // The folded base is durable (or this is
+                                // memory serving): WAL records at or below
+                                // the watermark are dead weight — GC them.
+                                // After a failed persist the log must keep
+                                // them; replay is idempotent, so the
+                                // truncation just waits for the next
+                                // successful fold.
+                                if persist_ok {
+                                    let mut trunc_err = None;
+                                    if let Some(wal) = ing.wal.as_mut() {
+                                        if let Err(e) = wal.truncate_through(cap.watermark) {
+                                            trunc_err = Some(format!(
+                                                "wal truncation through {} failed: {e} \
+                                                 (log kept; replay is idempotent)",
+                                                cap.watermark
+                                            ));
+                                        }
+                                    }
+                                    if let Some(msg) = trunc_err {
+                                        eprintln!("oreo-reorg: {msg}");
+                                        ing.errors.push(msg);
+                                        shared2.metrics.tiered_errors.inc();
+                                    }
+                                    let wal_bytes = ing.wal.as_ref().map(Wal::bytes);
+                                    if let Some(b) = wal_bytes {
+                                        ing.wal_bytes = b;
+                                        shared2.metrics.wal_bytes.set(b as f64);
+                                    }
+                                }
+                            }
+                            // Re-attach the live overlay (batches ingested
+                            // during the build) under the same lock every
+                            // overlay publish takes.
+                            snapshot.set_delta(ing.buffer.overlay());
+                            shared2
+                                .metrics
+                                .delta_rows
+                                .set(ing.buffer.delta_rows() as f64);
+                            shared2.cell.publish(snapshot);
+                        }
+                        if folded_rows > 0 {
+                            shared2.metrics.folds.inc();
+                            shared2.metrics.folded_rows.add(folded_rows);
+                        }
                         if shared2.sink.enabled() {
                             shared2.sink.emit(EventKind::ReorgPhase {
                                 target: req.target,
@@ -804,12 +1041,27 @@ impl Engine {
                         shared2.snapshots_published.fetch_add(1, Ordering::Relaxed);
                         shared2.metrics.snapshots_published.inc();
                         shared2.metrics.table_bytes.set(snapshot_bytes as f64);
-                        if shared2.config.delay == DelaySemantics::Measured {
-                            shared2
-                                .core
-                                .lock()
-                                .expect("core poisoned")
-                                .complete_reorg_with(req.target, Some(exact));
+                        let measured = shared2.config.delay == DelaySemantics::Measured;
+                        if measured || merged.is_some() {
+                            let mut core = shared2.core.lock().expect("core poisoned");
+                            if let Some((table, _)) = merged {
+                                // Deltas folded in: the core's exact models
+                                // must rebuild against the merged base, and
+                                // the merge work beyond the α-billed base
+                                // rewrite is charged as compaction.
+                                core.set_table(table);
+                                let live = core.table().num_rows() as u64;
+                                if folded_rows > 0 && live > 0 {
+                                    let alpha = core.config().alpha;
+                                    core.charge_compaction(
+                                        alpha * folded_rows as f64 / live as f64,
+                                        folded_rows,
+                                    );
+                                }
+                            }
+                            if measured {
+                                core.complete_reorg_with(req.target, Some(exact));
+                            }
                         }
                         let queries_during = shared2
                             .observed
@@ -832,6 +1084,7 @@ impl Engine {
                             queries_during,
                             rows,
                             partitions,
+                            folded_rows,
                         });
                     }
                     (windows, tiered_errors)
@@ -922,6 +1175,82 @@ impl Engine {
         });
     }
 
+    /// Apply one batch of write operations: appends land in delta runs,
+    /// updates tombstone-and-reappend, deletes tombstone. The batch is
+    /// validated, WAL-logged (append + fsync — the durability ack point;
+    /// tiered serving only), applied to the delta buffer, and published as
+    /// the current snapshot's overlay, all under the ingest lock. The next
+    /// background reorganization folds the deltas into the base layout.
+    ///
+    /// A WAL failure degrades ingestion to memory-only — the batch still
+    /// succeeds, the error lands in [`EngineStats::tiered_errors`] — so
+    /// the write path has the same degradation contract as tiered
+    /// publishes. Validation errors reject the whole batch atomically.
+    pub fn ingest(&self, ops: &[IngestOp]) -> oreo_storage::Result<ApplyReceipt> {
+        let shared = &self.shared;
+        let mut ing = shared.ingest.lock().expect("ingest poisoned");
+        // Validate before WAL-logging: the log must never hold a record
+        // replay would reject.
+        ing.buffer.validate(ops)?;
+        let seq = ing.buffer.next_seq();
+        let mut wal_failure = None;
+        if let Some(wal) = ing.wal.as_mut() {
+            if let Err(e) = wal.append(seq, ops) {
+                wal_failure = Some(format!(
+                    "wal append of batch {seq} failed: {e} (ingestion degraded to memory-only)"
+                ));
+            }
+        }
+        if let Some(msg) = wal_failure {
+            eprintln!("oreo-ingest: {msg}");
+            ing.errors.push(msg);
+            ing.wal = None;
+            shared.metrics.tiered_errors.inc();
+        } else {
+            let wal_bytes = ing.wal.as_ref().map(Wal::bytes);
+            if let Some(b) = wal_bytes {
+                ing.wal_bytes = b;
+                shared.metrics.wal_bytes.set(b as f64);
+            }
+        }
+        let receipt = ing.buffer.apply(ops)?;
+        ing.batches += 1;
+        ing.rows_appended += receipt.appended;
+        ing.rows_deleted += receipt.deleted;
+        ing.rows_written += receipt.rows_written;
+        let m = &shared.metrics;
+        m.ingest_batches.inc();
+        m.ingest_rows.add(receipt.appended);
+        m.ingest_deletes.add(receipt.deleted);
+        m.ingest_rows_written.add(receipt.rows_written);
+        m.delta_rows.set(ing.buffer.delta_rows() as f64);
+        // Publish the new overlay: readers pin snapshots, so clone the
+        // current one and re-attach. Still under the ingest lock — every
+        // overlay-bearing publish is — so a racing fold can't lose it.
+        let mut snapshot = shared.cell.pin().as_ref().clone();
+        snapshot.set_delta(ing.buffer.overlay());
+        shared.cell.publish(snapshot);
+        // Charge the merge work (lock order ingest → core): rewriting
+        // `rows_written` of the table's live rows is that fraction of a
+        // full rewrite, which costs α.
+        if receipt.rows_written > 0 {
+            let live = ing.base.num_rows() as u64 + ing.buffer.delta_rows();
+            let mut core = shared.core.lock().expect("core poisoned");
+            let alpha = core.config().alpha;
+            core.charge_compaction(
+                alpha * receipt.rows_written as f64 / live.max(1) as f64,
+                receipt.rows_written,
+            );
+        }
+        Ok(receipt)
+    }
+
+    /// Rows a full scan of the served snapshot returns right now: base
+    /// rows plus delta rows minus tombstones.
+    pub fn live_rows(&self) -> u64 {
+        self.shared.cell.pin().live_rows()
+    }
+
     /// Block until every submitted query has completed.
     pub fn drain(&self) {
         let mut guard = self.shared.drain_lock.lock().expect("drain poisoned");
@@ -989,10 +1318,26 @@ impl Engine {
             totals.scan_io_errors += stats.scan_io_errors;
             totals.chunks_evaluated += stats.chunks_evaluated;
             totals.rows_short_circuited += stats.rows_short_circuited;
+            totals.delta_bytes_scanned += stats.delta_bytes_scanned;
         }
-        let (windows, tiered_errors) = match self.reorg.take() {
+        let (windows, mut tiered_errors) = match self.reorg.take() {
             Some(handle) => handle.join().expect("reorganizer panicked"),
             None => (Vec::new(), Vec::new()),
+        };
+        // Fold the write path's degradations and counters in (lock order:
+        // ingest before core).
+        let ingest_summary = {
+            let ing = self.shared.ingest.lock().expect("ingest poisoned");
+            tiered_errors.extend(ing.errors.iter().cloned());
+            (
+                ing.batches,
+                ing.rows_appended,
+                ing.rows_deleted,
+                ing.rows_written,
+                ing.buffer.delta_rows(),
+                ing.buffer.tombstone_count() as u64,
+                ing.wal_bytes,
+            )
         };
         // Stop the exporter last among the threads so its final snapshot
         // sees the fully drained counters.
@@ -1047,6 +1392,14 @@ impl Engine {
             scan_io_errors: totals.scan_io_errors,
             chunks_evaluated: totals.chunks_evaluated,
             rows_short_circuited: totals.rows_short_circuited,
+            delta_bytes_scanned: totals.delta_bytes_scanned,
+            ingest_batches: ingest_summary.0,
+            rows_appended: ingest_summary.1,
+            rows_deleted: ingest_summary.2,
+            ingest_rows_written: ingest_summary.3,
+            delta_rows: ingest_summary.4,
+            tombstones: ingest_summary.5,
+            wal_bytes: ingest_summary.6,
             table_bytes,
             mode: self.shared.config.mode.clone(),
             final_physical: core.physical_layout(),
@@ -1200,6 +1553,7 @@ fn worker_loop(
             stats.io_cached_bytes += scan.io_cached_bytes;
             stats.chunks_evaluated += scan.chunks_evaluated;
             stats.rows_short_circuited += scan.rows_short_circuited;
+            stats.delta_bytes_scanned += scan.delta_bytes_scanned;
             let m = &shared.metrics;
             m.rows_scanned.add(scan.rows_read);
             m.rows_matched.add(scan.matches.len() as u64);
@@ -1209,6 +1563,7 @@ fn worker_loop(
             m.io_cached_bytes.add(scan.io_cached_bytes);
             m.chunks_evaluated.add(scan.chunks_evaluated);
             m.rows_short_circuited.add(scan.rows_short_circuited);
+            m.delta_bytes_scanned.add(scan.delta_bytes_scanned);
             m.scan_us.record(as_micros_u64(scan_wall));
             // Temperature classification: a scan is "cold" when the
             // majority of its page bytes came from disk. Memory scans

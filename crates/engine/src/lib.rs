@@ -87,6 +87,7 @@
 //! ```
 
 pub mod engine;
+pub mod ingest;
 pub mod metrics;
 pub mod queue;
 pub mod reorg;
@@ -96,6 +97,7 @@ pub use engine::{
     ServeMode,
 };
 pub use metrics::LatencyStats;
+pub use oreo_storage::{ApplyReceipt, IngestOp, MergePolicy};
 pub use queue::ShardedQueue;
 pub use reorg::{materialize, ReorgRequest, ReorgWindow};
 
@@ -510,6 +512,190 @@ mod tests {
         assert!(last.contains("\"pool.hit_rate\":"));
         assert!(last.contains("\"alpha.hat\":"));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn sentinel_append(i: i64) -> IngestOp {
+        // a-values ≥ 5000 are outside the base domain (base a,b < 1000), so
+        // sentinel queries hit only ingested rows.
+        IngestOp::Append {
+            values: vec![
+                Scalar::Int(10_000 + i),
+                Scalar::Int(5_000 + i),
+                Scalar::Int(0),
+            ],
+        }
+    }
+
+    /// The write path end to end (memory serving): appends/updates/deletes
+    /// are immediately visible through the served overlay, a background
+    /// reorganization folds them into the base under stable row ids, and
+    /// answers are identical before and after the fold.
+    #[test]
+    fn ingest_is_visible_exact_and_folded() {
+        let t = table(2000);
+        let engine = start(
+            &t,
+            config(),
+            EngineConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        for i in 0..40 {
+            let r = engine.ingest(&[sentinel_append(i)]).unwrap();
+            assert_eq!(r.appended, 1);
+            assert_eq!(r.seq, i as u64 + 1);
+        }
+        // delete base rows 10..20, then update delta row 2000 (the first
+        // append): tombstone + re-append under id 2040.
+        let deletes: Vec<IngestOp> = (10u32..20).map(|row| IngestOp::Delete { row }).collect();
+        assert_eq!(engine.ingest(&deletes).unwrap().deleted, 10);
+        engine
+            .ingest(&[IngestOp::Update {
+                row: 2000,
+                values: vec![Scalar::Int(10_000), Scalar::Int(5_000), Scalar::Int(0)],
+            }])
+            .unwrap();
+        assert_eq!(engine.live_rows(), 2000 + 41 - 11);
+
+        let q_delta = QueryBuilder::new(t.schema())
+            .between("a", 5_000, 5_039)
+            .build();
+        let mut want_delta: Vec<u32> = (2001..2040).collect();
+        want_delta.push(2040); // the update's re-append (a = 5000)
+        let out = engine.submit_tracked(q_delta.clone()).wait();
+        assert_eq!(out.scan.matches, want_delta, "delta rows served");
+
+        let q_base = QueryBuilder::new(t.schema()).between("a", 70, 70).build();
+        let want_base: Vec<u32> = (0..2000u32)
+            .filter(|&r| (i64::from(r) * 7) % 1000 == 70 && !(10..20).contains(&r))
+            .collect();
+        let out = engine.submit_tracked(q_base.clone()).wait();
+        assert_eq!(out.scan.matches, want_base, "tombstoned base rows hidden");
+
+        // Drive the drifting stream until switches fold the deltas in.
+        for q in drifting_queries(&t, 500) {
+            engine.submit(q);
+        }
+        engine.drain();
+        let out = engine.submit_tracked(q_delta).wait();
+        assert_eq!(out.scan.matches, want_delta, "post-fold answers identical");
+        let out = engine.submit_tracked(q_base).wait();
+        assert_eq!(out.scan.matches, want_base);
+
+        let stats = engine.shutdown();
+        assert!(stats.switches >= 1, "stream never reorganized");
+        assert!(stats.folds() >= 1, "no reorganization folded the deltas");
+        assert_eq!(stats.folded_rows(), 41, "all delta rows folded once");
+        assert_eq!(stats.ingest_batches, 42);
+        assert_eq!(stats.rows_appended, 41);
+        assert_eq!(stats.rows_deleted, 11);
+        assert_eq!(stats.delta_rows, 0, "nothing left unfolded");
+        assert!(stats.delta_bytes_scanned > 0, "pre-fold scans read runs");
+        assert!(stats.write_amplification().unwrap() >= 1.0);
+        // merge + fold work entered the ledger as compaction
+        assert!(stats.ledger.compactions >= 41);
+        assert!(stats.ledger.compaction_cost > 0.0);
+        assert!(stats.ledger.total() > stats.ledger.query_cost + stats.ledger.reorg_cost);
+    }
+
+    /// Tiered serving: every accepted batch is WAL-logged before it is
+    /// applied, folds GC the covered records, and the pooled byte
+    /// accounting invariant holds with delta scans in the mix.
+    #[test]
+    fn tiered_ingest_wal_logs_and_folds_truncate() {
+        let t = table(1500);
+        let root = tmproot("ingest");
+        let engine = start(
+            &t,
+            config(),
+            EngineConfig {
+                workers: 2,
+                ..Default::default()
+            }
+            .tiered(&root),
+        );
+        let wal_path = root.join("wal.log");
+        assert!(wal_path.exists(), "tiered engine opens a WAL");
+        for i in 0..30 {
+            engine.ingest(&[sentinel_append(i)]).unwrap();
+        }
+        let wal_size = std::fs::metadata(&wal_path).unwrap().len();
+        assert!(wal_size > 8, "records appended past the magic");
+
+        let q = QueryBuilder::new(t.schema())
+            .between("a", 5_000, 5_029)
+            .build();
+        let want: Vec<u32> = (1500..1530).collect();
+        let out = engine.submit_tracked(q.clone()).wait();
+        assert_eq!(
+            out.scan.matches, want,
+            "deltas visible through pooled scans"
+        );
+
+        for q in drifting_queries(&t, 400) {
+            engine.submit(q);
+        }
+        engine.drain();
+        let out = engine.submit_tracked(q).wait();
+        assert_eq!(out.scan.matches, want, "post-fold answers identical");
+
+        let stats = engine.shutdown();
+        assert!(stats.tiered_errors.is_empty(), "{:?}", stats.tiered_errors);
+        assert!(stats.switches >= 1);
+        assert!(stats.folds() >= 1);
+        assert_eq!(stats.folded_rows(), 30);
+        assert_eq!(stats.delta_rows, 0);
+        assert!(
+            std::fs::metadata(&wal_path).unwrap().len() < wal_size,
+            "fold must truncate the covered WAL records"
+        );
+        assert_eq!(
+            stats.io_cold_bytes + stats.io_cached_bytes + stats.delta_bytes_scanned,
+            stats.bytes_scanned,
+            "pooled byte accounting must stay exact with deltas"
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// A failed WAL (here: the path is a directory) degrades ingestion to
+    /// memory-only — writes still succeed and serve, the reorganizer stays
+    /// alive, and the degradation lands in `tiered_errors` (voiding α) —
+    /// the same contract as failed tiered publishes.
+    #[test]
+    fn wal_failure_degrades_ingestion_not_the_engine() {
+        let t = table(1200);
+        let root = tmproot("waldir");
+        std::fs::create_dir_all(root.join("wal.log")).unwrap();
+        let engine = start(
+            &t,
+            config(),
+            EngineConfig {
+                workers: 1,
+                ..Default::default()
+            }
+            .tiered(&root),
+        );
+        engine.ingest(&[sentinel_append(0)]).unwrap();
+        let q = QueryBuilder::new(t.schema())
+            .between("a", 5_000, 5_000)
+            .build();
+        let out = engine.submit_tracked(q).wait();
+        assert_eq!(out.scan.matches, vec![1200], "memory-only ingest serves");
+        for q in drifting_queries(&t, 300) {
+            engine.submit(q);
+        }
+        engine.drain();
+        let stats = engine.shutdown();
+        assert!(!stats.tiered_errors.is_empty(), "degradation recorded");
+        assert!(
+            stats.tiered_errors[0].contains("wal open"),
+            "{:?}",
+            stats.tiered_errors
+        );
+        assert!(stats.switches >= 1, "reorganizer must stay alive");
+        assert_eq!(stats.empirical_alpha(), None, "degraded run reports no α");
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     /// Readers pinning concurrently with publishes never observe a snapshot

@@ -52,6 +52,9 @@ pub struct ReorgWindow {
     pub rows: u64,
     /// Partitions in the new snapshot.
     pub partitions: usize,
+    /// Delta rows this reorganization folded into the base (0 when the
+    /// delta buffer was empty — a pure layout rewrite).
+    pub folded_rows: u64,
 }
 
 /// Materialize the snapshot of `spec` over `table` (route every row, group,

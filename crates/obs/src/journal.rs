@@ -163,6 +163,19 @@ pub enum EventKind {
         /// The switch target whose persist failed.
         target: u64,
     },
+    /// Ingest compaction work (delta-run merges or a background fold)
+    /// entered the ledger. Replayed by `CostLedger::replay` alongside
+    /// query and switch events.
+    CompactionCharged {
+        /// Stream position of the charge (the next query's position for
+        /// charges between queries).
+        stream_seq: u64,
+        /// Rows rewritten by the merge/fold.
+        rows_written: u64,
+        /// Cost charged (same logical unit as α: full-table-scan
+        /// equivalents).
+        cost: f64,
+    },
     /// The buffer pool evicted one page to make room.
     PoolEvicted {
         /// Generation the page belonged to.
@@ -418,6 +431,13 @@ fn describe(kind: &EventKind) -> String {
         ),
         EventKind::TieredDegraded { target } => {
             format!("tiered publish of layout {target} FAILED (memory-only degradation)")
+        }
+        EventKind::CompactionCharged {
+            stream_seq,
+            rows_written,
+            cost,
+        } => {
+            format!("compaction at seq {stream_seq}: {rows_written} rows rewritten, cost {cost:.6}")
         }
         EventKind::PoolEvicted {
             generation,

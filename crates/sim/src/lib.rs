@@ -8,6 +8,8 @@
 //!   methods see the same candidates);
 //! * [`policies`] — Static, Greedy, Regret, OREO, MTS-Optimal and
 //!   Offline-Optimal implementations;
+//! * [`mutable`] — the row-level mutable oracle the live-ingestion
+//!   equivalence tests compare delta-aware scans against;
 //! * [`offline_dp`] — the *true* offline UMTS optimum by dynamic
 //!   programming, used to verify Theorem IV.1 empirically;
 //! * [`setup`] — one-stop assembly of comparable policy sets per dataset;
@@ -16,6 +18,7 @@
 //!   bound measurement against the offline DP.
 
 pub mod feed;
+pub mod mutable;
 pub mod offline_dp;
 pub mod policies;
 pub mod policy;
@@ -24,6 +27,7 @@ pub mod setup;
 pub mod zoo;
 
 pub use feed::{Candidate, CandidateFeed};
+pub use mutable::MutableOracle;
 pub use offline_dp::{offline_optimum, OfflineOptimum};
 pub use policies::{
     GreedyPolicy, MtsOptimalPolicy, OfflineTemplatePolicy, OreoPolicy, RegretPolicy, SatPolicy,

@@ -1,0 +1,224 @@
+//! A row-level mutable oracle for the live-ingestion path.
+//!
+//! [`MutableOracle`] holds the ground-truth table contents as plain
+//! `(global id, row values)` pairs and applies [`IngestOp`]s with the same
+//! semantics the engine's delta buffer implements: appends take the next
+//! global id, updates tombstone + re-append under a fresh id, deletes
+//! tombstone. Queries evaluate every live row directly — no layouts, no
+//! runs, no pruning — so any divergence between the oracle and a
+//! delta-aware snapshot scan is a bug in the scan, not the reference.
+//!
+//! The equivalence proptests and crash-recovery tests compare engine/
+//! storage answers against this oracle after arbitrary op interleavings.
+
+use oreo_query::{Predicate, Scalar, Schema};
+use oreo_storage::{IngestOp, StorageError, Table, TableBuilder};
+use std::sync::Arc;
+
+/// Ground-truth mutable table state.
+#[derive(Clone, Debug)]
+pub struct MutableOracle {
+    schema: Arc<Schema>,
+    /// Live rows as `(global id, cells)`, kept sorted by id (appends are
+    /// monotone; updates re-append at the tail).
+    rows: Vec<(u32, Vec<Scalar>)>,
+    next_row: u32,
+}
+
+impl MutableOracle {
+    /// Seed the oracle with `table`'s rows under identity ids `0..n`.
+    pub fn new(table: &Table) -> Self {
+        let schema = Arc::clone(table.schema());
+        let rows = (0..table.num_rows())
+            .map(|r| {
+                (
+                    r as u32,
+                    (0..schema.len())
+                        .map(|c| table.scalar(r, c))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect::<Vec<_>>();
+        let next_row = rows.len() as u32;
+        Self {
+            schema,
+            rows,
+            next_row,
+        }
+    }
+
+    /// Apply one op batch with delta-buffer semantics. Fails (leaving the
+    /// oracle untouched, like the buffer's atomic validate-then-apply) if
+    /// an op has the wrong arity or targets a dead/unknown row.
+    pub fn apply(&mut self, ops: &[IngestOp]) -> oreo_storage::Result<()> {
+        // validate against a shadow of the live set, then commit
+        let mut shadow: Vec<(u32, Option<&Vec<Scalar>>)> = Vec::new();
+        let mut shadow_next = self.next_row;
+        let live_now =
+            |rows: &[(u32, Vec<Scalar>)], shadow: &[(u32, Option<&Vec<Scalar>>)], id: u32| {
+                let born = rows.binary_search_by_key(&id, |(g, _)| *g).is_ok()
+                    || shadow.iter().any(|(g, v)| *g == id && v.is_some());
+                let killed = shadow.iter().any(|(g, v)| *g == id && v.is_none());
+                born && !killed
+            };
+        for op in ops {
+            match op {
+                IngestOp::Append { values } => {
+                    if values.len() != self.schema.len() {
+                        return Err(StorageError::Corrupt(format!(
+                            "append arity {} != schema {}",
+                            values.len(),
+                            self.schema.len()
+                        )));
+                    }
+                    shadow.push((shadow_next, Some(values)));
+                    shadow_next += 1;
+                }
+                IngestOp::Update { row, values } => {
+                    if values.len() != self.schema.len() {
+                        return Err(StorageError::Corrupt(format!(
+                            "update arity {} != schema {}",
+                            values.len(),
+                            self.schema.len()
+                        )));
+                    }
+                    if !live_now(&self.rows, &shadow, *row) {
+                        return Err(StorageError::Corrupt(format!("update of dead row {row}")));
+                    }
+                    shadow.push((*row, None));
+                    shadow.push((shadow_next, Some(values)));
+                    shadow_next += 1;
+                }
+                IngestOp::Delete { row } => {
+                    if !live_now(&self.rows, &shadow, *row) {
+                        return Err(StorageError::Corrupt(format!("delete of dead row {row}")));
+                    }
+                    shadow.push((*row, None));
+                }
+            }
+        }
+        // commit: replay the shadow onto the real state
+        for (id, values) in shadow {
+            match values {
+                Some(v) => self.rows.push((id, v.clone())),
+                None => {
+                    if let Ok(pos) = self.rows.binary_search_by_key(&id, |(g, _)| *g) {
+                        self.rows.remove(pos);
+                    }
+                }
+            }
+        }
+        self.next_row = shadow_next;
+        Ok(())
+    }
+
+    /// Global ids of live rows matching `predicate`, ascending.
+    pub fn matches(&self, predicate: &Predicate) -> Vec<u32> {
+        self.rows
+            .iter()
+            .filter(|(_, cells)| predicate.matches_with(|c| cells[c].clone()))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Live row count.
+    pub fn live_rows(&self) -> u64 {
+        self.rows.len() as u64
+    }
+
+    /// Next global row id an append would take.
+    pub fn next_row(&self) -> u32 {
+        self.next_row
+    }
+
+    /// The schema rows conform to.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Materialize the live rows (id order) as a fresh table + id vector —
+    /// the "naive rebuilt table" the equivalence tests scan for reference.
+    pub fn rebuild(&self) -> (Table, Vec<u32>) {
+        let mut b = TableBuilder::new(Arc::clone(&self.schema));
+        let mut ids = Vec::with_capacity(self.rows.len());
+        for (id, cells) in &self.rows {
+            b.push_row(cells);
+            ids.push(*id);
+        }
+        (b.finish(), ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oreo_query::{ColumnType, QueryBuilder};
+
+    fn base(n: i64) -> Table {
+        let s = Arc::new(Schema::from_pairs([("v", ColumnType::Int)]));
+        let mut b = TableBuilder::new(Arc::clone(&s));
+        for i in 0..n {
+            b.push_row(&[Scalar::Int(i)]);
+        }
+        b.finish()
+    }
+
+    fn append(v: i64) -> IngestOp {
+        IngestOp::Append {
+            values: vec![Scalar::Int(v)],
+        }
+    }
+
+    #[test]
+    fn applies_delta_semantics_and_answers_queries() {
+        let t = base(10);
+        let mut o = MutableOracle::new(&t);
+        o.apply(&[append(100), append(101)]).unwrap(); // ids 10, 11
+        o.apply(&[
+            IngestOp::Update {
+                row: 10,
+                values: vec![Scalar::Int(200)],
+            }, // tombstone 10, id 12
+            IngestOp::Delete { row: 3 },
+        ])
+        .unwrap();
+        assert_eq!(o.live_rows(), 11);
+        assert_eq!(o.next_row(), 13);
+        let q = QueryBuilder::new(o.schema()).between("v", 100, 200).build();
+        assert_eq!(o.matches(&q.predicate), vec![11, 12]);
+        let q = QueryBuilder::new(o.schema()).between("v", 3, 3).build();
+        assert_eq!(
+            o.matches(&q.predicate),
+            Vec::<u32>::new(),
+            "deleted row hidden"
+        );
+
+        let (rebuilt, ids) = o.rebuild();
+        assert_eq!(rebuilt.num_rows(), 11);
+        assert_eq!(ids, vec![0, 1, 2, 4, 5, 6, 7, 8, 9, 11, 12]);
+        assert_eq!(rebuilt.scalar(10, 0), Scalar::Int(200));
+    }
+
+    #[test]
+    fn bad_batches_are_rejected_atomically() {
+        let t = base(5);
+        let mut o = MutableOracle::new(&t);
+        // second op dead-targets: whole batch must not land
+        let err = o.apply(&[append(50), IngestOp::Delete { row: 99 }]);
+        assert!(err.is_err());
+        assert_eq!(o.live_rows(), 5);
+        assert_eq!(o.next_row(), 5);
+        // same-batch reference: append then delete the appended row
+        o.apply(&[append(60), IngestOp::Delete { row: 5 }]).unwrap();
+        assert_eq!(o.live_rows(), 5);
+        assert_eq!(o.next_row(), 6);
+        // double delete rejected
+        assert!(o.apply(&[IngestOp::Delete { row: 5 }]).is_err());
+        // arity mismatch rejected
+        assert!(o
+            .apply(&[IngestOp::Append {
+                values: vec![Scalar::Int(1), Scalar::Int(2)]
+            }])
+            .is_err());
+    }
+}

@@ -43,6 +43,7 @@
 
 pub mod bufpool;
 pub mod column;
+pub mod delta;
 pub mod diskstore;
 pub mod encode;
 pub mod error;
@@ -53,9 +54,14 @@ pub mod partition;
 pub mod snapshot;
 pub mod table;
 pub mod tiered;
+pub mod wal;
 
 pub use bufpool::{BufferPool, BufferPoolConfig, PoolStats, ReadStats};
 pub use column::{atom_matches_ref, Column, DictBuilder, DictColumn, ValueRef};
+pub use delta::{
+    kbinomial_sizes, ApplyReceipt, DeltaBuffer, DeltaOverlay, DeltaRun, FoldCapture, IngestOp,
+    MergePolicy,
+};
 pub use diskstore::{concat_tables, DiskStore, PartitionHandle, ScanStats};
 pub use error::{Result, StorageError};
 pub use format::{ColumnExtent, PartitionFooter};
@@ -67,6 +73,7 @@ pub use partition::{
 pub use snapshot::{SnapshotCell, SnapshotPartition, SnapshotScan, TableSnapshot};
 pub use table::{Table, TableBuilder};
 pub use tiered::{Generation, PublishReceipt, RecoveryReport, TieredStore};
+pub use wal::{Wal, WalRecord, WalRecovery};
 
 #[cfg(test)]
 mod proptests {

@@ -15,6 +15,7 @@
 
 use crate::bufpool::BufferPool;
 use crate::column::Column;
+use crate::delta::DeltaOverlay;
 use crate::error::{Result, StorageError};
 use crate::format::ColumnExtent;
 use crate::kernel::{self, KernelCounters};
@@ -72,6 +73,12 @@ pub struct SnapshotScan {
     /// Row × kernel evaluations the adaptive AND order skipped because the
     /// selection vector had already shrunk (zero on the oracle paths).
     pub rows_short_circuited: u64,
+    /// Bytes of *delta-run* partitions this scan evaluated — a subset of
+    /// `bytes_scanned`. Delta runs are always memory-resident, so on the
+    /// pooled paths the invariant becomes
+    /// `io_cold_bytes + io_cached_bytes + delta_bytes_scanned ==
+    /// bytes_scanned`. Zero when the snapshot carries no delta overlay.
+    pub delta_bytes_scanned: u64,
 }
 
 impl SnapshotScan {
@@ -99,6 +106,11 @@ pub struct TableSnapshot {
     /// holds the generation directory alive; the last drop after the
     /// generation is superseded garbage-collects it.
     generation: Option<Arc<Generation>>,
+    /// Unfolded writes layered over the base partitions: delta runs whose
+    /// rows scans union in, and tombstones they subtract. `None` (the
+    /// common case for a read-mostly table) keeps every scan path exactly
+    /// on its pre-ingestion fast path.
+    delta: Option<Arc<DeltaOverlay>>,
 }
 
 impl TableSnapshot {
@@ -152,6 +164,59 @@ impl TableSnapshot {
             partitions,
             total_rows: base.num_rows() as u64,
             generation: None,
+            delta: None,
+        }
+    }
+
+    /// [`TableSnapshot::build`] for a base whose global row ids are *not*
+    /// `0..n`: `row_ids[pos]` is the global id of `base` row `pos`. This is
+    /// the fold path — once deltas with tombstones have been folded in, the
+    /// surviving ids are sparse but must stay stable so scans keep
+    /// returning layout-independent row sets and unfolded tombstones still
+    /// name the rows they kill.
+    ///
+    /// # Panics
+    /// Panics if `assignment` or `row_ids` length differs from the base
+    /// row count, or a partition id is out of `0..k`.
+    pub fn build_with_rows(
+        base: &Table,
+        row_ids: &[u32],
+        assignment: &[u32],
+        k: usize,
+        layout: LayoutId,
+        name: impl Into<String>,
+    ) -> Self {
+        assert_eq!(assignment.len(), base.num_rows(), "assignment length");
+        assert_eq!(row_ids.len(), base.num_rows(), "row-id length");
+        let mut groups: Vec<Vec<u32>> = vec![Vec::new(); k];
+        for (pos, &bid) in assignment.iter().enumerate() {
+            groups[bid as usize].push(pos as u32);
+        }
+        let meta = build_metadata(base, assignment, k);
+        let partitions = groups
+            .into_iter()
+            .zip(meta)
+            .map(|(positions, meta)| {
+                let data = Arc::new(base.project_rows(&positions));
+                let bytes = data.memory_bytes() as u64;
+                let rows: Vec<u32> = positions.iter().map(|&p| row_ids[p as usize]).collect();
+                SnapshotPartition {
+                    rows: rows.into(),
+                    data,
+                    meta,
+                    bytes,
+                    extents: None,
+                }
+            })
+            .collect();
+        Self {
+            layout,
+            name: name.into(),
+            epoch: 0,
+            partitions,
+            total_rows: base.num_rows() as u64,
+            generation: None,
+            delta: None,
         }
     }
 
@@ -170,6 +235,7 @@ impl TableSnapshot {
             partitions,
             total_rows,
             generation: None,
+            delta: None,
         }
     }
 
@@ -232,6 +298,122 @@ impl TableSnapshot {
         self.generation.as_ref()
     }
 
+    /// This snapshot with `delta` layered over its base partitions. Scans
+    /// union the delta runs in and subtract the tombstones; `None` removes
+    /// the overlay.
+    #[must_use]
+    pub fn with_delta(mut self, delta: Option<Arc<DeltaOverlay>>) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Replace the delta overlay in place (see
+    /// [`TableSnapshot::with_delta`]).
+    pub fn set_delta(&mut self, delta: Option<Arc<DeltaOverlay>>) {
+        self.delta = delta;
+    }
+
+    /// The delta overlay layered over this snapshot, if any.
+    pub fn delta(&self) -> Option<&Arc<DeltaOverlay>> {
+        self.delta.as_ref()
+    }
+
+    /// Rows a tautological scan of this snapshot returns: base rows, plus
+    /// delta-run rows, minus tombstones. Equal to
+    /// [`TableSnapshot::total_rows`] when no delta is attached.
+    pub fn live_rows(&self) -> u64 {
+        match &self.delta {
+            None => self.total_rows,
+            Some(d) => self.total_rows + d.delta_rows - d.tombstones.len() as u64,
+        }
+    }
+
+    /// Partitions a scan considers: base partitions plus delta runs.
+    fn partitions_total(&self) -> usize {
+        self.partitions.len() + self.delta.as_ref().map_or(0, |d| d.runs.len())
+    }
+
+    /// Scan the delta runs through the vectorized kernel layer,
+    /// accumulating matches and accounting into `out`. Delta runs are
+    /// always memory-resident, so their bytes land in `bytes_scanned`
+    /// *and* `delta_bytes_scanned`, never in the I/O split. When
+    /// `payload_free_tautology` is set (the pooled paths), a tautological
+    /// predicate takes every run row without charging payload bytes,
+    /// mirroring the base-partition rule.
+    fn scan_delta_kernel(
+        &self,
+        compiled: &CompiledPredicate,
+        predicate: &Predicate,
+        payload_free_tautology: bool,
+        sel: &mut Vec<u32>,
+        counters: &mut KernelCounters,
+        out: &mut SnapshotScan,
+    ) {
+        let Some(delta) = &self.delta else { return };
+        let mut cols: Vec<&Column> = Vec::with_capacity(compiled.columns().len());
+        for run in &delta.runs {
+            if !run.meta.may_match(predicate) {
+                continue;
+            }
+            out.partitions_read += 1;
+            out.rows_read += run.data.num_rows() as u64;
+            if payload_free_tautology && compiled.is_tautology() {
+                out.matches.extend_from_slice(&run.rows);
+                continue;
+            }
+            out.bytes_scanned += run.bytes;
+            out.delta_bytes_scanned += run.bytes;
+            cols.clear();
+            cols.extend(
+                compiled
+                    .columns()
+                    .iter()
+                    .map(|cp| run.data.column(cp.col())),
+            );
+            kernel::scan_partition(compiled, &cols, &run.rows, sel, &mut out.matches, counters);
+        }
+    }
+
+    /// Row-at-a-time counterpart of [`TableSnapshot::scan_delta_kernel`]
+    /// for the oracle paths: identical accounting, per-row interpretation.
+    fn scan_delta_rowwise(
+        &self,
+        predicate: &Predicate,
+        payload_free_tautology: bool,
+        out: &mut SnapshotScan,
+    ) {
+        let Some(delta) = &self.delta else { return };
+        for run in &delta.runs {
+            if !run.meta.may_match(predicate) {
+                continue;
+            }
+            out.partitions_read += 1;
+            out.rows_read += run.data.num_rows() as u64;
+            if payload_free_tautology && predicate.atoms().is_empty() {
+                out.matches.extend_from_slice(&run.rows);
+                continue;
+            }
+            out.bytes_scanned += run.bytes;
+            out.delta_bytes_scanned += run.bytes;
+            for local in 0..run.data.num_rows() {
+                if run.data.row_matches(local, predicate) {
+                    out.matches.push(run.rows[local]);
+                }
+            }
+        }
+    }
+
+    /// Drop tombstoned rows from a sorted match set. Tombstones are sorted
+    /// unique global ids, so each removal check is a binary search.
+    fn subtract_tombstones(&self, out: &mut SnapshotScan) {
+        if let Some(delta) = &self.delta {
+            if !delta.tombstones.is_empty() {
+                let tombs = &delta.tombstones;
+                out.matches.retain(|r| tombs.binary_search(r).is_err());
+            }
+        }
+    }
+
     /// Execute one predicate against the snapshot: prune partitions by
     /// metadata, evaluate the survivors through the vectorized
     /// [`kernel`] layer, and report the matching *global*
@@ -239,7 +421,7 @@ impl TableSnapshot {
     pub fn scan(&self, predicate: &Predicate) -> SnapshotScan {
         let compiled = CompiledPredicate::compile(predicate);
         let mut out = SnapshotScan {
-            partitions_total: self.partitions.len(),
+            partitions_total: self.partitions_total(),
             ..Default::default()
         };
         let mut counters = KernelCounters::default();
@@ -268,9 +450,18 @@ impl TableSnapshot {
                 &mut counters,
             );
         }
+        self.scan_delta_kernel(
+            &compiled,
+            predicate,
+            false,
+            &mut sel,
+            &mut counters,
+            &mut out,
+        );
         out.chunks_evaluated = counters.chunks_evaluated;
         out.rows_short_circuited = counters.rows_short_circuited;
         out.matches.sort_unstable();
+        self.subtract_tombstones(&mut out);
         out
     }
 
@@ -281,7 +472,7 @@ impl TableSnapshot {
     /// counters stay zero.
     pub fn scan_rowwise(&self, predicate: &Predicate) -> SnapshotScan {
         let mut out = SnapshotScan {
-            partitions_total: self.partitions.len(),
+            partitions_total: self.partitions_total(),
             ..Default::default()
         };
         for part in &self.partitions {
@@ -297,7 +488,9 @@ impl TableSnapshot {
                 }
             }
         }
+        self.scan_delta_rowwise(predicate, false, &mut out);
         out.matches.sort_unstable();
+        self.subtract_tombstones(&mut out);
         out
     }
 
@@ -371,7 +564,7 @@ impl TableSnapshot {
         let compiled = CompiledPredicate::compile(predicate);
         let cols: Vec<ColId> = compiled.columns().iter().map(|cp| cp.col()).collect();
         let mut out = SnapshotScan {
-            partitions_total: self.partitions.len(),
+            partitions_total: self.partitions_total(),
             ..Default::default()
         };
         let mut counters = KernelCounters::default();
@@ -398,9 +591,18 @@ impl TableSnapshot {
                 &mut counters,
             );
         }
+        self.scan_delta_kernel(
+            &compiled,
+            predicate,
+            true,
+            &mut sel,
+            &mut counters,
+            &mut out,
+        );
         out.chunks_evaluated = counters.chunks_evaluated;
         out.rows_short_circuited = counters.rows_short_circuited;
         out.matches.sort_unstable();
+        self.subtract_tombstones(&mut out);
         Ok(out)
     }
 
@@ -434,7 +636,7 @@ impl TableSnapshot {
             })
             .collect();
         let mut out = SnapshotScan {
-            partitions_total: self.partitions.len(),
+            partitions_total: self.partitions_total(),
             ..Default::default()
         };
         for (index, part) in self.partitions.iter().enumerate() {
@@ -460,12 +662,16 @@ impl TableSnapshot {
                 }
             }
         }
+        self.scan_delta_rowwise(predicate, true, &mut out);
         out.matches.sort_unstable();
+        self.subtract_tombstones(&mut out);
         Ok(out)
     }
 
     /// The metadata-only [`LayoutModel`] view of this snapshot (exact, since
-    /// the snapshot is fully materialized).
+    /// the snapshot is fully materialized). Base partitions only: the cost
+    /// model reasons about the *organized* layout, and delta runs are the
+    /// transient part every candidate layout pays identically.
     pub fn model(&self) -> LayoutModel {
         LayoutModel::new(
             self.layout,
@@ -474,8 +680,9 @@ impl TableSnapshot {
         )
     }
 
-    /// All global row ids across partitions, ascending. A well-formed
-    /// snapshot covers `0..total_rows` exactly once; test helper.
+    /// All global row ids across *base* partitions, ascending. A
+    /// well-formed unfolded snapshot covers `0..total_rows` exactly once
+    /// (folded bases are sparse but still duplicate-free); test helper.
     pub fn row_cover(&self) -> Vec<u32> {
         let mut all: Vec<u32> = self
             .partitions
@@ -730,6 +937,128 @@ mod tests {
             assert_eq!(scan.io_cold_bytes, 0);
             assert_eq!(scan.io_cached_bytes, 0);
         }
+        drop(store);
+        drop(snap);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    fn two_col_schema() -> Arc<Schema> {
+        Arc::new(Schema::from_pairs([
+            ("v", ColumnType::Int),
+            ("w", ColumnType::Int),
+        ]))
+    }
+
+    #[test]
+    fn delta_aware_scan_unions_runs_and_subtracts_tombstones() {
+        use crate::delta::{DeltaBuffer, IngestOp, MergePolicy};
+        let t = table(100);
+        let assign: Vec<u32> = (0..100).map(|i| (i % 4) as u32).collect();
+        let snap = TableSnapshot::build(&t, &assign, 4, 0, "mod4");
+        let mut buf = DeltaBuffer::new(two_col_schema(), 100, MergePolicy::KBinomial { k: 2 });
+        buf.apply(&[
+            IngestOp::Append {
+                values: vec![Scalar::Int(200), Scalar::Int(1)],
+            },
+            IngestOp::Delete { row: 3 },
+        ])
+        .unwrap();
+        buf.apply(&[
+            IngestOp::Update {
+                row: 10,
+                values: vec![Scalar::Int(300), Scalar::Int(2)],
+            },
+            IngestOp::Append {
+                values: vec![Scalar::Int(-5), Scalar::Int(3)],
+            },
+        ])
+        .unwrap();
+        // ids: append 200 → 100, update re-append 300 → 101, append -5 → 102;
+        // tombstones {3, 10}
+        let snap = snap.with_delta(buf.overlay());
+        assert_eq!(snap.live_rows(), 100 + 3 - 2);
+
+        let base_hit = snap.scan(&between(0, 0, 99));
+        let expected: Vec<u32> = (0..100u32).filter(|r| *r != 3 && *r != 10).collect();
+        assert_eq!(base_hit.matches, expected);
+        assert!(base_hit.partitions_total > 4, "runs count as partitions");
+        // run metadata prunes like base metadata: no delta value is in
+        // [0, 99], so the runs cost this scan nothing
+        assert_eq!(base_hit.delta_bytes_scanned, 0);
+
+        let delta_hit = snap.scan(&between(0, 150, 400));
+        assert_eq!(delta_hit.matches, vec![100, 101]);
+        assert!(delta_hit.delta_bytes_scanned > 0, "delta runs evaluated");
+
+        // the rowwise oracle agrees on matches *and* accounting
+        for pred in [
+            between(0, 0, 99),
+            between(0, 150, 400),
+            Predicate::always_true(),
+        ] {
+            let fast = snap.scan(&pred);
+            let oracle = snap.scan_rowwise(&pred);
+            assert_eq!(fast.matches, oracle.matches);
+            assert_eq!(fast.rows_read, oracle.rows_read);
+            assert_eq!(fast.bytes_scanned, oracle.bytes_scanned);
+            assert_eq!(fast.delta_bytes_scanned, oracle.delta_bytes_scanned);
+            assert_eq!(fast.partitions_read, oracle.partitions_read);
+            assert_eq!(fast.partitions_total, oracle.partitions_total);
+        }
+        assert_eq!(
+            snap.scan(&Predicate::always_true()).matches.len() as u64,
+            snap.live_rows()
+        );
+    }
+
+    #[test]
+    fn pooled_delta_scan_matches_memory_and_accounts_io() {
+        use crate::delta::{DeltaBuffer, IngestOp, MergePolicy};
+        let t = table(120);
+        let assign: Vec<u32> = (0..120).map(|i| (i % 3) as u32).collect();
+        let mut snap = TableSnapshot::build(&t, &assign, 3, 0, "mod3");
+        let root = std::env::temp_dir().join(format!(
+            "oreo-snap-delta-{}-{}",
+            std::process::id(),
+            rand::random::<u64>()
+        ));
+        let (store, _) = crate::tiered::TieredStore::create(&root, &mut snap).unwrap();
+        let mut buf = DeltaBuffer::new(two_col_schema(), 120, MergePolicy::KBinomial { k: 2 });
+        buf.apply(&[
+            IngestOp::Append {
+                values: vec![Scalar::Int(125), Scalar::Int(7)],
+            },
+            IngestOp::Append {
+                values: vec![Scalar::Int(11), Scalar::Int(7)],
+            },
+            IngestOp::Delete { row: 20 },
+        ])
+        .unwrap();
+        let snap = snap.with_delta(buf.overlay());
+        let pool = crate::bufpool::BufferPool::new(crate::bufpool::BufferPoolConfig::default());
+        let pred = between(0, 10, 130);
+        let mem = snap.scan(&pred);
+        for round in 0..2 {
+            let pooled = snap.scan_pooled(&pred, &pool).unwrap();
+            let oracle = snap.scan_pooled_rowwise(&pred, &pool).unwrap();
+            assert_eq!(pooled.matches, mem.matches, "round {round}");
+            assert_eq!(pooled.matches, oracle.matches);
+            assert!(pooled.delta_bytes_scanned > 0);
+            assert_eq!(
+                pooled.io_cold_bytes + pooled.io_cached_bytes + pooled.delta_bytes_scanned,
+                pooled.bytes_scanned,
+                "delta bytes never travel through the pool"
+            );
+            assert_eq!(
+                oracle.io_cold_bytes + oracle.io_cached_bytes + oracle.delta_bytes_scanned,
+                oracle.bytes_scanned
+            );
+        }
+        // tautology takes every live row without touching any payload
+        let taut = snap.scan_pooled(&Predicate::always_true(), &pool).unwrap();
+        assert_eq!(taut.matches.len() as u64, snap.live_rows());
+        assert_eq!(taut.bytes_scanned, 0);
+        assert_eq!(taut.delta_bytes_scanned, 0);
         drop(store);
         drop(snap);
         let _ = std::fs::remove_dir_all(&root);

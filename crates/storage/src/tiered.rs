@@ -131,6 +131,16 @@ pub struct RecoveryReport {
     /// Older complete generations removed (superseded before the restart
     /// but still on disk because the process died holding pins).
     pub stale_removed: Vec<PathBuf>,
+    /// Ingest fold watermark of the recovered generation: every WAL record
+    /// with sequence ≤ this is already folded into the base and must be
+    /// skipped at replay. 0 when the generation never folded deltas (or
+    /// predates the write path).
+    pub folded: u64,
+    /// The row-id high-water mark at the recovered generation's fold
+    /// point: replayed appends continue allocating global ids from here.
+    /// Defaults to the generation's row count for pre-write-path manifests
+    /// (identity ids).
+    pub next_row: u64,
 }
 
 /// The disk tier backing the serving path: every published
@@ -222,7 +232,8 @@ impl TieredStore {
             }
         }
         let schema = Arc::clone(snapshot.partitions()[0].data.schema());
-        let (generation, receipt) = persist_generation(root, snapshot, next)?;
+        let next_row = snapshot.total_rows();
+        let (generation, receipt) = persist_generation(root, snapshot, next, 0, next_row)?;
         // The previous process's generations are superseded by the commit
         // above; nothing in this process pins them.
         for path in stale {
@@ -247,20 +258,36 @@ impl TieredStore {
     /// pointer swap (`SnapshotCell::publish`) only after this returns — the
     /// rename is the durability point.
     pub fn publish(&self, snapshot: &mut TableSnapshot) -> Result<PublishReceipt> {
+        let next_row = snapshot.total_rows();
+        self.publish_with_fold(snapshot, 0, next_row)
+    }
+
+    /// [`TieredStore::publish`] for a generation that carries ingest-fold
+    /// state: `folded` is the WAL watermark (every record with sequence ≤
+    /// it is folded into this base), `next_row` the row-id high-water mark
+    /// at the fold point. Both land in the manifest so
+    /// [`TieredStore::open`] can resume the ingest sequence exactly.
+    pub fn publish_with_fold(
+        &self,
+        snapshot: &mut TableSnapshot,
+        folded: u64,
+        next_row: u64,
+    ) -> Result<PublishReceipt> {
         let mut current = self.current.lock().expect("tiered store poisoned");
         let number = current.number() + 1;
-        let (generation, receipt) = match persist_generation(&self.root, snapshot, number) {
-            Ok(committed) => committed,
-            Err(e) => {
-                // A publish that dies after writing some partition files
-                // leaves a `gen-N.tmp/` behind; only `open`/`create` used
-                // to clean those, so a long-running engine retrying
-                // publishes would leak disk. Sweep every stale `.tmp`
-                // (best-effort) before surfacing the error.
-                sweep_tmp_entries(&self.root);
-                return Err(e);
-            }
-        };
+        let (generation, receipt) =
+            match persist_generation(&self.root, snapshot, number, folded, next_row) {
+                Ok(committed) => committed,
+                Err(e) => {
+                    // A publish that dies after writing some partition files
+                    // leaves a `gen-N.tmp/` behind; only `open`/`create` used
+                    // to clean those, so a long-running engine retrying
+                    // publishes would leak disk. Sweep every stale `.tmp`
+                    // (best-effort) before surfacing the error.
+                    sweep_tmp_entries(&self.root);
+                    return Err(e);
+                }
+            };
         let old = std::mem::replace(&mut *current, generation);
         old.retire();
         Ok(receipt)
@@ -321,7 +348,7 @@ impl TieredStore {
         }
         committed.sort_unstable_by_key(|&(n, _)| std::cmp::Reverse(n));
 
-        let mut recovered: Option<(u64, TableSnapshot)> = None;
+        let mut recovered: Option<(u64, TableSnapshot, u64, u64)> = None;
         for (number, path) in committed {
             if recovered.is_some() {
                 // Older than the recovered generation: superseded, clean up.
@@ -330,7 +357,9 @@ impl TieredStore {
                 continue;
             }
             match load_generation(&path, schema) {
-                Ok(snapshot) => recovered = Some((number, snapshot)),
+                Ok((snapshot, folded, next_row)) => {
+                    recovered = Some((number, snapshot, folded, next_row))
+                }
                 Err(_) => {
                     // A committed directory that fails to decode (e.g. a
                     // half-deleted GC victim): treat as torn and fall back.
@@ -339,9 +368,11 @@ impl TieredStore {
                 }
             }
         }
-        let (number, mut snapshot) =
+        let (number, mut snapshot, folded, next_row) =
             recovered.ok_or_else(|| StorageError::Corrupt("no complete generation".into()))?;
         report.generation = number;
+        report.folded = folded;
+        report.next_row = next_row;
 
         let dir = gen_dir(root, number);
         let bytes = dir_bytes(&dir)?;
@@ -453,6 +484,8 @@ fn persist_generation(
     root: &Path,
     snapshot: &mut TableSnapshot,
     number: u64,
+    folded: u64,
+    next_row: u64,
 ) -> Result<(Arc<Generation>, PublishReceipt)> {
     let started = Instant::now();
     let tmp = root.join(format!("gen-{number:06}.tmp"));
@@ -475,7 +508,7 @@ fn persist_generation(
         bytes_written += write_rows(&tmp.join(rows_file(i)), &part.rows)?;
         files += 2;
     }
-    bytes_written += write_manifest(&tmp.join(MANIFEST), snapshot, number)?;
+    bytes_written += write_manifest(&tmp.join(MANIFEST), snapshot, number, folded, next_row)?;
     files += 1;
     sync_dir(&tmp)?;
 
@@ -507,9 +540,10 @@ fn persist_generation(
     Ok((generation, receipt))
 }
 
-/// Rebuild the serving snapshot from a committed generation directory.
-fn load_generation(dir: &Path, schema: &Arc<Schema>) -> Result<TableSnapshot> {
-    let (layout, name, k, total_rows) = read_manifest(&dir.join(MANIFEST))?;
+/// Rebuild the serving snapshot from a committed generation directory,
+/// returning `(snapshot, folded watermark, next row id)`.
+fn load_generation(dir: &Path, schema: &Arc<Schema>) -> Result<(TableSnapshot, u64, u64)> {
+    let (layout, name, k, total_rows, folded, next_row) = read_manifest(&dir.join(MANIFEST))?;
     let mut partitions = Vec::with_capacity(k);
     for i in 0..k {
         let path = dir.join(part_file(i));
@@ -551,7 +585,9 @@ fn load_generation(dir: &Path, schema: &Arc<Schema>) -> Result<TableSnapshot> {
             snapshot.total_rows()
         )));
     }
-    Ok(snapshot)
+    // Pre-write-path manifests carry no next_row: their ids are identity.
+    let next_row = next_row.unwrap_or(total_rows);
+    Ok((snapshot, folded, next_row))
 }
 
 /// Write the global row ids of one partition:
@@ -598,10 +634,16 @@ fn read_rows(path: &Path) -> Result<Vec<u32>> {
     Ok(rows)
 }
 
-fn write_manifest(path: &Path, snapshot: &TableSnapshot, number: u64) -> Result<u64> {
+fn write_manifest(
+    path: &Path,
+    snapshot: &TableSnapshot,
+    number: u64,
+    folded: u64,
+    next_row: u64,
+) -> Result<u64> {
     let name = snapshot.name().replace(['\n', '\r'], " ");
     let text = format!(
-        "{MANIFEST_MAGIC}\ngeneration={number}\nlayout={}\nname={name}\npartitions={}\nrows={}\n",
+        "{MANIFEST_MAGIC}\ngeneration={number}\nlayout={}\nname={name}\npartitions={}\nrows={}\nfolded={folded}\nnext_row={next_row}\n",
         snapshot.layout(),
         snapshot.num_partitions(),
         snapshot.total_rows(),
@@ -612,8 +654,13 @@ fn write_manifest(path: &Path, snapshot: &TableSnapshot, number: u64) -> Result<
     Ok(text.len() as u64)
 }
 
-/// Parse a manifest into `(layout, name, partitions, rows)`.
-fn read_manifest(path: &Path) -> Result<(u64, String, usize, u64)> {
+/// Parse a manifest into `(layout, name, partitions, rows, folded,
+/// next_row)`. The fold keys are optional (unknown keys were always
+/// ignored, so old and new manifests interoperate both ways): `folded`
+/// defaults to 0, a missing `next_row` stays `None` for the caller to
+/// default to the row count.
+#[allow(clippy::type_complexity)]
+fn read_manifest(path: &Path) -> Result<(u64, String, usize, u64, u64, Option<u64>)> {
     let text = fs::read_to_string(path)?;
     let mut lines = text.lines();
     if lines.next() != Some(MANIFEST_MAGIC) {
@@ -623,22 +670,26 @@ fn read_manifest(path: &Path) -> Result<(u64, String, usize, u64)> {
     let mut name = None;
     let mut partitions = None;
     let mut rows = None;
+    let mut folded = 0;
+    let mut next_row = None;
     for line in lines {
         match line.split_once('=') {
             Some(("layout", v)) => layout = v.parse().ok(),
             Some(("name", v)) => name = Some(v.to_string()),
             Some(("partitions", v)) => partitions = v.parse().ok(),
             Some(("rows", v)) => rows = v.parse().ok(),
+            Some(("folded", v)) => folded = v.parse().unwrap_or(0),
+            Some(("next_row", v)) => next_row = v.parse().ok(),
             _ => {}
         }
     }
     match (layout, name, partitions, rows) {
-        (Some(l), Some(n), Some(k), Some(r)) => Ok((l, n, k, r)),
+        (Some(l), Some(n), Some(k), Some(r)) => Ok((l, n, k, r, folded, next_row)),
         _ => Err(StorageError::Corrupt("incomplete manifest".into())),
     }
 }
 
-fn sync_dir(dir: &Path) -> Result<()> {
+pub(crate) fn sync_dir(dir: &Path) -> Result<()> {
     // Durability of the directory entries themselves (file creation and the
     // commit rename). Some platforms cannot fsync a directory at all —
     // that incapacity is tolerated (the data files are synced
@@ -965,6 +1016,47 @@ mod tests {
         let schema = Arc::new(Schema::from_pairs([("v", ColumnType::Int)]));
         let err = TieredStore::open(&root, &schema).unwrap_err();
         assert!(err.to_string().contains("no complete generation"));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// Fold metadata (WAL watermark + row-id high-water mark) rides the
+    /// manifest and survives recovery; manifests without the keys default
+    /// to "never folded, identity ids".
+    #[test]
+    fn fold_watermarks_round_trip_through_the_manifest() {
+        let t = table(200);
+        let schema = Arc::clone(t.schema());
+        let root = tmproot("fold");
+        let mut s1 = snap(&t, 2, 0);
+        let (store, _) = TieredStore::create(&root, &mut s1).unwrap();
+        let mut s2 = snap(&t, 4, 1);
+        let receipt = store.publish_with_fold(&mut s2, 17, 260).unwrap();
+        assert_eq!(receipt.generation, 2);
+        drop(store);
+        drop(s1);
+        drop(s2);
+
+        let (store, recovered, report) = TieredStore::open(&root, &schema).unwrap();
+        assert_eq!(report.generation, 2);
+        assert_eq!(report.folded, 17);
+        assert_eq!(report.next_row, 260);
+        drop(store);
+        drop(recovered);
+
+        // strip the fold keys → defaults (0, rows)
+        let manifest = root.join("gen-000002").join(MANIFEST);
+        let stripped: String = fs::read_to_string(&manifest)
+            .unwrap()
+            .lines()
+            .filter(|l| !l.starts_with("folded=") && !l.starts_with("next_row="))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        fs::write(&manifest, stripped).unwrap();
+        let (store, recovered, report) = TieredStore::open(&root, &schema).unwrap();
+        assert_eq!(report.folded, 0);
+        assert_eq!(report.next_row, 200, "defaults to the row count");
+        drop(store);
+        drop(recovered);
         fs::remove_dir_all(&root).unwrap();
     }
 

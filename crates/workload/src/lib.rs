@@ -27,6 +27,7 @@
 
 pub mod bundle;
 pub mod generator;
+pub mod mutation;
 pub mod scenarios;
 pub mod telemetry;
 pub mod tpcds;
@@ -36,6 +37,7 @@ pub use bundle::DatasetBundle;
 pub use generator::{
     generate_stream, uniform_i64, zipf_index, QueryStream, Segment, StreamConfig, Template,
 };
+pub use mutation::{mutation_stream, MutationBatch, MutationConfig, MutationStream};
 pub use scenarios::{
     adversary_probes, LayoutOracle, RotorOracle, Scenario, ScenarioConfig, ADVERSARY_PROBE_FAMILIES,
 };

@@ -58,6 +58,18 @@ fn engine_ledger_matches_sequential_sim_on_fixed_stream() {
     assert_eq!(stats.ledger, sim.ledger, "ledger diverged from oreo-sim");
     assert_eq!(stats.switches, sim.switches, "switch decisions diverged");
     assert_eq!(stats.queries, 600);
+
+    // PR 9 regression: with ingestion never invoked, the write path is
+    // completely inert — nothing compacted, nothing billed as compaction,
+    // no delta bytes scanned. This is what keeps the parity above exact.
+    assert_eq!(
+        stats.ledger.compactions, 0,
+        "read-only run billed a compaction"
+    );
+    assert_eq!(stats.ledger.compaction_cost, 0.0);
+    assert_eq!(stats.ingest_batches, 0);
+    assert_eq!(stats.folds(), 0);
+    assert_eq!(stats.delta_bytes_scanned, 0);
 }
 
 /// Scans executing while reorganizations are in flight return exactly the
@@ -158,6 +170,11 @@ fn tiered_engine_replays_sim_ledger_and_recovers_generation() {
     // the acceptance criterion: tiered FIFO replays the ledger exactly
     assert_eq!(stats.ledger, sim.ledger, "tiered ledger diverged");
     assert_eq!(stats.switches, sim.switches, "switch decisions diverged");
+    assert_eq!(
+        stats.ledger.compactions, 0,
+        "read-only run billed a compaction"
+    );
+    assert_eq!(stats.wal_bytes, 0, "read-only run grew a WAL");
 
     // the same run produced the empirical-α inputs
     assert!(stats.switches >= 1, "stream never reorganized");

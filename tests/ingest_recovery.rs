@@ -1,0 +1,253 @@
+//! PR 9 satellite: **WAL crash recovery**. Two kill points bracket the
+//! write path's durability contract:
+//!
+//! 1. after the WAL append + fsync (the ack point) but **before the
+//!    in-memory delta ever forms** — recovery must replay every acked
+//!    batch into a fresh delta buffer, losing nothing;
+//! 2. after a compaction **publishes** its folded generation but before
+//!    the WAL is truncated — recovery must skip the already-folded records
+//!    (replay is idempotent) while still replaying post-fold batches.
+//!
+//! Both reopen through the real `TieredStore::open` + `Wal::open` path and
+//! compare the recovered snapshot against `oreo::sim::MutableOracle`
+//! driven with the same acked batches.
+
+use oreo::query::{Atom, ColumnType, Predicate, Scalar, Schema};
+use oreo::sim::MutableOracle;
+use oreo::storage::{
+    DeltaBuffer, IngestOp, MergePolicy, Table, TableBuilder, TableSnapshot, TieredStore, Wal,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const BASE_ROWS: u32 = 100;
+
+fn schema() -> Arc<Schema> {
+    Arc::new(Schema::from_pairs([
+        ("v", ColumnType::Int),
+        ("w", ColumnType::Int),
+    ]))
+}
+
+fn base_table() -> Arc<Table> {
+    let mut b = TableBuilder::new(schema());
+    for i in 0..i64::from(BASE_ROWS) {
+        b.push_row(&[Scalar::Int(i), Scalar::Int(i % 7)]);
+    }
+    Arc::new(b.finish())
+}
+
+fn tmproot(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!(
+        "oreo-ingest-recovery-{tag}-{}-{}",
+        std::process::id(),
+        rand::random::<u64>()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+/// Single-partition snapshot over `table` with identity ids — layout choice
+/// is irrelevant here; durability is what's under test.
+fn snapshot_of(table: &Arc<Table>, ids: &[u32], generation: u64) -> TableSnapshot {
+    let assignment = vec![0u32; table.num_rows()];
+    TableSnapshot::build_with_rows(table, ids, &assignment, 1, generation, "recovery")
+}
+
+/// Three acked batches: appends in a fresh value band, an update of base
+/// row 10, a delete of base row 20.
+fn acked_batches() -> Vec<Vec<IngestOp>> {
+    vec![
+        (0..5)
+            .map(|i| IngestOp::Append {
+                values: vec![Scalar::Int(1_000 + i), Scalar::Int(0)],
+            })
+            .collect(),
+        vec![
+            IngestOp::Update {
+                row: 10,
+                values: vec![Scalar::Int(1_005), Scalar::Int(1)],
+            },
+            IngestOp::Append {
+                values: vec![Scalar::Int(1_006), Scalar::Int(2)],
+            },
+        ],
+        vec![IngestOp::Delete { row: 20 }],
+    ]
+}
+
+fn band(lo: i64, hi: i64) -> Predicate {
+    Predicate::new(vec![Atom::Between {
+        col: 0,
+        low: Scalar::Int(lo),
+        high: Scalar::Int(hi),
+    }])
+}
+
+/// Recovered snapshot ≡ oracle on the probes that cover base survivors,
+/// the ingested band, and the whole domain.
+fn assert_equivalent(snap: &TableSnapshot, oracle: &MutableOracle) {
+    for pred in [
+        band(0, 99),
+        band(1_000, 1_099),
+        band(10, 10),
+        band(20, 20),
+        Predicate::always_true(),
+    ] {
+        assert_eq!(
+            snap.scan(&pred).matches,
+            oracle.matches(&pred),
+            "recovered snapshot diverged from oracle on {pred:?}"
+        );
+    }
+    assert_eq!(snap.live_rows(), oracle.live_rows());
+}
+
+/// Kill point 1: the WAL has fsync'd (= acked) every batch, but the
+/// process dies before any in-memory delta state or publish happens. On
+/// reopen, replaying the recovered records restores every acked write.
+#[test]
+fn acked_writes_survive_crash_before_delta_flush() {
+    let root = tmproot("pre-flush");
+    std::fs::create_dir_all(&root).expect("mkdir");
+    let table = base_table();
+    let ids: Vec<u32> = (0..BASE_ROWS).collect();
+    let mut snap = snapshot_of(&table, &ids, 0);
+    let (store, _) = TieredStore::create(&root, &mut snap).expect("create store");
+
+    let wal_path = root.join("wal.log");
+    let (mut wal, fresh) = Wal::open(&wal_path).expect("open wal");
+    assert!(fresh.records.is_empty(), "fresh WAL has nothing to recover");
+
+    // Ack (WAL + fsync) every batch; the oracle tracks what clients were
+    // promised. No delta buffer exists — that state "dies" with the crash.
+    let mut oracle = MutableOracle::new(&table);
+    for (i, batch) in acked_batches().iter().enumerate() {
+        wal.append(i as u64 + 1, batch).expect("wal append");
+        oracle.apply(batch).expect("oracle apply");
+    }
+    drop(wal);
+    drop(store);
+    drop(snap); // crash: all volatile state gone
+
+    // Recovery: reopen the store and the WAL, replay past the fold point.
+    let schema = schema();
+    let (_store, mut recovered, report) = TieredStore::open(&root, &schema).expect("reopen store");
+    assert_eq!(report.folded, 0, "nothing was folded before the crash");
+    assert_eq!(report.next_row, u64::from(BASE_ROWS));
+    let (_wal, recovery) = Wal::open(&wal_path).expect("reopen wal");
+    assert_eq!(recovery.records.len(), 3, "all acked batches recovered");
+    assert_eq!(recovery.torn_bytes, 0, "clean shutdown of the log file");
+
+    let mut buf = DeltaBuffer::resume(
+        Arc::clone(&schema),
+        report.next_row,
+        report.folded,
+        MergePolicy::KBinomial { k: 2 },
+    );
+    let mut replayed = 0;
+    for record in &recovery.records {
+        assert!(record.seq > report.folded);
+        buf.apply(&record.ops).expect("replay");
+        replayed += 1;
+    }
+    assert_eq!(replayed, 3);
+    recovered.set_delta(buf.overlay());
+
+    assert_equivalent(&recovered, &oracle);
+    // Recovery re-assigned the exact ids the crashed process acked.
+    assert_eq!(buf.next_row(), u64::from(oracle.next_row()));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Kill point 2: a fold has published its generation (manifest committed)
+/// and more batches were acked after it, but the process dies before
+/// `truncate_through(watermark)`. On reopen the stale WAL prefix must be
+/// skipped — replay is idempotent — while the post-fold suffix replays.
+#[test]
+fn published_fold_skips_stale_wal_records_on_recovery() {
+    let root = tmproot("post-publish");
+    std::fs::create_dir_all(&root).expect("mkdir");
+    let table = base_table();
+    let ids: Vec<u32> = (0..BASE_ROWS).collect();
+    let mut snap = snapshot_of(&table, &ids, 0);
+    let (store, _) = TieredStore::create(&root, &mut snap).expect("create store");
+
+    let wal_path = root.join("wal.log");
+    let (mut wal, _) = Wal::open(&wal_path).expect("open wal");
+    let schema = schema();
+    let mut oracle = MutableOracle::new(&table);
+    let mut buf = DeltaBuffer::new(
+        Arc::clone(&schema),
+        u64::from(BASE_ROWS),
+        MergePolicy::KBinomial { k: 2 },
+    );
+
+    // Batches 1 and 2 land fully (WAL + delta + oracle)...
+    let batches = acked_batches();
+    for (i, batch) in batches[..2].iter().enumerate() {
+        wal.append(i as u64 + 1, batch).expect("wal append");
+        buf.apply(batch).expect("delta apply");
+        oracle.apply(batch).expect("oracle apply");
+    }
+
+    // ...then a fold captures and PUBLISHES them as generation 1. The
+    // oracle's rebuild is the folded base: the buffer and oracle saw the
+    // same two batches.
+    let cap = buf.freeze_for_fold().expect("capture");
+    assert_eq!(cap.watermark, 2);
+    let (folded_table, folded_ids) = oracle.rebuild();
+    let folded_table = Arc::new(folded_table);
+    let mut folded_snap = snapshot_of(&folded_table, &folded_ids, 1);
+    store
+        .publish_with_fold(&mut folded_snap, cap.watermark, cap.next_row)
+        .expect("publish fold");
+    buf.complete_fold();
+
+    // Batch 3 is acked after the fold...
+    wal.append(3, &batches[2]).expect("wal append");
+    buf.apply(&batches[2]).expect("delta apply");
+    oracle.apply(&batches[2]).expect("oracle apply");
+
+    // ...and the crash hits BEFORE truncate_through(cap.watermark).
+    drop(wal);
+    drop(store);
+    drop(snap);
+    drop(folded_snap);
+    drop(buf);
+
+    let (_store, mut recovered, report) = TieredStore::open(&root, &schema).expect("reopen store");
+    // create published gen 1; the fold's publish is gen 2 and is live
+    assert_eq!(
+        report.generation, 2,
+        "the published fold is the live generation"
+    );
+    assert_eq!(report.folded, 2, "manifest remembers the fold watermark");
+    assert_eq!(report.next_row, cap.next_row);
+    let (_wal, recovery) = Wal::open(&wal_path).expect("reopen wal");
+    assert_eq!(recovery.records.len(), 3, "nothing was truncated");
+
+    let mut buf2 = DeltaBuffer::resume(
+        Arc::clone(&schema),
+        report.next_row,
+        report.folded,
+        MergePolicy::KBinomial { k: 2 },
+    );
+    let mut replayed = 0;
+    for record in &recovery.records {
+        if record.seq <= report.folded {
+            continue; // already folded into the published base
+        }
+        buf2.apply(&record.ops).expect("replay");
+        replayed += 1;
+    }
+    assert_eq!(replayed, 1, "only the post-fold batch replays");
+    recovered.set_delta(buf2.overlay());
+
+    // No lost acked writes, and no duplicates from the stale prefix: the
+    // tautology probe inside assert_equivalent would surface a row that
+    // exists both in the folded base and in a wrongly-replayed delta run.
+    assert_equivalent(&recovered, &oracle);
+    assert_eq!(buf2.next_row(), u64::from(oracle.next_row()));
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -76,6 +76,16 @@ impl MultiTableOreo {
         self.instances.get(table)
     }
 
+    /// Mutable access to the OREO instance managing `table`, if registered.
+    ///
+    /// This is the serving engine's seam: per-tenant bookkeeping
+    /// (`decide`/`settle`/`apply_due`, compaction charges, switch
+    /// completion) flows through the tenant's own instance while the
+    /// coordinator keeps the fleet behind one lock.
+    pub fn instance_mut(&mut self, table: &str) -> Option<&mut Oreo> {
+        self.instances.get_mut(table)
+    }
+
     /// Route one query to its table's instance.
     ///
     /// # Panics

@@ -6,7 +6,7 @@
 //!
 //! 1. a worker pins the current [`TableSnapshot`] and scans it — the only
 //!    expensive phase, and it runs with **no lock held**;
-//! 2. the worker feeds the query to [`Oreo::observe`] (or its
+//! 2. the worker feeds the query to [`oreo_core::Oreo::observe`] (or its
 //!    decide/settle halves in measured-Δ mode) under the core mutex, so
 //!    D-UMTS and layout-manager bookkeeping stay *identical* to the
 //!    sequential simulator;
@@ -14,12 +14,31 @@
 //!    materializes the target layout aside and atomically publishes it —
 //!    queries keep running on the old snapshot for the whole window, which
 //!    is exactly the paper's reorganization delay Δ, now measured.
+//!
+//! # Multi-tenant serving
+//!
+//! The engine serves N tenants (tables) from one process: a tenant map of
+//! [`SnapshotCell`]s and per-tenant write-path state, one shared worker
+//! pool consuming a unified query stream tagged by tenant, one shared
+//! [`BufferPool`] whose page keys carry the tenant's table id, and one
+//! [`oreo_core::MultiTableOreo`] policy brain behind the core mutex so
+//! each tenant's D-UMTS bookkeeping stays byte-identical to an independent
+//! single-tenant run. The single reorganizer becomes a *scheduler*: switch
+//! decisions queue per tenant (FIFO within a tenant — the order
+//! `Oreo::pending` expects) and are admitted under an optional global α
+//! budget ([`ReorgBudget`]): total reorganization spend may not outrun a
+//! configured fraction of the fleet's cumulative query cost. A deferred
+//! tenant keeps accruing D-UMTS pressure — its counters and ledger are
+//! untouched by deferral — and a hard deferral bound force-admits its
+//! switch so no tenant is starved. Single-tenant construction
+//! ([`Engine::start`]) is the N = 1 special case and behaves exactly as
+//! before.
 
 use crate::ingest::{build_fold_snapshot, FoldBuild, IngestState};
 use crate::metrics::{as_micros_u64, LatencyStats};
 use crate::queue::ShardedQueue;
 use crate::reorg::{materialize, ReorgRequest, ReorgWindow};
-use oreo_core::{AlphaEstimator, CostLedger, Oreo, OreoConfig};
+use oreo_core::{AlphaEstimator, CostLedger, MultiTableOreo, OreoConfig};
 use oreo_layout::{LayoutGenerator, SharedSpec};
 use oreo_obs::{
     Counter, Event, EventKind, EventSink, Gauge, Histogram, Journal, NullSink, Registry,
@@ -30,9 +49,10 @@ use oreo_storage::{
     ApplyReceipt, BufferPool, BufferPoolConfig, DeltaBuffer, IngestOp, LayoutId, MergePolicy,
     PoolStats, SnapshotCell, SnapshotScan, Table, TableSnapshot, TieredStore, Wal,
 };
+use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -114,6 +134,55 @@ impl ObsConfig {
     }
 }
 
+/// The global α budget the reorganization scheduler admits switches
+/// under: across all tenants, cumulative reorganization spend (each
+/// admitted switch bills its tenant's α into the global budget ledger)
+/// may not exceed `fraction` of the fleet's cumulative query cost plus a
+/// `burst` allowance. A switch that fails admission stays queued — its
+/// tenant's D-UMTS counters and ledger keep accruing exactly as if it had
+/// run, so no guarantee is lost — and is force-admitted once it has waited
+/// `max_defer_queries` bookkeeping steps, which bounds every tenant's
+/// deferral window (starvation freedom).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReorgBudget {
+    /// Admissible reorg spend as a fraction of cumulative query cost.
+    pub fraction: f64,
+    /// Flat allowance on top of the fraction, in cost units — lets the
+    /// first switches through before any query cost has accumulated.
+    pub burst: f64,
+    /// Hard deferral bound: a queued switch is admitted unconditionally
+    /// once this many queries completed bookkeeping since its decision.
+    pub max_defer_queries: u64,
+}
+
+impl Default for ReorgBudget {
+    fn default() -> Self {
+        Self {
+            fraction: 0.5,
+            burst: 1.0,
+            max_defer_queries: 10_000,
+        }
+    }
+}
+
+/// One tenant of a multi-tenant engine: its table, initial layout,
+/// candidate generator, and OREO configuration (see
+/// [`Engine::start_tenants`]).
+pub struct TenantSpec {
+    /// Tenant name — the key queries and reports are routed by. Tiered
+    /// serving stores the tenant under `root/tenant-<name>/`, so names
+    /// should be filesystem-safe.
+    pub name: String,
+    /// The tenant's table.
+    pub table: Arc<Table>,
+    /// Initial layout specification.
+    pub initial_spec: SharedSpec,
+    /// Candidate layout generator.
+    pub generator: Arc<dyn LayoutGenerator>,
+    /// Per-tenant OREO (D-UMTS) configuration.
+    pub oreo: OreoConfig,
+}
+
 /// Engine tuning knobs.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -149,6 +218,11 @@ pub struct EngineConfig {
     pub merge_policy: MergePolicy,
     /// Observability: event journal + metric exporters.
     pub obs: ObsConfig,
+    /// Global α budget for the reorganization scheduler. `None` (the
+    /// default) admits every switch immediately in decision order —
+    /// exactly the single-reorganizer behavior, and what ledger-parity
+    /// runs use.
+    pub budget: Option<ReorgBudget>,
 }
 
 impl Default for EngineConfig {
@@ -163,6 +237,7 @@ impl Default for EngineConfig {
             buffer_pool_bytes: oreo_storage::bufpool::DEFAULT_CAPACITY_BYTES,
             merge_policy: MergePolicy::KBinomial { k: 2 },
             obs: ObsConfig::default(),
+            budget: None,
         }
     }
 }
@@ -226,6 +301,12 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the global α budget for the reorganization scheduler.
+    pub fn with_budget(mut self, budget: ReorgBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
     fn effective_shards(&self) -> usize {
         if self.shards == 0 {
             self.workers.max(1)
@@ -285,6 +366,8 @@ struct Job {
     /// Submission order (assigned at enqueue) — the span id tying this
     /// query's journal events together.
     submit_id: u64,
+    /// Index into the engine's tenant map.
+    tenant: u32,
 }
 
 /// Pre-resolved registry handles for everything the serving hot path
@@ -346,82 +429,145 @@ struct LiveMetrics {
 }
 
 impl LiveMetrics {
+    /// The aggregate (unprefixed) series — always registered, so the
+    /// fleet-wide schema is identical whether the engine serves 1 tenant
+    /// or N.
     fn new(r: &Registry) -> Self {
+        Self::with_prefix(r, "")
+    }
+
+    /// Resolve the same series under `prefix` (e.g. `tenant.0.`) — the
+    /// per-tenant namespace of a multi-tenant engine. Workers publish into
+    /// both the aggregate and the tenant's prefixed handles.
+    fn with_prefix(r: &Registry, prefix: &str) -> Self {
+        let c = |name: &str| r.counter(&format!("{prefix}{name}"));
+        let g = |name: &str| r.gauge(&format!("{prefix}{name}"));
+        let h = |name: &str| r.histogram(&format!("{prefix}{name}"));
         Self {
-            queries_submitted: r.counter("engine.queries_submitted"),
-            queries_completed: r.counter("engine.queries_completed"),
-            rows_scanned: r.counter("engine.rows_scanned"),
-            rows_matched: r.counter("engine.rows_matched"),
-            bytes_scanned: r.counter("engine.bytes_scanned"),
-            scan_ns: r.counter("engine.scan_ns"),
-            cold_scans: r.counter("engine.cold_scans"),
-            cold_scan_bytes: r.counter("engine.cold_scan_bytes"),
-            cold_scan_ns: r.counter("engine.cold_scan_ns"),
-            warm_scan_bytes: r.counter("engine.warm_scan_bytes"),
-            warm_scan_ns: r.counter("engine.warm_scan_ns"),
-            io_cold_bytes: r.counter("engine.io_cold_bytes"),
-            io_cached_bytes: r.counter("engine.io_cached_bytes"),
-            scan_io_errors: r.counter("engine.scan_io_errors"),
-            chunks_evaluated: r.counter("engine.chunks_evaluated"),
-            rows_short_circuited: r.counter("engine.rows_short_circuited"),
-            latency_us: r.histogram("engine.latency_us"),
-            scan_us: r.histogram("engine.scan_us"),
-            switches: r.counter("reorg.switches"),
-            snapshots_published: r.counter("reorg.snapshots_published"),
-            reorg_windows: r.counter("reorg.windows"),
-            reorg_build_ns: r.counter("reorg.build_ns"),
-            reorg_bytes_written: r.counter("reorg.bytes_written"),
-            reorg_delta_queries: r.counter("reorg.delta_queries_total"),
-            persisted: r.counter("reorg.persisted"),
-            persist_ns: r.counter("reorg.persist_ns"),
-            tiered_errors: r.counter("reorg.tiered_errors"),
-            ingest_batches: r.counter("ingest.batches"),
-            ingest_rows: r.counter("ingest.rows_appended"),
-            ingest_deletes: r.counter("ingest.rows_deleted"),
-            ingest_rows_written: r.counter("ingest.rows_written"),
-            delta_bytes_scanned: r.counter("engine.delta_bytes_scanned"),
-            folds: r.counter("reorg.folds"),
-            folded_rows: r.counter("reorg.folded_rows"),
-            delta_rows: r.gauge("ingest.delta_rows"),
-            wal_bytes: r.gauge("ingest.wal_bytes"),
-            ledger_query_cost: r.gauge("ledger.query_cost"),
-            ledger_reorg_cost: r.gauge("ledger.reorg_cost"),
-            ledger_total: r.gauge("ledger.total"),
-            num_states: r.gauge("core.num_states"),
-            max_states_seen: r.gauge("core.max_states_seen"),
-            qps: r.gauge("engine.qps"),
-            table_bytes: r.gauge("alpha.table_bytes"),
-            alpha_hat: r.gauge("alpha.hat"),
-            alpha_cold: r.gauge("alpha.cold"),
-            alpha_warm: r.gauge("alpha.warm"),
-            pool_hit_rate: r.gauge("pool.hit_rate"),
-            pool_hits: r.gauge("pool.hits"),
-            pool_misses: r.gauge("pool.misses"),
-            pool_evictions: r.gauge("pool.evictions"),
-            pool_pages_resident: r.gauge("pool.pages_resident"),
+            queries_submitted: c("engine.queries_submitted"),
+            queries_completed: c("engine.queries_completed"),
+            rows_scanned: c("engine.rows_scanned"),
+            rows_matched: c("engine.rows_matched"),
+            bytes_scanned: c("engine.bytes_scanned"),
+            scan_ns: c("engine.scan_ns"),
+            cold_scans: c("engine.cold_scans"),
+            cold_scan_bytes: c("engine.cold_scan_bytes"),
+            cold_scan_ns: c("engine.cold_scan_ns"),
+            warm_scan_bytes: c("engine.warm_scan_bytes"),
+            warm_scan_ns: c("engine.warm_scan_ns"),
+            io_cold_bytes: c("engine.io_cold_bytes"),
+            io_cached_bytes: c("engine.io_cached_bytes"),
+            scan_io_errors: c("engine.scan_io_errors"),
+            chunks_evaluated: c("engine.chunks_evaluated"),
+            rows_short_circuited: c("engine.rows_short_circuited"),
+            latency_us: h("engine.latency_us"),
+            scan_us: h("engine.scan_us"),
+            switches: c("reorg.switches"),
+            snapshots_published: c("reorg.snapshots_published"),
+            reorg_windows: c("reorg.windows"),
+            reorg_build_ns: c("reorg.build_ns"),
+            reorg_bytes_written: c("reorg.bytes_written"),
+            reorg_delta_queries: c("reorg.delta_queries_total"),
+            persisted: c("reorg.persisted"),
+            persist_ns: c("reorg.persist_ns"),
+            tiered_errors: c("reorg.tiered_errors"),
+            ingest_batches: c("ingest.batches"),
+            ingest_rows: c("ingest.rows_appended"),
+            ingest_deletes: c("ingest.rows_deleted"),
+            ingest_rows_written: c("ingest.rows_written"),
+            delta_bytes_scanned: c("engine.delta_bytes_scanned"),
+            folds: c("reorg.folds"),
+            folded_rows: c("reorg.folded_rows"),
+            delta_rows: g("ingest.delta_rows"),
+            wal_bytes: g("ingest.wal_bytes"),
+            ledger_query_cost: g("ledger.query_cost"),
+            ledger_reorg_cost: g("ledger.reorg_cost"),
+            ledger_total: g("ledger.total"),
+            num_states: g("core.num_states"),
+            max_states_seen: g("core.max_states_seen"),
+            qps: g("engine.qps"),
+            table_bytes: g("alpha.table_bytes"),
+            alpha_hat: g("alpha.hat"),
+            alpha_cold: g("alpha.cold"),
+            alpha_warm: g("alpha.warm"),
+            pool_hit_rate: g("pool.hit_rate"),
+            pool_hits: g("pool.hits"),
+            pool_misses: g("pool.misses"),
+            pool_evictions: g("pool.evictions"),
+            pool_pages_resident: g("pool.pages_resident"),
         }
     }
 }
 
-struct Shared {
-    core: Mutex<Oreo>,
-    /// The write path: delta buffer, WAL, and base identity. Lock order is
-    /// strictly ingest → core; every snapshot publish (ingest overlay
-    /// updates *and* reorganizer folds) happens under this lock so overlay
-    /// attachments can never be lost to a racing publish.
+/// One tenant's serving state: its write path, snapshot cell, disk tier,
+/// and the counters its per-tenant report is assembled from. The policy
+/// state lives in the shared [`MultiTableOreo`] behind the core mutex,
+/// keyed by `name`; the tenant's *index* is the table id stamped on pool
+/// page keys and tiered generations.
+struct Tenant {
+    /// Tenant name — the `MultiTableOreo` key and the report label.
+    name: String,
+    /// The tenant's write path: delta buffer, WAL, and base identity. Lock
+    /// order is strictly ingest → core; every snapshot publish (ingest
+    /// overlay updates *and* reorganizer folds) happens under this lock so
+    /// overlay attachments can never be lost to a racing publish.
     ingest: Mutex<IngestState>,
+    /// The tenant's served snapshot.
     cell: SnapshotCell,
-    /// The disk tier, in [`ServeMode::Tiered`] runs.
+    /// The tenant's disk tier, in [`ServeMode::Tiered`] runs.
     tiered: Option<TieredStore>,
-    /// Page cache over the disk tier, in [`ServeMode::Tiered`] runs.
+    /// Queries whose bookkeeping completed for this tenant.
+    observed: AtomicU64,
+    /// Queries fully served for this tenant.
+    completed: AtomicU64,
+    /// Snapshots the scheduler published for this tenant.
+    snapshots_published: AtomicU64,
+    /// This tenant's switches the budget scheduler deferred at least once.
+    deferrals: AtomicU64,
+    /// Largest deferral window (bookkeeping steps, decision → admission)
+    /// any of this tenant's switches waited.
+    max_deferred_queries: AtomicU64,
+    /// Page bytes this tenant's pooled scans read from disk / served from
+    /// the shared pool.
+    io_cold_bytes: AtomicU64,
+    io_cached_bytes: AtomicU64,
+    /// The tenant's namespaced metric handles (`tenant.<index>.<metric>`)
+    /// — only in multi-tenant runs, so a single-tenant registry stays
+    /// byte-identical to the pre-tenancy schema.
+    metrics: Option<LiveMetrics>,
+}
+
+/// The aggregate metrics plus `tenant`'s namespaced copy, when present.
+/// Hot paths publish through this so the per-tenant series stay consistent
+/// with the fleet-wide ones by construction.
+fn metric_views<'a>(
+    shared: &'a Shared,
+    tenant: &'a Tenant,
+) -> impl Iterator<Item = &'a LiveMetrics> {
+    std::iter::once(&shared.metrics).chain(tenant.metrics.as_ref())
+}
+
+struct Shared {
+    /// The policy brain: one OREO instance per tenant behind one lock, so
+    /// each tenant's D-UMTS bookkeeping stays byte-identical to an
+    /// independent single-tenant run.
+    core: Mutex<MultiTableOreo>,
+    /// The tenant map, indexed by the `tenant` tag jobs carry.
+    tenants: Vec<Tenant>,
+    /// Page cache shared by every tenant's tiered scans (page keys carry
+    /// the owning tenant's table id), in [`ServeMode::Tiered`] runs.
     pool: Option<Arc<BufferPool>>,
     queue: ShardedQueue<Job>,
     config: EngineConfig,
-    /// Queries whose bookkeeping completed (drives measured-Δ windows).
+    /// Queries whose bookkeeping completed across all tenants (drives
+    /// measured-Δ windows and the scheduler's force-admit bound).
     observed: AtomicU64,
     submitted: AtomicU64,
     completed: AtomicU64,
     snapshots_published: AtomicU64,
+    /// Cumulative service cost across all tenants, in micro-cost-units —
+    /// the budget scheduler's admission denominator.
+    query_cost_micros: AtomicU64,
     drain_lock: Mutex<()>,
     drain_cv: Condvar,
     /// The live metrics registry (always on).
@@ -464,6 +610,53 @@ struct WorkerStats {
     delta_bytes_scanned: u64,
 }
 
+/// One tenant's slice of a run, returned inside [`EngineStats::tenants`].
+/// The ledger is the tenant's own OREO instance's — byte-identical to an
+/// independent single-tenant run over the same substream.
+#[derive(Clone, Debug)]
+pub struct TenantStats {
+    /// Tenant name (the routing key).
+    pub name: String,
+    /// Queries fully served for this tenant.
+    pub queries: u64,
+    /// Per-query service latency summary for this tenant. In a
+    /// single-tenant run this is the aggregate histogram.
+    pub latency: LatencyStats,
+    /// The tenant's own D-UMTS cost ledger.
+    pub ledger: CostLedger,
+    /// Switch decisions this tenant's instance made.
+    pub switches: u64,
+    /// Snapshots the scheduler published for this tenant.
+    pub snapshots_published: u64,
+    /// Switches of this tenant the budget scheduler deferred at least
+    /// once before admitting.
+    pub reorg_deferrals: u64,
+    /// Largest deferral window (bookkeeping steps, decision → admission)
+    /// any of this tenant's switches waited.
+    pub max_deferred_queries: u64,
+    /// Page bytes this tenant's pooled scans read from disk.
+    pub io_cold_bytes: u64,
+    /// Page bytes this tenant's pooled scans served from the shared pool.
+    pub io_cached_bytes: u64,
+    /// Physical layout when the engine stopped.
+    pub final_physical: LayoutId,
+    /// Logical (D-UMTS) layout when the engine stopped.
+    pub final_logical: LayoutId,
+}
+
+impl TenantStats {
+    /// The tenant's share of the shared pool's hit rate: cached page bytes
+    /// over all page bytes its scans requested (0.0 without pooled I/O).
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.io_cold_bytes + self.io_cached_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.io_cached_bytes as f64 / total as f64
+        }
+    }
+}
+
 /// Aggregate statistics returned by [`Engine::shutdown`].
 #[derive(Clone, Debug)]
 pub struct EngineStats {
@@ -490,6 +683,12 @@ pub struct EngineStats {
     /// switches degraded to memory-only publishes and their windows carry
     /// `bytes_written == 0`). Always empty in [`ServeMode::Memory`].
     pub tiered_errors: Vec<String>,
+    /// Per-tenant breakdowns, in tenant-index order (exactly one entry
+    /// for a single-tenant engine).
+    pub tenants: Vec<TenantStats>,
+    /// Cumulative α the scheduler billed into the global budget ledger —
+    /// one charge per admitted switch (0.0 without a reorganizer).
+    pub reorg_budget_spent: f64,
     /// Rows read across all scans (after pruning).
     pub rows_scanned: u64,
     /// Rows matched across all scans.
@@ -686,6 +885,11 @@ impl EngineStats {
     }
 }
 
+/// What the reorganization scheduler thread returns at join: every
+/// completed window, the disk-tier degradation messages, and the
+/// cumulative α billed into the global budget ledger.
+type SchedulerOutcome = (Vec<ReorgWindow>, Vec<String>, f64);
+
 /// The concurrent serving engine. See the [module docs](self) for the data
 /// path; construct with [`Engine::start`], feed with [`Engine::submit`] /
 /// [`Engine::submit_tracked`] from any number of threads, finish with
@@ -693,7 +897,7 @@ impl EngineStats {
 pub struct Engine {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<WorkerStats>>,
-    reorg: Option<JoinHandle<(Vec<ReorgWindow>, Vec<String>)>>,
+    reorg: Option<JoinHandle<SchedulerOutcome>>,
     exporter: Option<JoinHandle<()>>,
     /// Tells the exporter thread to write its final snapshot and exit.
     exporter_stop: Arc<(Mutex<bool>, Condvar)>,
@@ -701,16 +905,49 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Boot the engine: build the bookkeeping core, materialize the initial
-    /// snapshot, and spawn the worker pool plus (optionally) the background
-    /// reorganizer.
+    /// Boot a single-tenant engine: build the bookkeeping core,
+    /// materialize the initial snapshot, and spawn the worker pool plus
+    /// (optionally) the background reorganizer. This is the N = 1 special
+    /// case of [`Engine::start_tenants`], with the tenant named
+    /// `"default"` and its disk tier rooted *directly* at the configured
+    /// root (no `tenant-*/` subdirectory).
     pub fn start(
         table: Arc<Table>,
         initial_spec: SharedSpec,
         generator: Arc<dyn LayoutGenerator>,
         oreo_config: OreoConfig,
-        mut config: EngineConfig,
+        config: EngineConfig,
     ) -> Self {
+        Self::start_tenants(
+            vec![TenantSpec {
+                name: "default".into(),
+                table,
+                initial_spec,
+                generator,
+                oreo: oreo_config,
+            }],
+            config,
+        )
+    }
+
+    /// Boot an N-tenant engine: one OREO instance, snapshot cell, and
+    /// write path per tenant; one shared worker pool, buffer pool, and
+    /// reorganization scheduler. Tenant *index* (position in `specs`) is
+    /// the table id on pool page keys and tiered generations, and the id
+    /// queries are routed by ([`Engine::submit_to`]). With more than one
+    /// tenant, tiered serving stores tenant `i` under
+    /// `root/tenant-<name>/`.
+    ///
+    /// # Panics
+    /// Panics on an empty tenant list or duplicate tenant names.
+    pub fn start_tenants(specs: Vec<TenantSpec>, mut config: EngineConfig) -> Self {
+        assert!(!specs.is_empty(), "engine needs at least one tenant");
+        {
+            let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), specs.len(), "tenant names must be unique");
+        }
         if !config.background_reorg {
             // No reorganizer means nothing ever calls complete_reorg; fall
             // back to the simulator's configured-delay application so the
@@ -729,43 +966,51 @@ impl Engine {
             Some(j) => Arc::clone(j) as Arc<dyn EventSink>,
             None => Arc::new(NullSink),
         };
-        let mut core = Oreo::new(
-            Arc::clone(&table),
-            Arc::clone(&initial_spec),
-            generator,
-            oreo_config,
-        );
-        core.set_event_sink(Arc::clone(&sink));
-        let initial_id = core.physical_layout();
-        let mut initial_snapshot = materialize(&table, &initial_spec, initial_id);
-        let tiered = match &config.mode {
-            ServeMode::Memory => None,
-            ServeMode::Tiered { root } => {
+        let multi_tenant = specs.len() > 1;
+        let mut core = MultiTableOreo::new();
+        let mut tenants = Vec::with_capacity(specs.len());
+        let mut any_tiered = false;
+        for (index, spec) in specs.into_iter().enumerate() {
+            core.register(
+                spec.name.clone(),
+                Arc::clone(&spec.table),
+                Arc::clone(&spec.initial_spec),
+                Arc::clone(&spec.generator),
+                spec.oreo,
+            );
+            let oreo = core
+                .instance_mut(&spec.name)
+                .expect("just-registered tenant");
+            oreo.set_event_sink(Arc::clone(&sink));
+            let initial_id = oreo.physical_layout();
+            let mut initial_snapshot = materialize(&spec.table, &spec.initial_spec, initial_id);
+            // A single tenant keeps the pre-tenancy flat layout (store +
+            // wal.log directly at the root); N tenants get subdirectories.
+            let tenant_root = match &config.mode {
+                ServeMode::Memory => None,
+                ServeMode::Tiered { root } => Some(if multi_tenant {
+                    root.join(format!("tenant-{}", spec.name))
+                } else {
+                    root.clone()
+                }),
+            };
+            let tiered = tenant_root.as_ref().map(|root| {
                 let (store, _receipt) =
-                    TieredStore::create(root, &mut initial_snapshot).expect("create tiered store");
-                Some(store)
-            }
-        };
-        let pool = tiered.as_ref().map(|_| {
-            Arc::new(
-                BufferPool::new(BufferPoolConfig {
-                    capacity_bytes: config.buffer_pool_bytes,
-                    ..BufferPoolConfig::default()
-                })
-                .with_event_sink(Arc::clone(&sink)),
-            )
-        });
-        // The write path. In tiered serving every accepted batch is WAL-
-        // logged (append + fsync = the ack point) before it mutates the
-        // delta buffer; a WAL failure degrades ingestion to memory-only
-        // instead of failing writes or killing the engine. The engine
-        // starts from the boot table, so any WAL left on the root belongs
-        // to a previous process: storage-level recovery
-        // (`Wal::open` + `DeltaBuffer::resume`) is the crash path, the
-        // engine starts clean.
-        let mut ingest_errors = Vec::new();
-        let wal = match &config.mode {
-            ServeMode::Tiered { root } => {
+                    TieredStore::create_for_table(root, index as u32, &mut initial_snapshot)
+                        .expect("create tiered store");
+                store
+            });
+            any_tiered |= tiered.is_some();
+            // The write path. In tiered serving every accepted batch is
+            // WAL-logged (append + fsync = the ack point) before it mutates
+            // the delta buffer; a WAL failure degrades ingestion to
+            // memory-only instead of failing writes or killing the engine.
+            // The engine starts from the boot table, so any WAL left on the
+            // root belongs to a previous process: storage-level recovery
+            // (`Wal::open` + `DeltaBuffer::resume`) is the crash path, the
+            // engine starts clean.
+            let mut ingest_errors = Vec::new();
+            let wal = tenant_root.as_ref().and_then(|root| {
                 let path = root.join("wal.log");
                 let _ = std::fs::remove_file(&path);
                 match Wal::open(&path) {
@@ -781,28 +1026,50 @@ impl Engine {
                         None
                     }
                 }
-            }
-            ServeMode::Memory => None,
-        };
-        let ingest = IngestState::new(
-            DeltaBuffer::new(
-                Arc::clone(table.schema()),
-                table.num_rows() as u64,
-                config.merge_policy,
-            ),
-            wal,
-            Arc::clone(&table),
-            ingest_errors,
-        );
+            });
+            let ingest = IngestState::new(
+                DeltaBuffer::new(
+                    Arc::clone(spec.table.schema()),
+                    spec.table.num_rows() as u64,
+                    config.merge_policy,
+                ),
+                wal,
+                Arc::clone(&spec.table),
+                ingest_errors,
+            );
+            let tenant_metrics = multi_tenant
+                .then(|| LiveMetrics::with_prefix(&registry, &format!("tenant.{index}.")));
+            tenants.push(Tenant {
+                name: spec.name,
+                ingest: Mutex::new(ingest),
+                cell: SnapshotCell::new(initial_snapshot),
+                tiered,
+                observed: AtomicU64::new(0),
+                completed: AtomicU64::new(0),
+                snapshots_published: AtomicU64::new(0),
+                deferrals: AtomicU64::new(0),
+                max_deferred_queries: AtomicU64::new(0),
+                io_cold_bytes: AtomicU64::new(0),
+                io_cached_bytes: AtomicU64::new(0),
+                metrics: tenant_metrics,
+            });
+        }
+        let pool = any_tiered.then(|| {
+            Arc::new(
+                BufferPool::new(BufferPoolConfig {
+                    capacity_bytes: config.buffer_pool_bytes,
+                    ..BufferPoolConfig::default()
+                })
+                .with_event_sink(Arc::clone(&sink)),
+            )
+        });
         let effective_shards = config.effective_shards();
         let background_reorg = config.background_reorg;
         let worker_count = config.workers.max(1);
         let started = Instant::now();
         let shared = Arc::new(Shared {
             core: Mutex::new(core),
-            ingest: Mutex::new(ingest),
-            cell: SnapshotCell::new(initial_snapshot),
-            tiered,
+            tenants,
             pool,
             queue: ShardedQueue::new(effective_shards),
             config,
@@ -810,6 +1077,7 @@ impl Engine {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             snapshots_published: AtomicU64::new(0),
+            query_cost_micros: AtomicU64::new(0),
             drain_lock: Mutex::new(()),
             drain_cv: Condvar::new(),
             registry,
@@ -824,271 +1092,7 @@ impl Engine {
             let shared2 = Arc::clone(&shared);
             let handle = std::thread::Builder::new()
                 .name("oreo-reorg".into())
-                .spawn(move || {
-                    let mut windows = Vec::new();
-                    let mut tiered_errors = Vec::new();
-                    while let Ok(req) = rx.recv() {
-                        let build_start = Instant::now();
-                        // Freeze the delta prefix: this reorganization is
-                        // also the compaction. Captured runs and tombstones
-                        // fold into the rewritten base; batches arriving
-                        // during the build merge only among themselves and
-                        // surface as the published snapshot's overlay.
-                        let (mut capture, base, base_ids, ids_identity, prev_folded, prev_next) = {
-                            let mut ing = shared2.ingest.lock().expect("ingest poisoned");
-                            (
-                                ing.buffer.freeze_for_fold(),
-                                Arc::clone(&ing.base),
-                                Arc::clone(&ing.base_ids),
-                                ing.ids_identity,
-                                ing.folded,
-                                ing.buffer.next_row(),
-                            )
-                        };
-                        let built = build_fold_snapshot(
-                            &base,
-                            &base_ids,
-                            ids_identity,
-                            capture.as_ref(),
-                            &req.spec,
-                            req.target,
-                        )
-                        .unwrap_or_else(|e| {
-                            // The merge failed before anything published:
-                            // unfreeze (the captured state lives only in
-                            // the buffer) and fall back to a pure layout
-                            // rewrite of the current base.
-                            let msg = format!(
-                                "fold build for layout {} failed: {e} (deltas kept in memory)",
-                                req.target
-                            );
-                            eprintln!("oreo-reorg: {msg}");
-                            {
-                                let mut ing = shared2.ingest.lock().expect("ingest poisoned");
-                                ing.buffer.abort_fold();
-                                ing.errors.push(msg);
-                            }
-                            shared2.metrics.tiered_errors.inc();
-                            capture = None;
-                            build_fold_snapshot(
-                                &base,
-                                &base_ids,
-                                ids_identity,
-                                None,
-                                &req.spec,
-                                req.target,
-                            )
-                            .expect("base-only build is infallible")
-                        });
-                        let FoldBuild {
-                            mut snapshot,
-                            merged,
-                        } = built;
-                        let build = build_start.elapsed();
-                        if shared2.sink.enabled() {
-                            shared2.sink.emit(EventKind::ReorgPhase {
-                                target: req.target,
-                                phase: ReorgPhaseKind::Build,
-                                micros: as_micros_u64(build),
-                                bytes: 0,
-                            });
-                        }
-                        let rows = snapshot.total_rows();
-                        let partitions = snapshot.num_partitions();
-                        let snapshot_bytes = snapshot.total_bytes();
-                        // The snapshot's metadata *is* the target's exact
-                        // model; hand it to the core so the next settle()
-                        // does not rebuild it under the serving mutex.
-                        let exact = snapshot.model();
-                        // Disk tier: persist the aside rewrite (write +
-                        // fsync + atomic rename) *before* the pointer swap
-                        // — the rename is the durability point. A disk
-                        // failure (ENOSPC, unwritable root, …) must not
-                        // kill the serving plane: degrade to a memory-only
-                        // publish, record the error, and keep going — the
-                        // window then carries bytes_written = 0 and is
-                        // excluded from the empirical α.
-                        let (folded_mark, next_row_mark) = match capture.as_ref() {
-                            Some(cap) => (cap.watermark, cap.next_row),
-                            None => (prev_folded, prev_next),
-                        };
-                        let mut persist_ok = true;
-                        let (write, bytes_written, generation) = match &shared2.tiered {
-                            Some(store) => match store.publish_with_fold(
-                                &mut snapshot,
-                                folded_mark,
-                                next_row_mark,
-                            ) {
-                                Ok(receipt) => {
-                                    (receipt.wall, receipt.bytes_written, receipt.generation)
-                                }
-                                Err(e) => {
-                                    persist_ok = false;
-                                    let msg = format!(
-                                        "tiered publish of layout {} failed: {e}",
-                                        req.target
-                                    );
-                                    eprintln!("oreo-reorg: {msg} (serving from memory)");
-                                    tiered_errors.push(msg);
-                                    shared2.metrics.tiered_errors.inc();
-                                    if shared2.sink.enabled() {
-                                        shared2
-                                            .sink
-                                            .emit(EventKind::TieredDegraded { target: req.target });
-                                    }
-                                    (Duration::ZERO, 0, 0)
-                                }
-                            },
-                            None => (Duration::ZERO, 0, 0),
-                        };
-                        if bytes_written > 0 {
-                            shared2.metrics.persisted.inc();
-                            shared2
-                                .metrics
-                                .persist_ns
-                                .add((build + write).as_nanos().min(u128::from(u64::MAX)) as u64);
-                            shared2.metrics.reorg_bytes_written.add(bytes_written);
-                            if shared2.sink.enabled() {
-                                shared2.sink.emit(EventKind::ReorgPhase {
-                                    target: req.target,
-                                    phase: ReorgPhaseKind::Write,
-                                    micros: as_micros_u64(write),
-                                    bytes: bytes_written,
-                                });
-                            }
-                        }
-                        let publish_start = Instant::now();
-                        let mut folded_rows = 0u64;
-                        {
-                            let mut ing = shared2.ingest.lock().expect("ingest poisoned");
-                            if let (Some(cap), Some((table, ids))) =
-                                (capture.as_ref(), merged.as_ref())
-                            {
-                                ing.buffer.complete_fold();
-                                ing.base = Arc::clone(table);
-                                ing.base_ids = Arc::clone(ids);
-                                ing.ids_identity = ids_identity && cap.tombstones.is_empty();
-                                ing.folded = cap.watermark;
-                                folded_rows = cap.delta_rows;
-                                // The folded base is durable (or this is
-                                // memory serving): WAL records at or below
-                                // the watermark are dead weight — GC them.
-                                // After a failed persist the log must keep
-                                // them; replay is idempotent, so the
-                                // truncation just waits for the next
-                                // successful fold.
-                                if persist_ok {
-                                    let mut trunc_err = None;
-                                    if let Some(wal) = ing.wal.as_mut() {
-                                        if let Err(e) = wal.truncate_through(cap.watermark) {
-                                            trunc_err = Some(format!(
-                                                "wal truncation through {} failed: {e} \
-                                                 (log kept; replay is idempotent)",
-                                                cap.watermark
-                                            ));
-                                        }
-                                    }
-                                    if let Some(msg) = trunc_err {
-                                        eprintln!("oreo-reorg: {msg}");
-                                        ing.errors.push(msg);
-                                        shared2.metrics.tiered_errors.inc();
-                                    }
-                                    let wal_bytes = ing.wal.as_ref().map(Wal::bytes);
-                                    if let Some(b) = wal_bytes {
-                                        ing.wal_bytes = b;
-                                        shared2.metrics.wal_bytes.set(b as f64);
-                                    }
-                                }
-                            }
-                            // Re-attach the live overlay (batches ingested
-                            // during the build) under the same lock every
-                            // overlay publish takes.
-                            snapshot.set_delta(ing.buffer.overlay());
-                            shared2
-                                .metrics
-                                .delta_rows
-                                .set(ing.buffer.delta_rows() as f64);
-                            shared2.cell.publish(snapshot);
-                        }
-                        if folded_rows > 0 {
-                            shared2.metrics.folds.inc();
-                            shared2.metrics.folded_rows.add(folded_rows);
-                        }
-                        if shared2.sink.enabled() {
-                            shared2.sink.emit(EventKind::ReorgPhase {
-                                target: req.target,
-                                phase: ReorgPhaseKind::Publish,
-                                micros: as_micros_u64(publish_start.elapsed()),
-                                bytes: 0,
-                            });
-                        }
-                        // The superseded generation's pages will never be
-                        // requested again under a new snapshot (keys carry
-                        // the generation number); drop them eagerly so
-                        // retired layouts stop occupying pool capacity.
-                        if let (Some(pool), true) = (&shared2.pool, generation > 1) {
-                            let invalidate_start = Instant::now();
-                            pool.invalidate_generation(generation - 1);
-                            if shared2.sink.enabled() {
-                                shared2.sink.emit(EventKind::ReorgPhase {
-                                    target: req.target,
-                                    phase: ReorgPhaseKind::Invalidate,
-                                    micros: as_micros_u64(invalidate_start.elapsed()),
-                                    bytes: 0,
-                                });
-                            }
-                        }
-                        shared2.snapshots_published.fetch_add(1, Ordering::Relaxed);
-                        shared2.metrics.snapshots_published.inc();
-                        shared2.metrics.table_bytes.set(snapshot_bytes as f64);
-                        let measured = shared2.config.delay == DelaySemantics::Measured;
-                        if measured || merged.is_some() {
-                            let mut core = shared2.core.lock().expect("core poisoned");
-                            if let Some((table, _)) = merged {
-                                // Deltas folded in: the core's exact models
-                                // must rebuild against the merged base, and
-                                // the merge work beyond the α-billed base
-                                // rewrite is charged as compaction.
-                                core.set_table(table);
-                                let live = core.table().num_rows() as u64;
-                                if folded_rows > 0 && live > 0 {
-                                    let alpha = core.config().alpha;
-                                    core.charge_compaction(
-                                        alpha * folded_rows as f64 / live as f64,
-                                        folded_rows,
-                                    );
-                                }
-                            }
-                            if measured {
-                                core.complete_reorg_with(req.target, Some(exact));
-                            }
-                        }
-                        let queries_during = shared2
-                            .observed
-                            .load(Ordering::Relaxed)
-                            .saturating_sub(req.observed_at_decision);
-                        shared2.metrics.reorg_windows.inc();
-                        shared2
-                            .metrics
-                            .reorg_build_ns
-                            .add(build.as_nanos().min(u128::from(u64::MAX)) as u64);
-                        shared2.metrics.reorg_delta_queries.add(queries_during);
-                        windows.push(ReorgWindow {
-                            target: req.target,
-                            decided_seq: req.decided_seq,
-                            wall: req.decided_at.elapsed(),
-                            build,
-                            write,
-                            bytes_written,
-                            generation,
-                            queries_during,
-                            rows,
-                            partitions,
-                            folded_rows,
-                        });
-                    }
-                    (windows, tiered_errors)
-                })
+                .spawn(move || scheduler_loop(&shared2, &rx))
                 .expect("spawn reorganizer");
             (Some(tx), Some(handle))
         } else {
@@ -1109,10 +1113,15 @@ impl Engine {
         // last worker does.
         drop(reorg_tx);
 
-        shared
-            .metrics
-            .table_bytes
-            .set(shared.cell.pin().total_bytes() as f64);
+        let mut fleet_bytes = 0u64;
+        for ten in &shared.tenants {
+            let bytes = ten.cell.pin().total_bytes();
+            fleet_bytes += bytes;
+            if let Some(tm) = &ten.metrics {
+                tm.table_bytes.set(bytes as f64);
+            }
+        }
+        shared.metrics.table_bytes.set(fleet_bytes as f64);
 
         let exporter_stop = Arc::new((Mutex::new(false), Condvar::new()));
         let exporter = shared.config.obs.metrics_json.clone().map(|path| {
@@ -1145,24 +1154,40 @@ impl Engine {
         self.shared.journal.as_ref()
     }
 
-    /// Enqueue a query (fire-and-forget; outcomes land in the stats).
+    /// Enqueue a query for tenant 0 (fire-and-forget; outcomes land in the
+    /// stats). The single-tenant API.
     pub fn submit(&self, query: Query) {
-        self.enqueue(query, None);
+        self.submit_to(0, query);
     }
 
-    /// Enqueue a query and get a handle to its outcome.
+    /// Enqueue a query for tenant 0 and get a handle to its outcome.
     pub fn submit_tracked(&self, query: Query) -> ResultHandle {
+        self.submit_tracked_to(0, query)
+    }
+
+    /// Enqueue a query for the tenant at `tenant` (its index in the
+    /// [`Engine::start_tenants`] spec list).
+    pub fn submit_to(&self, tenant: usize, query: Query) {
+        self.enqueue(tenant, query, None);
+    }
+
+    /// Enqueue a query for the tenant at `tenant` and get a handle to its
+    /// outcome.
+    pub fn submit_tracked_to(&self, tenant: usize, query: Query) -> ResultHandle {
         let slot = Arc::new(Slot {
             value: Mutex::new(None),
             ready: Condvar::new(),
         });
-        self.enqueue(query, Some(Arc::clone(&slot)));
+        self.enqueue(tenant, query, Some(Arc::clone(&slot)));
         ResultHandle { slot }
     }
 
-    fn enqueue(&self, query: Query, slot: Option<Arc<Slot>>) {
+    fn enqueue(&self, tenant: usize, query: Query, slot: Option<Arc<Slot>>) {
+        let ten = &self.shared.tenants[tenant];
         let submit_id = self.shared.submitted.fetch_add(1, Ordering::Relaxed);
-        self.shared.metrics.queries_submitted.inc();
+        for m in metric_views(&self.shared, ten) {
+            m.queries_submitted.inc();
+        }
         if self.shared.sink.enabled() {
             self.shared
                 .sink
@@ -1172,6 +1197,7 @@ impl Engine {
             query,
             slot,
             submit_id,
+            tenant: tenant as u32,
         });
     }
 
@@ -1187,8 +1213,14 @@ impl Engine {
     /// the write path has the same degradation contract as tiered
     /// publishes. Validation errors reject the whole batch atomically.
     pub fn ingest(&self, ops: &[IngestOp]) -> oreo_storage::Result<ApplyReceipt> {
+        self.ingest_to(0, ops)
+    }
+
+    /// [`Engine::ingest`] addressed to the tenant at `tenant`.
+    pub fn ingest_to(&self, tenant: usize, ops: &[IngestOp]) -> oreo_storage::Result<ApplyReceipt> {
         let shared = &self.shared;
-        let mut ing = shared.ingest.lock().expect("ingest poisoned");
+        let ten = &shared.tenants[tenant];
+        let mut ing = ten.ingest.lock().expect("ingest poisoned");
         // Validate before WAL-logging: the log must never hold a record
         // replay would reject.
         ing.buffer.validate(ops)?;
@@ -1205,12 +1237,16 @@ impl Engine {
             eprintln!("oreo-ingest: {msg}");
             ing.errors.push(msg);
             ing.wal = None;
-            shared.metrics.tiered_errors.inc();
+            for m in metric_views(shared, ten) {
+                m.tiered_errors.inc();
+            }
         } else {
             let wal_bytes = ing.wal.as_ref().map(Wal::bytes);
             if let Some(b) = wal_bytes {
                 ing.wal_bytes = b;
-                shared.metrics.wal_bytes.set(b as f64);
+                for m in metric_views(shared, ten) {
+                    m.wal_bytes.set(b as f64);
+                }
             }
         }
         let receipt = ing.buffer.apply(ops)?;
@@ -1218,26 +1254,28 @@ impl Engine {
         ing.rows_appended += receipt.appended;
         ing.rows_deleted += receipt.deleted;
         ing.rows_written += receipt.rows_written;
-        let m = &shared.metrics;
-        m.ingest_batches.inc();
-        m.ingest_rows.add(receipt.appended);
-        m.ingest_deletes.add(receipt.deleted);
-        m.ingest_rows_written.add(receipt.rows_written);
-        m.delta_rows.set(ing.buffer.delta_rows() as f64);
+        for m in metric_views(shared, ten) {
+            m.ingest_batches.inc();
+            m.ingest_rows.add(receipt.appended);
+            m.ingest_deletes.add(receipt.deleted);
+            m.ingest_rows_written.add(receipt.rows_written);
+            m.delta_rows.set(ing.buffer.delta_rows() as f64);
+        }
         // Publish the new overlay: readers pin snapshots, so clone the
         // current one and re-attach. Still under the ingest lock — every
         // overlay-bearing publish is — so a racing fold can't lose it.
-        let mut snapshot = shared.cell.pin().as_ref().clone();
+        let mut snapshot = ten.cell.pin().as_ref().clone();
         snapshot.set_delta(ing.buffer.overlay());
-        shared.cell.publish(snapshot);
+        ten.cell.publish(snapshot);
         // Charge the merge work (lock order ingest → core): rewriting
         // `rows_written` of the table's live rows is that fraction of a
         // full rewrite, which costs α.
         if receipt.rows_written > 0 {
             let live = ing.base.num_rows() as u64 + ing.buffer.delta_rows();
             let mut core = shared.core.lock().expect("core poisoned");
-            let alpha = core.config().alpha;
-            core.charge_compaction(
+            let oreo = core.instance_mut(&ten.name).expect("tenant registered");
+            let alpha = oreo.config().alpha;
+            oreo.charge_compaction(
                 alpha * receipt.rows_written as f64 / live.max(1) as f64,
                 receipt.rows_written,
             );
@@ -1245,10 +1283,15 @@ impl Engine {
         Ok(receipt)
     }
 
-    /// Rows a full scan of the served snapshot returns right now: base
-    /// rows plus delta rows minus tombstones.
+    /// Rows a full scan of tenant 0's served snapshot returns right now:
+    /// base rows plus delta rows minus tombstones.
     pub fn live_rows(&self) -> u64 {
-        self.shared.cell.pin().live_rows()
+        self.shared.tenants[0].cell.pin().live_rows()
+    }
+
+    /// [`Engine::live_rows`] for the tenant at `tenant`.
+    pub fn live_rows_of(&self, tenant: usize) -> u64 {
+        self.shared.tenants[tenant].cell.pin().live_rows()
     }
 
     /// Block until every submitted query has completed.
@@ -1266,35 +1309,72 @@ impl Engine {
         }
     }
 
-    /// Pin the currently served snapshot.
+    /// Pin tenant 0's currently served snapshot.
     pub fn pin(&self) -> Arc<TableSnapshot> {
-        self.shared.cell.pin()
+        self.shared.tenants[0].cell.pin()
     }
 
-    /// Epoch of the currently served snapshot.
+    /// Pin the currently served snapshot of the tenant at `tenant`.
+    pub fn pin_of(&self, tenant: usize) -> Arc<TableSnapshot> {
+        self.shared.tenants[tenant].cell.pin()
+    }
+
+    /// Epoch of tenant 0's currently served snapshot.
     pub fn epoch(&self) -> u64 {
-        self.shared.cell.epoch()
+        self.shared.tenants[0].cell.epoch()
     }
 
-    /// The disk tier backing the snapshots, in [`ServeMode::Tiered`] runs.
-    pub fn tiered(&self) -> Option<&TieredStore> {
-        self.shared.tiered.as_ref()
+    /// Number of tenants this engine serves.
+    pub fn num_tenants(&self) -> usize {
+        self.shared.tenants.len()
     }
 
-    /// The buffer pool tiered scans read through, in [`ServeMode::Tiered`]
+    /// The disk tier backing tenant 0's snapshots, in [`ServeMode::Tiered`]
     /// runs.
+    pub fn tiered(&self) -> Option<&TieredStore> {
+        self.shared.tenants[0].tiered.as_ref()
+    }
+
+    /// The disk tier of the tenant at `tenant`, in [`ServeMode::Tiered`]
+    /// runs.
+    pub fn tiered_of(&self, tenant: usize) -> Option<&TieredStore> {
+        self.shared.tenants[tenant].tiered.as_ref()
+    }
+
+    /// The shared buffer pool tiered scans read through, in
+    /// [`ServeMode::Tiered`] runs.
     pub fn pool(&self) -> Option<&Arc<BufferPool>> {
         self.shared.pool.as_ref()
     }
 
-    /// Snapshot of the bookkeeping ledger.
+    /// Snapshot of the bookkeeping ledger, aggregated across tenants (for
+    /// a single-tenant engine this *is* the tenant's ledger).
     pub fn ledger(&self) -> CostLedger {
-        *self.shared.core.lock().expect("core poisoned").ledger()
+        self.shared
+            .core
+            .lock()
+            .expect("core poisoned")
+            .total_ledger()
+    }
+
+    /// Snapshot of one tenant's own ledger.
+    pub fn ledger_of(&self, tenant: usize) -> CostLedger {
+        let core = self.shared.core.lock().expect("core poisoned");
+        *core
+            .instance(&self.shared.tenants[tenant].name)
+            .expect("tenant registered")
+            .ledger()
     }
 
     /// Queries fully served so far.
     pub fn completed(&self) -> u64 {
         self.shared.completed.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots published by the reorganization scheduler so far, across
+    /// all tenants (a quiesce signal for tests and parity harnesses).
+    pub fn snapshots_published(&self) -> u64 {
+        self.shared.snapshots_published.load(Ordering::Relaxed)
     }
 
     /// Stop accepting work, wait for the pipeline (workers + reorganizer)
@@ -1320,25 +1400,24 @@ impl Engine {
             totals.rows_short_circuited += stats.rows_short_circuited;
             totals.delta_bytes_scanned += stats.delta_bytes_scanned;
         }
-        let (windows, mut tiered_errors) = match self.reorg.take() {
+        let (windows, mut tiered_errors, reorg_budget_spent) = match self.reorg.take() {
             Some(handle) => handle.join().expect("reorganizer panicked"),
-            None => (Vec::new(), Vec::new()),
+            None => (Vec::new(), Vec::new(), 0.0),
         };
-        // Fold the write path's degradations and counters in (lock order:
-        // ingest before core).
-        let ingest_summary = {
-            let ing = self.shared.ingest.lock().expect("ingest poisoned");
+        // Fold every tenant's write-path degradations and counters in
+        // (lock order: ingest before core).
+        let mut ingest_summary = (0u64, 0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+        for ten in &self.shared.tenants {
+            let ing = ten.ingest.lock().expect("ingest poisoned");
             tiered_errors.extend(ing.errors.iter().cloned());
-            (
-                ing.batches,
-                ing.rows_appended,
-                ing.rows_deleted,
-                ing.rows_written,
-                ing.buffer.delta_rows(),
-                ing.buffer.tombstone_count() as u64,
-                ing.wal_bytes,
-            )
-        };
+            ingest_summary.0 += ing.batches;
+            ingest_summary.1 += ing.rows_appended;
+            ingest_summary.2 += ing.rows_deleted;
+            ingest_summary.3 += ing.rows_written;
+            ingest_summary.4 += ing.buffer.delta_rows();
+            ingest_summary.5 += ing.buffer.tombstone_count() as u64;
+            ingest_summary.6 += ing.wal_bytes;
+        }
         // Stop the exporter last among the threads so its final snapshot
         // sees the fully drained counters.
         if let Some(handle) = self.exporter.take() {
@@ -1359,9 +1438,46 @@ impl Engine {
             None => (Vec::new(), 0),
         };
         let elapsed = self.started.elapsed();
-        let table_bytes = self.shared.cell.pin().total_bytes();
+        let table_bytes = self
+            .shared
+            .tenants
+            .iter()
+            .map(|t| t.cell.pin().total_bytes())
+            .sum();
         let core = self.shared.core.lock().expect("core poisoned");
         let queries = self.shared.completed.load(Ordering::Relaxed);
+        let tenants: Vec<TenantStats> = self
+            .shared
+            .tenants
+            .iter()
+            .map(|ten| {
+                let oreo = core.instance(&ten.name).expect("tenant registered");
+                let latency_hist = ten
+                    .metrics
+                    .as_ref()
+                    .map(|m| &m.latency_us)
+                    .unwrap_or(&self.shared.metrics.latency_us);
+                TenantStats {
+                    name: ten.name.clone(),
+                    queries: ten.completed.load(Ordering::Relaxed),
+                    latency: LatencyStats::from_histogram(latency_hist),
+                    ledger: *oreo.ledger(),
+                    switches: oreo.switches(),
+                    snapshots_published: ten.snapshots_published.load(Ordering::Relaxed),
+                    reorg_deferrals: ten.deferrals.load(Ordering::Relaxed),
+                    max_deferred_queries: ten.max_deferred_queries.load(Ordering::Relaxed),
+                    io_cold_bytes: ten.io_cold_bytes.load(Ordering::Relaxed),
+                    io_cached_bytes: ten.io_cached_bytes.load(Ordering::Relaxed),
+                    final_physical: oreo.physical_layout(),
+                    final_logical: oreo.logical_layout(),
+                }
+            })
+            .collect();
+        // Single-tenant compatibility: the engine-level layout/state-space
+        // readings are tenant 0's.
+        let first = core
+            .instance(&self.shared.tenants[0].name)
+            .expect("tenant registered");
         EngineStats {
             workers: self.shared.config.workers.max(1),
             queries,
@@ -1372,11 +1488,12 @@ impl Engine {
                 0.0
             },
             latency: LatencyStats::from_histogram(&self.shared.metrics.latency_us),
-            ledger: *core.ledger(),
-            switches: core.switches(),
+            ledger: core.total_ledger(),
+            switches: tenants.iter().map(|t| t.switches).sum(),
             snapshots_published: self.shared.snapshots_published.load(Ordering::Relaxed),
             windows,
             tiered_errors,
+            reorg_budget_spent,
             rows_scanned: totals.rows_scanned,
             rows_matched: totals.rows_matched,
             bytes_scanned: totals.bytes_scanned,
@@ -1402,10 +1519,11 @@ impl Engine {
             wal_bytes: ingest_summary.6,
             table_bytes,
             mode: self.shared.config.mode.clone(),
-            final_physical: core.physical_layout(),
-            final_logical: core.logical_layout(),
-            num_states: core.num_states(),
-            max_states_seen: core.max_states_seen(),
+            final_physical: first.physical_layout(),
+            final_logical: first.logical_layout(),
+            num_states: first.num_states(),
+            max_states_seen: first.max_states_seen(),
+            tenants,
             events,
             events_dropped,
         }
@@ -1509,10 +1627,11 @@ fn worker_loop(
 ) -> WorkerStats {
     let mut stats = WorkerStats::default();
     while let Some(batch) = shared.queue.pop_batch(home, shared.config.batch) {
-        // Phase 1 — scans against a pinned snapshot, no locks held. In
-        // tiered serving the scan reads partition pages through the buffer
-        // pool (real disk I/O on misses); a pooled scan that fails degrades
-        // to the in-memory snapshot and is excluded from α̂ calibration.
+        // Phase 1 — scans against the job's tenant's pinned snapshot, no
+        // locks held. In tiered serving the scan reads partition pages
+        // through the shared buffer pool (real disk I/O on misses); a
+        // pooled scan that fails degrades to the in-memory snapshot and is
+        // excluded from α̂ calibration.
         let mut scanned = Vec::with_capacity(batch.len());
         for job in batch {
             let picked = Instant::now();
@@ -1521,13 +1640,16 @@ fn worker_loop(
                     submit_id: job.submit_id,
                 });
             }
-            let snapshot = shared.cell.pin();
+            let ten = &shared.tenants[job.tenant as usize];
+            let snapshot = ten.cell.pin();
             let scan = match (&shared.pool, snapshot.generation()) {
                 (Some(pool), Some(_)) => match snapshot.scan_pooled(&job.query.predicate, pool) {
                     Ok(scan) => scan,
                     Err(e) => {
                         stats.scan_io_errors += 1;
-                        shared.metrics.scan_io_errors.inc();
+                        for m in metric_views(shared, ten) {
+                            m.scan_io_errors.inc();
+                        }
                         // A persistent fault (unreadable file, bad disk)
                         // would otherwise print once per queued query;
                         // the full count lands in scan_io_errors.
@@ -1554,17 +1676,22 @@ fn worker_loop(
             stats.chunks_evaluated += scan.chunks_evaluated;
             stats.rows_short_circuited += scan.rows_short_circuited;
             stats.delta_bytes_scanned += scan.delta_bytes_scanned;
-            let m = &shared.metrics;
-            m.rows_scanned.add(scan.rows_read);
-            m.rows_matched.add(scan.matches.len() as u64);
-            m.bytes_scanned.add(scan.bytes_scanned);
-            m.scan_ns.add(scan_ns);
-            m.io_cold_bytes.add(scan.io_cold_bytes);
-            m.io_cached_bytes.add(scan.io_cached_bytes);
-            m.chunks_evaluated.add(scan.chunks_evaluated);
-            m.rows_short_circuited.add(scan.rows_short_circuited);
-            m.delta_bytes_scanned.add(scan.delta_bytes_scanned);
-            m.scan_us.record(as_micros_u64(scan_wall));
+            ten.io_cold_bytes
+                .fetch_add(scan.io_cold_bytes, Ordering::Relaxed);
+            ten.io_cached_bytes
+                .fetch_add(scan.io_cached_bytes, Ordering::Relaxed);
+            for m in metric_views(shared, ten) {
+                m.rows_scanned.add(scan.rows_read);
+                m.rows_matched.add(scan.matches.len() as u64);
+                m.bytes_scanned.add(scan.bytes_scanned);
+                m.scan_ns.add(scan_ns);
+                m.io_cold_bytes.add(scan.io_cold_bytes);
+                m.io_cached_bytes.add(scan.io_cached_bytes);
+                m.chunks_evaluated.add(scan.chunks_evaluated);
+                m.rows_short_circuited.add(scan.rows_short_circuited);
+                m.delta_bytes_scanned.add(scan.delta_bytes_scanned);
+                m.scan_us.record(as_micros_u64(scan_wall));
+            }
             // Temperature classification: a scan is "cold" when the
             // majority of its page bytes came from disk. Memory scans
             // (no pooled I/O at all) are warm by definition.
@@ -1572,14 +1699,18 @@ fn worker_loop(
                 stats.cold_scans += 1;
                 stats.cold_scan_bytes += scan.bytes_scanned;
                 stats.cold_scan_seconds += elapsed;
-                m.cold_scans.inc();
-                m.cold_scan_bytes.add(scan.bytes_scanned);
-                m.cold_scan_ns.add(scan_ns);
+                for m in metric_views(shared, ten) {
+                    m.cold_scans.inc();
+                    m.cold_scan_bytes.add(scan.bytes_scanned);
+                    m.cold_scan_ns.add(scan_ns);
+                }
             } else {
                 stats.warm_scan_bytes += scan.bytes_scanned;
                 stats.warm_scan_seconds += elapsed;
-                m.warm_scan_bytes.add(scan.bytes_scanned);
-                m.warm_scan_ns.add(scan_ns);
+                for m in metric_views(shared, ten) {
+                    m.warm_scan_bytes.add(scan.bytes_scanned);
+                    m.warm_scan_ns.add(scan_ns);
+                }
             }
             if shared.sink.enabled() {
                 shared.sink.emit(EventKind::QueryScanned {
@@ -1593,31 +1724,50 @@ fn worker_loop(
         }
 
         // Phase 2 — bookkeeping for the whole batch under one core lock.
+        // Each query flows through its own tenant's OREO instance, so the
+        // per-tenant decision stream is exactly the single-tenant one.
         let mut fulfilled = Vec::with_capacity(scanned.len());
         {
             let mut core = shared.core.lock().expect("core poisoned");
+            let mut touched = vec![false; shared.tenants.len()];
             for (job, picked, scan, served_layout, served_epoch) in scanned {
+                let tenant_index = job.tenant as usize;
+                let ten = &shared.tenants[tenant_index];
+                touched[tenant_index] = true;
+                let oreo = core.instance_mut(&ten.name).expect("tenant registered");
                 let report = match shared.config.delay {
-                    DelaySemantics::Configured => core.observe(&job.query),
+                    DelaySemantics::Configured => oreo.observe(&job.query),
                     DelaySemantics::Measured => {
-                        let mut r = core.decide(&job.query);
-                        core.settle(&job.query, &mut r);
+                        let mut r = oreo.decide(&job.query);
+                        oreo.settle(&job.query, &mut r);
                         r
                     }
                 };
                 let observed_now = shared.observed.fetch_add(1, Ordering::Relaxed) + 1;
+                let tenant_observed_now = ten.observed.fetch_add(1, Ordering::Relaxed) + 1;
+                // Feed the budget scheduler's admission denominator, in
+                // micro-cost-units (integer atomics; costs are ≪ 1).
+                shared
+                    .query_cost_micros
+                    .fetch_add((report.service_cost * 1e6) as u64, Ordering::Relaxed);
                 if let Some(target) = report.reorg_decision {
-                    shared.metrics.switches.inc();
+                    for m in metric_views(shared, ten) {
+                        m.switches.inc();
+                    }
                     if let Some(tx) = &reorg_tx {
-                        let spec = core.spec(target).expect("decided target has a spec");
+                        let spec = oreo.spec(target).expect("decided target has a spec");
+                        let charge = oreo.config().alpha;
                         // Send while holding the core lock so the build
                         // queue and `Oreo::pending` stay in the same order.
                         let _ = tx.send(ReorgRequest {
+                            tenant: job.tenant,
                             target,
                             spec,
+                            charge,
                             decided_seq: report.seq,
                             decided_at: Instant::now(),
                             observed_at_decision: observed_now,
+                            tenant_observed_at_decision: tenant_observed_now,
                         });
                     }
                 }
@@ -1625,6 +1775,7 @@ fn worker_loop(
                     picked,
                     job.slot,
                     job.submit_id,
+                    tenant_index,
                     QueryOutcome {
                         seq: report.seq,
                         scan,
@@ -1637,22 +1788,48 @@ fn worker_loop(
                 ));
             }
             // Batch-granular gauges, read while the lock already serializes
-            // the core: the live ledger and state-space views.
+            // the core: the live ledger and state-space views, aggregated
+            // across tenants plus the namespaced view of each tenant this
+            // batch touched.
             let m = &shared.metrics;
-            let ledger = core.ledger();
+            let ledger = core.total_ledger();
             m.ledger_query_cost.set(ledger.query_cost);
             m.ledger_reorg_cost.set(ledger.reorg_cost);
             m.ledger_total.set(ledger.total());
-            m.num_states.set(core.num_states() as f64);
-            m.max_states_seen.set(core.max_states_seen() as f64);
+            let mut num_states = 0usize;
+            let mut max_states = 0usize;
+            for ten in &shared.tenants {
+                let oreo = core.instance(&ten.name).expect("tenant registered");
+                num_states += oreo.num_states();
+                max_states += oreo.max_states_seen();
+            }
+            m.num_states.set(num_states as f64);
+            m.max_states_seen.set(max_states as f64);
+            for (tenant_index, ten) in shared.tenants.iter().enumerate() {
+                if !touched[tenant_index] {
+                    continue;
+                }
+                if let Some(tm) = &ten.metrics {
+                    let oreo = core.instance(&ten.name).expect("tenant registered");
+                    let ledger = oreo.ledger();
+                    tm.ledger_query_cost.set(ledger.query_cost);
+                    tm.ledger_reorg_cost.set(ledger.reorg_cost);
+                    tm.ledger_total.set(ledger.total());
+                    tm.num_states.set(oreo.num_states() as f64);
+                    tm.max_states_seen.set(oreo.max_states_seen() as f64);
+                }
+            }
         }
 
         // Phase 3 — fulfill results and wake drainers.
-        for (picked, slot, submit_id, mut outcome) in fulfilled {
+        for (picked, slot, submit_id, tenant_index, mut outcome) in fulfilled {
+            let ten = &shared.tenants[tenant_index];
             outcome.latency = picked.elapsed();
             let latency_us = as_micros_u64(outcome.latency);
-            shared.metrics.latency_us.record(latency_us);
-            shared.metrics.queries_completed.inc();
+            for m in metric_views(shared, ten) {
+                m.latency_us.record(latency_us);
+                m.queries_completed.inc();
+            }
             if shared.sink.enabled() {
                 shared.sink.emit(EventKind::QueryCompleted {
                     submit_id,
@@ -1666,9 +1843,392 @@ fn worker_loop(
                 drop(v);
                 slot.ready.notify_all();
             }
+            ten.completed.fetch_add(1, Ordering::Relaxed);
             shared.completed.fetch_add(1, Ordering::Release);
         }
         shared.drain_cv.notify_all();
     }
     stats
+}
+
+/// The reorganization scheduler, run on the `oreo-reorg` thread: switch
+/// decisions queue per tenant (FIFO within a tenant — the order
+/// `Oreo::pending` expects) and the oldest *admissible* request executes
+/// next. Without a budget every request is admissible, so the
+/// oldest-arrival pick degenerates to the exact global FIFO the single
+/// reorganizer ran — ledger-parity runs are untouched.
+///
+/// Deferral never touches a tenant's D-UMTS state: the switch was decided,
+/// its α is already in the tenant's ledger, and the logical switch keeps
+/// its configured/measured semantics — the scheduler only delays the
+/// *physical* build + publish. A request is force-admitted once
+/// [`ReorgBudget::max_defer_queries`] bookkeeping steps have passed since
+/// its decision (starvation freedom), and once the channel disconnects
+/// (all workers exited) every queued request is flushed regardless of
+/// budget, so measured-Δ runs always drain `Oreo::pending`.
+///
+/// Returns the completed windows, surviving tiered errors, and the total α
+/// billed to the global budget ledger.
+fn scheduler_loop(shared: &Shared, rx: &Receiver<ReorgRequest>) -> SchedulerOutcome {
+    let mut windows = Vec::new();
+    let mut tiered_errors = Vec::new();
+    let budget = shared.config.budget;
+    let mut queues: Vec<VecDeque<(u64, ReorgRequest)>> =
+        (0..shared.tenants.len()).map(|_| VecDeque::new()).collect();
+    // Whether the current head of each queue has been counted as deferred.
+    let mut deferral_counted = vec![false; shared.tenants.len()];
+    let mut arrivals = 0u64;
+    let mut spent = 0.0f64;
+    let mut disconnected = false;
+    loop {
+        if queues.iter().all(|q| q.is_empty()) {
+            if disconnected {
+                break;
+            }
+            match rx.recv() {
+                Ok(req) => {
+                    queues[req.tenant as usize].push_back((arrivals, req));
+                    arrivals += 1;
+                }
+                Err(_) => {
+                    disconnected = true;
+                    continue;
+                }
+            }
+        }
+        while let Ok(req) = rx.try_recv() {
+            queues[req.tenant as usize].push_back((arrivals, req));
+            arrivals += 1;
+        }
+        let observed = shared.observed.load(Ordering::Relaxed);
+        let query_cost = shared.query_cost_micros.load(Ordering::Relaxed) as f64 / 1e6;
+        let mut pick: Option<(u64, usize)> = None;
+        for (tenant_index, queue) in queues.iter().enumerate() {
+            if let Some((arrival, req)) = queue.front() {
+                let admissible = disconnected
+                    || match budget {
+                        None => true,
+                        Some(b) => {
+                            spent + req.charge <= b.fraction * query_cost + b.burst
+                                || observed.saturating_sub(req.observed_at_decision)
+                                    >= b.max_defer_queries
+                        }
+                    };
+                if admissible && pick.is_none_or(|(best, _)| *arrival < best) {
+                    pick = Some((*arrival, tenant_index));
+                }
+            }
+        }
+        let Some((_, tenant_index)) = pick else {
+            // Every queued switch is over budget: count first-time
+            // deferrals, then wait for more query cost to accrue (or for
+            // new requests / shutdown).
+            for (tenant_index, queue) in queues.iter().enumerate() {
+                if !queue.is_empty() && !deferral_counted[tenant_index] {
+                    deferral_counted[tenant_index] = true;
+                    shared.tenants[tenant_index]
+                        .deferrals
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            match rx.recv_timeout(Duration::from_millis(1)) {
+                Ok(req) => {
+                    queues[req.tenant as usize].push_back((arrivals, req));
+                    arrivals += 1;
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => disconnected = true,
+            }
+            continue;
+        };
+        let (_, req) = queues[tenant_index]
+            .pop_front()
+            .expect("picked head exists");
+        deferral_counted[tenant_index] = false;
+        // Bill the admitted switch into the global budget ledger; the
+        // tenant's own ledger was already charged at decision time.
+        spent += req.charge;
+        let deferred_queries = shared
+            .observed
+            .load(Ordering::Relaxed)
+            .saturating_sub(req.observed_at_decision);
+        shared.tenants[tenant_index]
+            .max_deferred_queries
+            .fetch_max(deferred_queries, Ordering::Relaxed);
+        windows.push(execute_reorg(
+            shared,
+            tenant_index,
+            req,
+            deferred_queries,
+            &mut tiered_errors,
+        ));
+    }
+    (windows, tiered_errors, spent)
+}
+
+/// Execute one admitted reorganization for the tenant at `tenant_index`:
+/// freeze the tenant's delta prefix (the reorganization is also the
+/// compaction), build the target snapshot aside, persist it to the
+/// tenant's disk tier, publish, invalidate the superseded generation's
+/// pages in the shared pool, and land the logical switch in the tenant's
+/// OREO instance. Runs on the scheduler thread; readers never block.
+fn execute_reorg(
+    shared: &Shared,
+    tenant_index: usize,
+    req: ReorgRequest,
+    deferred_queries: u64,
+    tiered_errors: &mut Vec<String>,
+) -> ReorgWindow {
+    let ten = &shared.tenants[tenant_index];
+    let build_start = Instant::now();
+    // Freeze the delta prefix: captured runs and tombstones fold into the
+    // rewritten base; batches arriving during the build merge only among
+    // themselves and surface as the published snapshot's overlay.
+    let (mut capture, base, base_ids, ids_identity, prev_folded, prev_next) = {
+        let mut ing = ten.ingest.lock().expect("ingest poisoned");
+        (
+            ing.buffer.freeze_for_fold(),
+            Arc::clone(&ing.base),
+            Arc::clone(&ing.base_ids),
+            ing.ids_identity,
+            ing.folded,
+            ing.buffer.next_row(),
+        )
+    };
+    let built = build_fold_snapshot(
+        &base,
+        &base_ids,
+        ids_identity,
+        capture.as_ref(),
+        &req.spec,
+        req.target,
+    )
+    .unwrap_or_else(|e| {
+        // The merge failed before anything published: unfreeze (the
+        // captured state lives only in the buffer) and fall back to a pure
+        // layout rewrite of the current base.
+        let msg = format!(
+            "fold build for layout {} failed: {e} (deltas kept in memory)",
+            req.target
+        );
+        eprintln!("oreo-reorg: {msg}");
+        {
+            let mut ing = ten.ingest.lock().expect("ingest poisoned");
+            ing.buffer.abort_fold();
+            ing.errors.push(msg);
+        }
+        for m in metric_views(shared, ten) {
+            m.tiered_errors.inc();
+        }
+        capture = None;
+        build_fold_snapshot(&base, &base_ids, ids_identity, None, &req.spec, req.target)
+            .expect("base-only build is infallible")
+    });
+    let FoldBuild {
+        mut snapshot,
+        merged,
+    } = built;
+    let build = build_start.elapsed();
+    if shared.sink.enabled() {
+        shared.sink.emit(EventKind::ReorgPhase {
+            target: req.target,
+            phase: ReorgPhaseKind::Build,
+            micros: as_micros_u64(build),
+            bytes: 0,
+        });
+    }
+    let rows = snapshot.total_rows();
+    let partitions = snapshot.num_partitions();
+    let snapshot_bytes = snapshot.total_bytes();
+    // The snapshot's metadata *is* the target's exact model; hand it to
+    // the core so the next settle() does not rebuild it under the serving
+    // mutex.
+    let exact = snapshot.model();
+    // Disk tier: persist the aside rewrite (write + fsync + atomic rename)
+    // *before* the pointer swap — the rename is the durability point. A
+    // disk failure (ENOSPC, unwritable root, …) must not kill the serving
+    // plane: degrade to a memory-only publish, record the error, and keep
+    // going — the window then carries bytes_written = 0 and is excluded
+    // from the empirical α.
+    let (folded_mark, next_row_mark) = match capture.as_ref() {
+        Some(cap) => (cap.watermark, cap.next_row),
+        None => (prev_folded, prev_next),
+    };
+    let mut persist_ok = true;
+    let (write, bytes_written, generation) = match &ten.tiered {
+        Some(store) => match store.publish_with_fold(&mut snapshot, folded_mark, next_row_mark) {
+            Ok(receipt) => (receipt.wall, receipt.bytes_written, receipt.generation),
+            Err(e) => {
+                persist_ok = false;
+                let msg = format!("tiered publish of layout {} failed: {e}", req.target);
+                eprintln!("oreo-reorg: {msg} (serving from memory)");
+                tiered_errors.push(msg);
+                for m in metric_views(shared, ten) {
+                    m.tiered_errors.inc();
+                }
+                if shared.sink.enabled() {
+                    shared
+                        .sink
+                        .emit(EventKind::TieredDegraded { target: req.target });
+                }
+                (Duration::ZERO, 0, 0)
+            }
+        },
+        None => (Duration::ZERO, 0, 0),
+    };
+    if bytes_written > 0 {
+        for m in metric_views(shared, ten) {
+            m.persisted.inc();
+            m.persist_ns
+                .add((build + write).as_nanos().min(u128::from(u64::MAX)) as u64);
+            m.reorg_bytes_written.add(bytes_written);
+        }
+        if shared.sink.enabled() {
+            shared.sink.emit(EventKind::ReorgPhase {
+                target: req.target,
+                phase: ReorgPhaseKind::Write,
+                micros: as_micros_u64(write),
+                bytes: bytes_written,
+            });
+        }
+    }
+    let publish_start = Instant::now();
+    let mut folded_rows = 0u64;
+    {
+        let mut ing = ten.ingest.lock().expect("ingest poisoned");
+        if let (Some(cap), Some((table, ids))) = (capture.as_ref(), merged.as_ref()) {
+            ing.buffer.complete_fold();
+            ing.base = Arc::clone(table);
+            ing.base_ids = Arc::clone(ids);
+            ing.ids_identity = ids_identity && cap.tombstones.is_empty();
+            ing.folded = cap.watermark;
+            folded_rows = cap.delta_rows;
+            // The folded base is durable (or this is memory serving): WAL
+            // records at or below the watermark are dead weight — GC them.
+            // After a failed persist the log must keep them; replay is
+            // idempotent, so the truncation just waits for the next
+            // successful fold.
+            if persist_ok {
+                let mut trunc_err = None;
+                if let Some(wal) = ing.wal.as_mut() {
+                    if let Err(e) = wal.truncate_through(cap.watermark) {
+                        trunc_err = Some(format!(
+                            "wal truncation through {} failed: {e} \
+                             (log kept; replay is idempotent)",
+                            cap.watermark
+                        ));
+                    }
+                }
+                if let Some(msg) = trunc_err {
+                    eprintln!("oreo-reorg: {msg}");
+                    ing.errors.push(msg);
+                    for m in metric_views(shared, ten) {
+                        m.tiered_errors.inc();
+                    }
+                }
+                let wal_bytes = ing.wal.as_ref().map(Wal::bytes);
+                if let Some(b) = wal_bytes {
+                    ing.wal_bytes = b;
+                    for m in metric_views(shared, ten) {
+                        m.wal_bytes.set(b as f64);
+                    }
+                }
+            }
+        }
+        // Re-attach the live overlay (batches ingested during the build)
+        // under the same lock every overlay publish takes.
+        snapshot.set_delta(ing.buffer.overlay());
+        for m in metric_views(shared, ten) {
+            m.delta_rows.set(ing.buffer.delta_rows() as f64);
+        }
+        ten.cell.publish(snapshot);
+    }
+    if folded_rows > 0 {
+        for m in metric_views(shared, ten) {
+            m.folds.inc();
+            m.folded_rows.add(folded_rows);
+        }
+    }
+    if shared.sink.enabled() {
+        shared.sink.emit(EventKind::ReorgPhase {
+            target: req.target,
+            phase: ReorgPhaseKind::Publish,
+            micros: as_micros_u64(publish_start.elapsed()),
+            bytes: 0,
+        });
+    }
+    // The superseded generation's pages will never be requested again
+    // under a new snapshot (keys carry the tenant's table id and the
+    // generation number); drop exactly this tenant's retired pages so they
+    // stop occupying shared pool capacity.
+    if let (Some(pool), true) = (&shared.pool, generation > 1) {
+        let invalidate_start = Instant::now();
+        pool.invalidate_generation(tenant_index as u32, generation - 1);
+        if shared.sink.enabled() {
+            shared.sink.emit(EventKind::ReorgPhase {
+                target: req.target,
+                phase: ReorgPhaseKind::Invalidate,
+                micros: as_micros_u64(invalidate_start.elapsed()),
+                bytes: 0,
+            });
+        }
+    }
+    shared.snapshots_published.fetch_add(1, Ordering::Relaxed);
+    ten.snapshots_published.fetch_add(1, Ordering::Relaxed);
+    for m in metric_views(shared, ten) {
+        m.snapshots_published.inc();
+    }
+    if let Some(tm) = &ten.metrics {
+        tm.table_bytes.set(snapshot_bytes as f64);
+    }
+    let fleet_bytes: u64 = shared
+        .tenants
+        .iter()
+        .map(|t| t.cell.pin().total_bytes())
+        .sum();
+    shared.metrics.table_bytes.set(fleet_bytes as f64);
+    let measured = shared.config.delay == DelaySemantics::Measured;
+    if measured || merged.is_some() {
+        let mut core = shared.core.lock().expect("core poisoned");
+        let oreo = core.instance_mut(&ten.name).expect("tenant registered");
+        if let Some((table, _)) = merged {
+            // Deltas folded in: the tenant's exact models must rebuild
+            // against the merged base, and the merge work beyond the
+            // α-billed base rewrite is charged as compaction.
+            oreo.set_table(table);
+            let live = oreo.table().num_rows() as u64;
+            if folded_rows > 0 && live > 0 {
+                let alpha = oreo.config().alpha;
+                oreo.charge_compaction(alpha * folded_rows as f64 / live as f64, folded_rows);
+            }
+        }
+        if measured {
+            oreo.complete_reorg_with(req.target, Some(exact));
+        }
+    }
+    let queries_during = ten
+        .observed
+        .load(Ordering::Relaxed)
+        .saturating_sub(req.tenant_observed_at_decision);
+    for m in metric_views(shared, ten) {
+        m.reorg_windows.inc();
+        m.reorg_build_ns
+            .add(build.as_nanos().min(u128::from(u64::MAX)) as u64);
+        m.reorg_delta_queries.add(queries_during);
+    }
+    ReorgWindow {
+        tenant: ten.name.clone(),
+        target: req.target,
+        decided_seq: req.decided_seq,
+        wall: req.decided_at.elapsed(),
+        build,
+        write,
+        bytes_written,
+        generation,
+        queries_during,
+        deferred_queries,
+        rows,
+        partitions,
+        folded_rows,
+    }
 }

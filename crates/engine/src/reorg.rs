@@ -6,19 +6,29 @@ use oreo_layout::SharedSpec;
 use oreo_storage::{LayoutId, Table, TableSnapshot};
 use std::time::{Duration, Instant};
 
-/// A switch decision handed to the background reorganizer.
+/// A switch decision handed to the reorganization scheduler.
 #[derive(Clone)]
 pub struct ReorgRequest {
+    /// Index of the deciding tenant in the engine's tenant map.
+    pub tenant: u32,
     /// Target layout (a live state of the reorganizer).
     pub target: LayoutId,
     /// Routing spec to materialize.
     pub spec: SharedSpec,
-    /// Stream position of the decision.
+    /// α the scheduler bills into the global budget ledger on admission
+    /// (the tenant's configured α — its ledger was already charged at
+    /// decision time).
+    pub charge: f64,
+    /// Stream position of the decision (the tenant's own stream).
     pub decided_seq: u64,
     /// Wall-clock instant of the decision.
     pub decided_at: Instant,
-    /// Queries observed by the engine when the decision was made.
+    /// Queries observed engine-wide when the decision was made — the
+    /// budget scheduler's deferral clock.
     pub observed_at_decision: u64,
+    /// Queries the deciding tenant had observed when the decision was made
+    /// — the measured-Δ origin.
+    pub tenant_observed_at_decision: u64,
 }
 
 /// One completed background reorganization — the measured Δ of §VI-D5,
@@ -26,6 +36,8 @@ pub struct ReorgRequest {
 /// empirical α.
 #[derive(Clone, Debug)]
 pub struct ReorgWindow {
+    /// Name of the tenant this window reorganized.
+    pub tenant: String,
     /// Layout the engine switched to.
     pub target: LayoutId,
     /// Stream position of the switch decision.
@@ -44,10 +56,15 @@ pub struct ReorgWindow {
     /// On-disk generation number the rewrite committed as (0 in memory-only
     /// serving).
     pub generation: u64,
-    /// Queries the engine served *during* the window — the measured Δ in
-    /// queries, the unit `OreoConfig::reorg_delay` configures in the
-    /// sequential simulator.
+    /// Queries the tenant's stream served *during* the window — the
+    /// measured Δ in queries, the unit `OreoConfig::reorg_delay`
+    /// configures in the sequential simulator.
     pub queries_during: u64,
+    /// Queries (engine-wide) between the switch decision and the budget
+    /// scheduler admitting it — 0 whenever the scheduler was idle and
+    /// under budget, bounded by `ReorgBudget::max_defer_queries` plus
+    /// scheduling slack otherwise.
+    pub deferred_queries: u64,
     /// Rows re-routed into the new snapshot.
     pub rows: u64,
     /// Partitions in the new snapshot.

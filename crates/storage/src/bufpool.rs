@@ -23,7 +23,7 @@ use crate::error::{Result, StorageError};
 use crate::tiered::Generation;
 use bytes::Bytes;
 use oreo_obs::{EventKind, EventSink, NullSink};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::Path;
@@ -72,12 +72,21 @@ impl BufferPoolConfig {
 /// Identity of one cached page.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 struct PageKey {
+    /// Table (tenant) the page's generation belongs to — one shared pool
+    /// can serve N tenants whose generation numbers collide.
+    table: u32,
     /// On-disk generation number the page belongs to.
     generation: u64,
     /// Partition-file index within the generation.
     file: u32,
     /// Page number within the file (`offset / page_bytes`).
     page: u32,
+}
+
+impl PageKey {
+    fn group(&self) -> (u32, u64) {
+        (self.table, self.generation)
+    }
 }
 
 #[derive(Debug)]
@@ -97,6 +106,29 @@ struct PoolInner {
     frames: Vec<Option<Frame>>,
     free: Vec<usize>,
     hand: usize,
+    /// Resident slots per `(table, generation)`, so invalidating a retired
+    /// generation drops exactly its pages instead of scanning the whole
+    /// capacity.
+    groups: HashMap<(u32, u64), HashSet<usize>>,
+}
+
+impl PoolInner {
+    /// Insert `key → slot` into both the page map and the group index.
+    fn link(&mut self, key: PageKey, slot: usize) {
+        self.map.insert(key, slot);
+        self.groups.entry(key.group()).or_default().insert(slot);
+    }
+
+    /// Remove `key` (resident in `slot`) from both indexes.
+    fn unlink(&mut self, key: &PageKey, slot: usize) {
+        self.map.remove(key);
+        if let Some(slots) = self.groups.get_mut(&key.group()) {
+            slots.remove(&slot);
+            if slots.is_empty() {
+                self.groups.remove(&key.group());
+            }
+        }
+    }
 }
 
 /// Counters snapshot of a [`BufferPool`] (monotone over the pool's life).
@@ -114,6 +146,9 @@ pub struct PoolStats {
     pub cached_bytes: u64,
     /// Pages invalidated because their generation was superseded.
     pub invalidated: u64,
+    /// Invalidation *calls* ([`BufferPool::invalidate_generation`]
+    /// invocations, whether or not any page was resident).
+    pub invalidations: u64,
     /// Pages resident when the snapshot was taken.
     pub pages_resident: u64,
     /// Configured capacity in bytes.
@@ -154,6 +189,7 @@ pub struct BufferPool {
     cold_bytes: AtomicU64,
     cached_bytes: AtomicU64,
     invalidated: AtomicU64,
+    invalidations: AtomicU64,
     /// Eviction/invalidation event sink ([`NullSink`] unless the owner
     /// wired a journal in via [`BufferPool::with_event_sink`]).
     sink: Arc<dyn EventSink>,
@@ -181,6 +217,7 @@ impl BufferPool {
             cold_bytes: AtomicU64::new(0),
             cached_bytes: AtomicU64::new(0),
             invalidated: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
             sink: Arc::new(NullSink),
         }
     }
@@ -210,6 +247,7 @@ impl BufferPool {
             cold_bytes: self.cold_bytes.load(Ordering::Relaxed),
             cached_bytes: self.cached_bytes.load(Ordering::Relaxed),
             invalidated: self.invalidated.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
             pages_resident,
             capacity_bytes: self.config.capacity_bytes,
             page_bytes: self.config.page_bytes as u64,
@@ -245,6 +283,7 @@ impl BufferPool {
         let result = (|| -> Result<()> {
             for page in first..=last {
                 let key = PageKey {
+                    table: generation.table(),
                     generation: generation.number(),
                     file,
                     page: u32::try_from(page).map_err(|_| {
@@ -363,7 +402,7 @@ impl BufferPool {
             return Ok((frame.data.clone(), true, true));
         }
         let slot = self.allocate_slot(&mut inner);
-        inner.map.insert(key, slot);
+        inner.link(key, slot);
         inner.frames[slot] = Some(Frame {
             key,
             data: data.clone(),
@@ -395,7 +434,7 @@ impl BufferPool {
                 Some(frame) if frame.referenced => frame.referenced = false,
                 Some(frame) => {
                     let key = frame.key;
-                    inner.map.remove(&key);
+                    inner.unlink(&key, slot);
                     inner.frames[slot] = None;
                     self.evictions.fetch_add(1, Ordering::Relaxed);
                     if self.sink.enabled() {
@@ -436,7 +475,7 @@ impl BufferPool {
                 Some(frame) if frame.referenced => frame.referenced = false,
                 Some(frame) => {
                     let key = frame.key;
-                    inner.map.remove(&key);
+                    inner.unlink(&key, slot);
                     inner.frames[slot] = None;
                     inner.free.push(slot);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
@@ -453,23 +492,26 @@ impl BufferPool {
         }
     }
 
-    /// Drop every cached page of `generation` (called when the generation
-    /// is superseded, so retired layouts stop occupying pool capacity and a
-    /// GC'd directory leaves nothing behind). Pages pinned by in-flight
-    /// reads stay alive through their readers' `Bytes` handles; the frames
-    /// themselves are removed.
-    pub fn invalidate_generation(&self, generation: u64) {
+    /// Drop every cached page of `table`'s `generation` (called when the
+    /// generation is superseded, so retired layouts stop occupying pool
+    /// capacity and a GC'd directory leaves nothing behind). Pages pinned
+    /// by in-flight reads stay alive through their readers' `Bytes`
+    /// handles; the frames themselves are removed.
+    ///
+    /// Cost is proportional to the pages actually dropped (the pool keeps a
+    /// per-`(table, generation)` slot index), not to the pool's capacity —
+    /// a multi-tenant engine invalidates on every per-tenant publish, so an
+    /// O(capacity) scan here would tax every tenant for each one's churn.
+    pub fn invalidate_generation(&self, table: u32, generation: u64) {
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.lock().expect("buffer pool poisoned");
-        let victims: Vec<PageKey> = inner
-            .map
-            .keys()
-            .filter(|k| k.generation == generation)
-            .copied()
-            .collect();
+        let Some(slots) = inner.groups.remove(&(table, generation)) else {
+            return;
+        };
         let mut pages = 0u64;
-        for key in victims {
-            if let Some(slot) = inner.map.remove(&key) {
-                inner.frames[slot] = None;
+        for slot in slots {
+            if let Some(frame) = inner.frames[slot].take() {
+                inner.map.remove(&frame.key);
                 inner.free.push(slot);
                 self.invalidated.fetch_add(1, Ordering::Relaxed);
                 pages += 1;
@@ -615,9 +657,10 @@ mod tests {
         // gen 1's pages (what the engine does at publish), then GC gen 1.
         let mut s2 = snap(&t, 3);
         let receipt = store.publish(&mut s2).unwrap();
-        pool.invalidate_generation(receipt.generation - 1);
+        pool.invalidate_generation(0, receipt.generation - 1);
         assert_eq!(pool.stats().pages_resident, 0, "gen-1 pages dropped");
         assert!(pool.stats().invalidated > 0);
+        assert_eq!(pool.stats().invalidations, 1);
         // An in-flight reader of the retired generation reads through
         // without re-admitting its pages — nothing invalidates gen 1 a
         // second time, so re-admission would squat until process exit.
@@ -640,6 +683,52 @@ mod tests {
         drop(store);
         drop(s2);
         fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// Two tenants share one pool; their generation numbers collide (both
+    /// serve gen 1) yet their pages never mix, and invalidating one
+    /// tenant's generation drops exactly that tenant's pages.
+    #[test]
+    fn shared_pool_keys_pages_per_table_and_invalidates_per_tenant() {
+        let t = table(2_000);
+        let root_a = tmproot("tenant-a");
+        let root_b = tmproot("tenant-b");
+        let mut sa = snap(&t, 2);
+        let mut sb = snap(&t, 2);
+        let (store_a, _) = TieredStore::create_for_table(&root_a, 0, &mut sa).unwrap();
+        let (store_b, _) = TieredStore::create_for_table(&root_b, 1, &mut sb).unwrap();
+        let pool = BufferPool::new(BufferPoolConfig {
+            capacity_bytes: 1 << 20,
+            page_bytes: 256,
+        });
+        let pred = between(0, 1_999);
+        let expected = sa.scan(&pred).matches;
+        sa.scan_pooled(&pred, &pool).unwrap();
+        sb.scan_pooled(&pred, &pool).unwrap();
+        let resident_both = pool.stats().pages_resident;
+        assert!(resident_both > 0);
+
+        // Drop tenant 1's gen 1: tenant 0's identically-numbered pages stay.
+        pool.invalidate_generation(1, 1);
+        let after = pool.stats();
+        assert!(after.pages_resident > 0, "tenant 0's pages survive");
+        assert!(after.pages_resident < resident_both);
+        assert_eq!(after.invalidations, 1);
+        let warm = sa.scan_pooled(&pred, &pool).unwrap();
+        assert_eq!(warm.matches, expected);
+        assert_eq!(warm.io_cold_bytes, 0, "tenant 0 is still fully cached");
+        let cold = sb.scan_pooled(&pred, &pool).unwrap();
+        assert_eq!(cold.matches, expected);
+        assert!(cold.io_cold_bytes > 0, "tenant 1 was invalidated");
+        // an invalidation with nothing resident still counts the call
+        pool.invalidate_generation(9, 9);
+        assert_eq!(pool.stats().invalidations, 2);
+        drop(store_a);
+        drop(store_b);
+        drop(sa);
+        drop(sb);
+        fs::remove_dir_all(&root_a).unwrap();
+        fs::remove_dir_all(&root_b).unwrap();
     }
 
     #[test]

@@ -60,6 +60,7 @@ const ROWS_MAGIC: &[u8; 8] = b"OREOROWS";
 #[derive(Debug)]
 pub struct Generation {
     number: u64,
+    table: u32,
     dir: PathBuf,
     bytes: u64,
     retired: AtomicBool,
@@ -69,6 +70,14 @@ impl Generation {
     /// The generation number `N` of the `gen-N/` directory (1-based).
     pub fn number(&self) -> u64 {
         self.number
+    }
+
+    /// The table (tenant) this generation belongs to. Single-table stores
+    /// use table 0; a multi-tenant engine gives each tenant's store its own
+    /// id so shared caches (the buffer pool) can key pages by
+    /// `(table, generation, page)` without cross-tenant collisions.
+    pub fn table(&self) -> u32 {
+        self.table
     }
 
     /// The committed directory this generation lives in.
@@ -141,6 +150,11 @@ pub struct RecoveryReport {
     /// Defaults to the generation's row count for pre-write-path manifests
     /// (identity ids).
     pub next_row: u64,
+    /// Entries under the root that are neither committed generations nor
+    /// torn rewrites (e.g. a sibling tenant subdirectory, a WAL, or a file
+    /// from a future format). Recovery skips them — with a warning — rather
+    /// than treating the root as corrupt; they are never deleted.
+    pub skipped: Vec<PathBuf>,
 }
 
 /// The disk tier backing the serving path: every published
@@ -195,6 +209,7 @@ pub struct RecoveryReport {
 pub struct TieredStore {
     root: PathBuf,
     schema: Arc<Schema>,
+    table: u32,
     current: Mutex<Arc<Generation>>,
 }
 
@@ -215,6 +230,17 @@ impl TieredStore {
     /// switches to encoded file sizes and it pins the new generation (see
     /// [`TableSnapshot::generation`]).
     pub fn create(root: &Path, snapshot: &mut TableSnapshot) -> Result<(Self, PublishReceipt)> {
+        Self::create_for_table(root, 0, snapshot)
+    }
+
+    /// [`TieredStore::create`] with an explicit table (tenant) id stamped
+    /// into every generation this store commits, so a shared buffer pool
+    /// can key its pages by `(table, generation, page)`.
+    pub fn create_for_table(
+        root: &Path,
+        table: u32,
+        snapshot: &mut TableSnapshot,
+    ) -> Result<(Self, PublishReceipt)> {
         assert!(
             snapshot.num_partitions() > 0,
             "snapshot must have at least one partition"
@@ -229,11 +255,12 @@ impl TieredStore {
                     next = next.max(number + 1);
                     stale.push(path);
                 }
+                EntryKind::Unknown => {}
             }
         }
         let schema = Arc::clone(snapshot.partitions()[0].data.schema());
         let next_row = snapshot.total_rows();
-        let (generation, receipt) = persist_generation(root, snapshot, next, 0, next_row)?;
+        let (generation, receipt) = persist_generation(root, table, snapshot, next, 0, next_row)?;
         // The previous process's generations are superseded by the commit
         // above; nothing in this process pins them.
         for path in stale {
@@ -242,6 +269,7 @@ impl TieredStore {
         let store = Self {
             root: root.to_owned(),
             schema,
+            table,
             current: Mutex::new(generation),
         };
         Ok((store, receipt))
@@ -276,7 +304,7 @@ impl TieredStore {
         let mut current = self.current.lock().expect("tiered store poisoned");
         let number = current.number() + 1;
         let (generation, receipt) =
-            match persist_generation(&self.root, snapshot, number, folded, next_row) {
+            match persist_generation(&self.root, self.table, snapshot, number, folded, next_row) {
                 Ok(committed) => committed,
                 Err(e) => {
                     // A publish that dies after writing some partition files
@@ -308,6 +336,11 @@ impl TieredStore {
         &self.schema
     }
 
+    /// The table (tenant) id stamped into this store's generations.
+    pub fn table(&self) -> u32 {
+        self.table
+    }
+
     /// Generation directories currently on disk (committed `gen-N/` only),
     /// ascending. Superseded generations linger here only while readers
     /// still pin them.
@@ -316,7 +349,7 @@ impl TieredStore {
             .into_iter()
             .filter_map(|(kind, number, _)| match kind {
                 EntryKind::Committed => Some(number),
-                EntryKind::Torn => None,
+                EntryKind::Torn | EntryKind::Unknown => None,
             })
             .collect();
         gens.sort_unstable();
@@ -331,8 +364,23 @@ impl TieredStore {
     ///
     /// Fails with [`StorageError::Corrupt`] if no complete generation
     /// exists under `root`.
+    ///
+    /// Entries that are neither `gen-N/` nor `gen-N.tmp/` — a sibling
+    /// tenant's subdirectory, a WAL, a file from a future format — are
+    /// *skipped with a warning*, never deleted and never treated as
+    /// corruption; they land in [`RecoveryReport::skipped`].
     pub fn open(
         root: &Path,
+        schema: &Arc<Schema>,
+    ) -> Result<(Self, TableSnapshot, RecoveryReport)> {
+        Self::open_for_table(root, 0, schema)
+    }
+
+    /// [`TieredStore::open`] with an explicit table (tenant) id stamped
+    /// into the recovered (and every future) generation.
+    pub fn open_for_table(
+        root: &Path,
+        table: u32,
         schema: &Arc<Schema>,
     ) -> Result<(Self, TableSnapshot, RecoveryReport)> {
         let mut report = RecoveryReport::default();
@@ -344,6 +392,13 @@ impl TieredStore {
                     report.torn_removed.push(path);
                 }
                 EntryKind::Committed => committed.push((number, path)),
+                EntryKind::Unknown => {
+                    eprintln!(
+                        "oreo-storage: skipping unknown entry {} during recovery",
+                        path.display()
+                    );
+                    report.skipped.push(path);
+                }
             }
         }
         committed.sort_unstable_by_key(|&(n, _)| std::cmp::Reverse(n));
@@ -378,6 +433,7 @@ impl TieredStore {
         let bytes = dir_bytes(&dir)?;
         let generation = Arc::new(Generation {
             number,
+            table,
             dir,
             bytes,
             retired: AtomicBool::new(false),
@@ -397,6 +453,7 @@ impl TieredStore {
         let store = Self {
             root: root.to_owned(),
             schema: Arc::clone(schema),
+            table,
             current: Mutex::new(generation),
         };
         Ok((store, snapshot, report))
@@ -406,10 +463,16 @@ impl TieredStore {
 enum EntryKind {
     Committed,
     Torn,
+    /// A directory that is not ours (a tenant subdir, a future format) or a
+    /// `gen-*`-named entry that does not parse. Recovery skips these with a
+    /// warning instead of treating the root as corrupt; plain files that
+    /// don't claim the `gen-` prefix (a WAL, a lock file) stay silently
+    /// ignored — they belong to other subsystems sharing the root.
+    Unknown,
 }
 
-/// Classify the entries of a store root into committed `gen-N` directories
-/// and torn `gen-N.tmp` leftovers (anything else is ignored).
+/// Classify the entries of a store root into committed `gen-N` directories,
+/// torn `gen-N.tmp` leftovers, and unknown entries.
 fn list_root(root: &Path) -> Vec<(EntryKind, u64, PathBuf)> {
     let Ok(entries) = fs::read_dir(root) else {
         return Vec::new();
@@ -417,20 +480,29 @@ fn list_root(root: &Path) -> Vec<(EntryKind, u64, PathBuf)> {
     let mut out = Vec::new();
     for entry in entries.flatten() {
         let path = entry.path();
-        if !path.is_dir() {
-            continue;
-        }
+        let is_dir = path.is_dir();
         let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            out.push((EntryKind::Unknown, 0, path));
             continue;
         };
         if let Some(num) = name.strip_prefix("gen-") {
             if let Some(num) = num.strip_suffix(".tmp") {
-                if num.parse::<u64>().is_ok() {
+                if is_dir && num.parse::<u64>().is_ok() {
                     out.push((EntryKind::Torn, 0, path));
+                } else {
+                    out.push((EntryKind::Unknown, 0, path));
                 }
-            } else if let Ok(n) = num.parse::<u64>() {
-                out.push((EntryKind::Committed, n, path));
+            } else if is_dir {
+                if let Ok(n) = num.parse::<u64>() {
+                    out.push((EntryKind::Committed, n, path));
+                } else {
+                    out.push((EntryKind::Unknown, 0, path));
+                }
+            } else {
+                out.push((EntryKind::Unknown, 0, path));
             }
+        } else if is_dir {
+            out.push((EntryKind::Unknown, 0, path));
         }
     }
     out
@@ -482,6 +554,7 @@ fn rows_file(index: usize) -> String {
 /// fsync of `root`.
 fn persist_generation(
     root: &Path,
+    table: u32,
     snapshot: &mut TableSnapshot,
     number: u64,
     folded: u64,
@@ -526,6 +599,7 @@ fn persist_generation(
 
     let generation = Arc::new(Generation {
         number,
+        table,
         dir,
         bytes: bytes_written,
         retired: AtomicBool::new(false),
@@ -1055,6 +1129,94 @@ mod tests {
         let (store, recovered, report) = TieredStore::open(&root, &schema).unwrap();
         assert_eq!(report.folded, 0);
         assert_eq!(report.next_row, 200, "defaults to the row count");
+        drop(store);
+        drop(recovered);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// The multi-tenant bugfix: a data dir holding entries the store does
+    /// not own — a future tenant subdirectory, a stray `gen-` file, a lock
+    /// dir — must be skipped with a warning, never deleted and never
+    /// treated as corruption.
+    #[test]
+    fn open_skips_unknown_entries_in_a_mixed_layout_dir() {
+        let t = table(200);
+        let schema = Arc::clone(t.schema());
+        let root = tmproot("mixed");
+        let mut s1 = snap(&t, 2, 0);
+        let (store, _) = TieredStore::create(&root, &mut s1).unwrap();
+        drop(store);
+        drop(s1);
+
+        // a sibling tenant's subtree, as a future multi-tenant layout lays it out
+        let tenant = root.join("tenant-b");
+        fs::create_dir_all(tenant.join("gen-000005")).unwrap();
+        fs::write(tenant.join("wal.log"), b"tenant b's wal").unwrap();
+        // a directory from some future format, and a gen-named stray file
+        fs::create_dir_all(root.join("locks")).unwrap();
+        fs::write(root.join("gen-000003"), b"not a directory").unwrap();
+        // a plain file that never claimed the gen- prefix stays silent
+        fs::write(root.join("wal.log"), b"our wal").unwrap();
+
+        let (store, recovered, report) = TieredStore::open(&root, &schema).unwrap();
+        assert_eq!(report.generation, 1, "the real generation still serves");
+        assert!(report.torn_removed.is_empty());
+        assert!(report.stale_removed.is_empty());
+        let mut skipped = report.skipped.clone();
+        skipped.sort();
+        assert_eq!(
+            skipped,
+            vec![
+                root.join("gen-000003"),
+                root.join("locks"),
+                root.join("tenant-b"),
+            ],
+            "unknown entries are reported, wal.log is not"
+        );
+        // nothing unknown was deleted
+        assert!(tenant.join("gen-000005").exists());
+        assert!(tenant.join("wal.log").exists());
+        assert!(root.join("locks").exists());
+        assert!(root.join("gen-000003").exists());
+        assert_eq!(recovered.total_rows(), 200);
+
+        // create() on the same mixed root also leaves foreign entries alone
+        drop(store);
+        drop(recovered);
+        let mut s2 = snap(&t, 4, 1);
+        let (store, receipt) = TieredStore::create(&root, &mut s2).unwrap();
+        assert_eq!(receipt.generation, 2);
+        assert!(tenant.join("wal.log").exists(), "create spared the tenant");
+        drop(store);
+        drop(s2);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// Generations carry their store's table id so a shared buffer pool can
+    /// key pages per tenant; the id survives reopen.
+    #[test]
+    fn table_id_is_stamped_and_survives_reopen() {
+        let t = table(100);
+        let schema = Arc::clone(t.schema());
+        let root = tmproot("tableid");
+        let mut s1 = snap(&t, 2, 0);
+        let (store, _) = TieredStore::create_for_table(&root, 7, &mut s1).unwrap();
+        assert_eq!(store.table(), 7);
+        assert_eq!(store.current().table(), 7);
+        let mut s2 = snap(&t, 4, 1);
+        store.publish(&mut s2).unwrap();
+        assert_eq!(store.current().table(), 7, "publish keeps the id");
+        drop(store);
+        drop(s1);
+        drop(s2);
+
+        let (store, recovered, _) = TieredStore::open_for_table(&root, 7, &schema).unwrap();
+        assert_eq!(store.current().table(), 7);
+        // the default single-table constructors stamp table 0
+        drop(store);
+        drop(recovered);
+        let (store, recovered, _) = TieredStore::open(&root, &schema).unwrap();
+        assert_eq!(store.current().table(), 0);
         drop(store);
         drop(recovered);
         fs::remove_dir_all(&root).unwrap();

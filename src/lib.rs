@@ -80,7 +80,9 @@ pub use oreo_workload as workload;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use oreo_core::{CostLedger, Dumts, DumtsConfig, Oreo, OreoConfig, TransitionPolicy};
-    pub use oreo_engine::{DelaySemantics, Engine, EngineConfig, EngineStats};
+    pub use oreo_engine::{
+        DelaySemantics, Engine, EngineConfig, EngineStats, ReorgBudget, TenantSpec, TenantStats,
+    };
     pub use oreo_layout::{
         LayoutGenerator, LayoutSpec, QdTreeGenerator, RangeGenerator, RangeLayout, ZOrderGenerator,
     };
